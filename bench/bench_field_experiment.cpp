@@ -1,0 +1,118 @@
+// Section 7 field experiments (Figs. 24–26), simulated: the 120 cm × 120 cm
+// testbed with the ten sensor strategies listed in the paper, three
+// obstacles, and six chargers of three types (1 W / 2 W / 3 W). The
+// physical RF measurement is replaced by the paper's own fitted power model
+// (see DESIGN.md substitutions). Compared algorithms: HIPO, GPPDCS
+// Triangle, GPAD Triangle — the three the paper deployed.
+#include "bench/harness.hpp"
+
+#include <algorithm>
+
+#include "src/core/solver.hpp"
+#include "src/model/scenario_gen.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool csv = cli.has("csv");
+  cli.finish();
+
+  const auto scenario = model::make_field_scenario();
+  std::cout << "Field testbed: " << scenario.num_devices() << " sensors, "
+            << scenario.num_chargers() << " chargers of "
+            << scenario.num_charger_types() << " types, "
+            << scenario.num_obstacles() << " obstacles, region 120cm x "
+            << "120cm\n\n";
+
+  struct Entry {
+    std::string name;
+    model::Placement placement;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"HIPO", core::solve(scenario).placement});
+  {
+    Rng rng(bench::hash_id("field"));
+    entries.push_back(
+        {"GPPDCS Triangle",
+         baselines::place_gppdcs(scenario, baselines::GridKind::kTriangle,
+                                 rng)});
+  }
+  {
+    Rng rng(bench::hash_id("field") + 1);
+    entries.push_back(
+        {"GPAD Triangle",
+         baselines::place_gpad(scenario, baselines::GridKind::kTriangle,
+                               rng)});
+  }
+
+  // Fig. 24 analog: charger strategies.
+  Table placements({"algorithm", "x(cm)", "y(cm)", "orientation(deg)",
+                    "charger type"});
+  for (const auto& e : entries) {
+    for (const auto& s : e.placement) {
+      placements.row()
+          .add(e.name)
+          .add(s.pos.x * 100.0, 1)
+          .add(s.pos.y * 100.0, 1)
+          .add(s.orientation * 180.0 / geom::kPi, 1)
+          .add(s.type + 1);
+    }
+  }
+  std::cout << "Fig. 24 — charger positions & orientations:\n";
+  placements.print(std::cout);
+
+  // Fig. 25: per-device charging utility.
+  std::vector<std::string> header{"device"};
+  for (const auto& e : entries) header.push_back(e.name);
+  Table per_device(std::move(header));
+  std::vector<std::vector<double>> utilities;
+  for (const auto& e : entries) {
+    utilities.push_back(scenario.per_device_utility(e.placement));
+  }
+  for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+    per_device.row().add(std::to_string(j + 1));
+    for (const auto& u : utilities) per_device.add(u[j], 3);
+  }
+  std::cout << "\nFig. 25 — charging utility of each device:\n";
+  per_device.print(std::cout);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    int zero = 0;
+    for (double u : utilities[i]) zero += u <= 0.0 ? 1 : 0;
+    std::cout << entries[i].name << ": total utility "
+              << format_double(scenario.placement_utility(
+                                   entries[i].placement), 4)
+              << ", devices with zero utility: " << zero << "\n";
+  }
+  std::cout << "(paper: HIPO charges all devices; comparisons do not)\n";
+
+  // Fig. 26: CDF of per-device charging POWER (mW in the paper; model units
+  // here).
+  std::vector<std::vector<double>> powers;
+  for (const auto& e : entries) {
+    powers.push_back(scenario.per_device_power(e.placement));
+  }
+  double max_p = 0.0;
+  for (const auto& ps : powers)
+    for (double p : ps) max_p = std::max(max_p, p);
+  const auto thresholds = linspace(0.0, std::max(max_p, 1e-9), 9);
+  std::vector<std::string> cdf_header{"algorithm"};
+  for (double t : thresholds) cdf_header.push_back("P<=" + format_double(t, 3));
+  Table cdf_table(std::move(cdf_header));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto cdf = ecdf(powers[i], thresholds);
+    cdf_table.row().add(entries[i].name);
+    for (double c : cdf) cdf_table.add(c, 3);
+  }
+  std::cout << "\nFig. 26 — CDF of per-device charging power:\n";
+  cdf_table.print(std::cout);
+  std::cout << "(paper: the HIPO line approaches 1 the slowest — most "
+               "charging power delivered)\n";
+
+  if (csv) {
+    per_device.write_csv_file("field_fig25.csv");
+    cdf_table.write_csv_file("field_fig26.csv");
+  }
+  return 0;
+}

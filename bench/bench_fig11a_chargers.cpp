@@ -1,0 +1,29 @@
+// Fig. 11(a): charging utility vs. number of chargers (1×–8× of the initial
+// {1,2,3} budget), nine algorithms, random 40m×40m topologies with two
+// obstacles. Paper: HIPO ≥ +33.49% over the best baseline on average.
+#include "bench/harness.hpp"
+
+#include "src/model/scenario_gen.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SweepConfig config;
+  config.figure_id = "fig11a";
+  config.x_label = "chargers(x)";
+  config.reps = bench::resolve_reps(cli);
+  config.csv = cli.has("csv");
+  cli.finish();
+
+  std::vector<bench::SweepPoint> points;
+  for (int mult = 1; mult <= 8; ++mult) {
+    model::GenOptions opt;
+    opt.charger_multiplier = mult;
+    points.push_back({std::to_string(mult), [opt](Rng& rng) {
+                        return model::make_paper_scenario(opt, rng);
+                      }});
+  }
+  bench::run_utility_sweep(config, points);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 11(b): charging utility vs. number of devices (1×–8× of the initial
+// {4,3,2,1} counts). Paper: utility decreases with device count; HIPO
+// ≥ +37.13% over the best baseline on average.
+#include "bench/harness.hpp"
+
+#include "src/model/scenario_gen.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SweepConfig config;
+  config.figure_id = "fig11b";
+  config.x_label = "devices(x)";
+  config.reps = bench::resolve_reps(cli);
+  config.csv = cli.has("csv");
+  const int max_mult = cli.get_or("max-mult", 8);
+  cli.finish();
+
+  std::vector<bench::SweepPoint> points;
+  for (int mult = 1; mult <= max_mult; ++mult) {
+    model::GenOptions opt;
+    opt.device_multiplier = mult;
+    points.push_back({std::to_string(mult), [opt](Rng& rng) {
+                        return model::make_paper_scenario(opt, rng);
+                      }});
+  }
+  bench::run_utility_sweep(config, points);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 11(c): charging utility vs. charging angle α_s (0.6×–2× of the
+// Table 2 defaults). Paper: utility increases slowly with charging angle;
+// HIPO ≥ +38.54% over the best baseline on average.
+#include "bench/harness.hpp"
+
+#include "src/model/scenario_gen.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SweepConfig config;
+  config.figure_id = "fig11c";
+  config.x_label = "angle_s(x)";
+  config.reps = bench::resolve_reps(cli);
+  config.csv = cli.has("csv");
+  cli.finish();
+
+  std::vector<bench::SweepPoint> points;
+  for (double scale : linspace(0.6, 2.0, 8)) {
+    model::GenOptions opt;
+    opt.charge_angle_scale = scale;
+    points.push_back({format_double(scale, 1), [opt](Rng& rng) {
+                        return model::make_paper_scenario(opt, rng);
+                      }});
+  }
+  bench::run_utility_sweep(config, points);
+  return 0;
+}

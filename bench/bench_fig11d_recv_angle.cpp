@@ -1,0 +1,30 @@
+// Fig. 11(d): charging utility vs. receiving angle α_o (0.6×–2× of the
+// Table 3 defaults). Paper: utility increases with receiving angle for all
+// algorithms; HIPO ≥ +33.03% over the best baseline on average.
+#include "bench/harness.hpp"
+
+#include "src/model/scenario_gen.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SweepConfig config;
+  config.figure_id = "fig11d";
+  config.x_label = "angle_o(x)";
+  config.reps = bench::resolve_reps(cli);
+  config.csv = cli.has("csv");
+  cli.finish();
+
+  std::vector<bench::SweepPoint> points;
+  for (double scale : linspace(0.6, 2.0, 8)) {
+    model::GenOptions opt;
+    opt.recv_angle_scale = scale;
+    points.push_back({format_double(scale, 1), [opt](Rng& rng) {
+                        return model::make_paper_scenario(opt, rng);
+                      }});
+  }
+  bench::run_utility_sweep(config, points);
+  return 0;
+}

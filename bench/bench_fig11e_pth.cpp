@@ -1,0 +1,30 @@
+// Fig. 11(e): charging utility vs. power threshold P_th (0.02–0.09).
+// Paper: utility stays flat then decreases as P_th grows (more chargers
+// needed to saturate a device); HIPO ≥ +36.21% over the best baseline.
+#include "bench/harness.hpp"
+
+#include "src/model/scenario_gen.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SweepConfig config;
+  config.figure_id = "fig11e";
+  config.x_label = "P_th";
+  config.reps = bench::resolve_reps(cli);
+  config.csv = cli.has("csv");
+  cli.finish();
+
+  std::vector<bench::SweepPoint> points;
+  for (double pth : linspace(0.02, 0.09, 8)) {
+    model::GenOptions opt;
+    opt.p_th = pth;
+    points.push_back({format_double(pth, 2), [opt](Rng& rng) {
+                        return model::make_paper_scenario(opt, rng);
+                      }});
+  }
+  bench::run_utility_sweep(config, points);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 11(f): charging utility vs. nearest charging distance d_min
+// (0×–1.4× of the Table 2 defaults). Paper: utility decreases as d_min
+// grows (charging area shrinks), faster at large d_min; HIPO ≥ +40.38%.
+#include "bench/harness.hpp"
+
+#include "src/model/scenario_gen.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench::SweepConfig config;
+  config.figure_id = "fig11f";
+  config.x_label = "d_min(x)";
+  config.reps = bench::resolve_reps(cli);
+  config.csv = cli.has("csv");
+  cli.finish();
+
+  std::vector<bench::SweepPoint> points;
+  for (double scale : linspace(0.0, 1.4, 8)) {
+    model::GenOptions opt;
+    opt.d_min_scale = scale;
+    points.push_back({format_double(scale, 1), [opt](Rng& rng) {
+                        return model::make_paper_scenario(opt, rng);
+                      }});
+  }
+  bench::run_utility_sweep(config, points);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 12: time consumption of the parallel-processing part of PDCS
+// extraction — non-distributed vs. distributed over 5/10/15/20/25 machines,
+// as the number of devices grows (1×–8×).
+//
+// Per the DESIGN.md substitution note: per-device task durations are
+// measured for real (sequentially, on this host), then assigned to m
+// virtual machines with LPT (Algorithm 5); the reported value is the
+// resulting makespan normalized by the non-distributed time at 1× devices,
+// exactly the normalization of Fig. 12. An ablation column compares LPT
+// with naive round-robin assignment.
+#include "bench/harness.hpp"
+
+#include "src/model/scenario_gen.hpp"
+#include "src/pdcs/extract.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int reps = std::max(1, bench::resolve_reps(cli) / 2);
+  const bool csv = cli.has("csv");
+  const int max_mult = cli.get_or("max-mult", 8);
+  cli.finish();
+
+  const std::vector<std::size_t> machine_counts{5, 10, 15, 20, 25};
+  std::vector<std::string> header{"devices(x)", "non-dist"};
+  for (std::size_t m : machine_counts)
+    header.push_back("dist-" + std::to_string(m));
+  header.push_back("dist-10(RR)");
+  Table table(std::move(header));
+
+  double normalizer = 0.0;
+  std::vector<std::vector<double>> reductions(machine_counts.size());
+
+  for (int mult = 1; mult <= max_mult; ++mult) {
+    RunningStats non_dist;
+    std::vector<RunningStats> dist(machine_counts.size());
+    RunningStats rr10;
+    for (int rep = 0; rep < reps; ++rep) {
+      model::GenOptions opt;
+      opt.device_multiplier = mult;
+      Rng rng(seed_combine(bench::hash_id("fig12"),
+                           static_cast<std::uint64_t>(mult),
+                           static_cast<std::uint64_t>(rep)));
+      const auto scenario = model::make_paper_scenario(opt, rng);
+      const auto extraction = pdcs::extract_all(scenario);
+      double total = 0.0;
+      for (double t : extraction.task_seconds) total += t;
+      non_dist.add(total);
+      for (std::size_t mi = 0; mi < machine_counts.size(); ++mi) {
+        dist[mi].add(pdcs::simulated_distributed_seconds(
+            extraction.task_seconds, machine_counts[mi]));
+      }
+      rr10.add(pdcs::simulated_distributed_seconds(extraction.task_seconds,
+                                                   10, /*use_lpt=*/false));
+    }
+    if (mult == 1) normalizer = non_dist.mean();
+    table.row().add(std::to_string(mult));
+    table.add(non_dist.mean() / normalizer, 3);
+    for (std::size_t mi = 0; mi < machine_counts.size(); ++mi) {
+      table.add(dist[mi].mean() / normalizer, 3);
+      reductions[mi].push_back(1.0 - dist[mi].mean() / non_dist.mean());
+    }
+    table.add(rr10.mean() / normalizer, 3);
+  }
+
+  std::cout << "Fig. 12 — normalized time of the parallel-processing part "
+               "(measured task times, simulated LPT makespan):\n";
+  table.print(std::cout);
+  std::cout << "\naverage time reduction vs non-distributed:\n";
+  for (std::size_t mi = 0; mi < machine_counts.size(); ++mi) {
+    std::cout << "  " << machine_counts[mi]
+              << "-distributed: " << format_double(mean(reductions[mi]) * 100.0, 2)
+              << "%\n";
+  }
+  std::cout << "(paper: 80.10% / 88.79% / 91.05% / 92.32% / 92.39% for "
+               "5/10/15/20/25 machines)\n";
+  if (csv) table.write_csv_file("fig12.csv");
+  return 0;
+}

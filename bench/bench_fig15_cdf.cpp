@@ -1,0 +1,51 @@
+// Fig. 15: CDF of the charging utilities of all 40 devices in one topology,
+// nine algorithms. Paper: under HIPO no device stays below utility 0.5,
+// while the baselines leave many devices with zero utility.
+#include "bench/harness.hpp"
+
+#include <algorithm>
+
+#include "src/model/scenario_gen.hpp"
+#include "src/util/stats.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool csv = cli.has("csv");
+  const int seed = cli.get_or("seed", 15);
+  cli.finish();
+
+  model::GenOptions opt;  // default: 40 devices, 18 chargers
+  Rng topo_rng(static_cast<std::uint64_t>(seed));
+  const auto scenario = model::make_paper_scenario(opt, topo_rng);
+
+  const auto thresholds = linspace(0.0, 1.0, 11);
+  std::vector<std::string> header{"algorithm"};
+  for (double t : thresholds) header.push_back("u<=" + format_double(t, 1));
+  header.push_back("min_u");
+  header.push_back("zero_devices");
+  Table table(std::move(header));
+
+  for (const auto& alg : bench::all_algorithms()) {
+    Rng rng(seed_combine(bench::hash_id("fig15"),
+                         static_cast<std::uint64_t>(seed)));
+    const auto placement = alg.run(scenario, rng);
+    const auto utilities = scenario.per_device_utility(placement);
+    const auto cdf = ecdf(utilities, thresholds);
+    table.row().add(alg.name);
+    for (double c : cdf) table.add(c, 3);
+    table.add(*std::min_element(utilities.begin(), utilities.end()), 3);
+    int zeros = 0;
+    for (double u : utilities) zeros += u <= 0.0 ? 1 : 0;
+    table.add(zeros);
+  }
+
+  std::cout << "Fig. 15 — CDF of per-device charging utility (one default "
+               "topology, " << scenario.num_devices() << " devices):\n";
+  table.print(std::cout);
+  std::cout << "\n(paper: HIPO leaves no device under utility 0.5; baselines "
+               "leave many devices unharvested)\n";
+  if (csv) table.write_csv_file("fig15.csv");
+  return 0;
+}

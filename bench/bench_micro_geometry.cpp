@@ -1,0 +1,126 @@
+// Micro-benchmarks (google-benchmark) for the geometry substrate — the hot
+// primitives of PDCS candidate generation and the power model.
+#include <benchmark/benchmark.h>
+
+#include "src/discretize/shadow_map.hpp"
+#include "src/geometry/circle.hpp"
+#include "src/geometry/polygon.hpp"
+#include "src/geometry/sector_ring.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace hipo;
+using geom::Circle;
+using geom::Polygon;
+using geom::Segment;
+using geom::Vec2;
+
+void BM_SegmentIntersection(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 1024; ++i) {
+    segs.emplace_back(Vec2{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                      Vec2{rng.uniform(-5, 5), rng.uniform(-5, 5)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto p = geom::segment_intersection_point(segs[i % 1024],
+                                                    segs[(i + 7) % 1024]);
+    benchmark::DoNotOptimize(p);
+    ++i;
+  }
+}
+BENCHMARK(BM_SegmentIntersection);
+
+void BM_CircleCircleIntersection(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Circle> circles;
+  for (int i = 0; i < 1024; ++i) {
+    circles.emplace_back(Vec2{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                         rng.uniform(0.5, 4.0));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto pts = geom::circle_circle_intersections(circles[i % 1024],
+                                                       circles[(i + 3) % 1024]);
+    benchmark::DoNotOptimize(pts);
+    ++i;
+  }
+}
+BENCHMARK(BM_CircleCircleIntersection);
+
+void BM_PolygonBlocksSegment(benchmark::State& state) {
+  const auto poly = geom::make_regular_polygon({0, 0}, 2.0,
+                                               static_cast<int>(state.range(0)));
+  Rng rng(3);
+  std::vector<Segment> segs;
+  for (int i = 0; i < 1024; ++i) {
+    segs.emplace_back(Vec2{rng.uniform(-6, 6), rng.uniform(-6, 6)},
+                      Vec2{rng.uniform(-6, 6), rng.uniform(-6, 6)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.blocks_segment(segs[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PolygonBlocksSegment)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SectorRingContains(benchmark::State& state) {
+  const geom::SectorRing ring({0, 0}, 0.7, geom::kPi / 3.0, 2.0, 6.0);
+  Rng rng(4);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 1024; ++i) {
+    pts.push_back({rng.uniform(-8, 8), rng.uniform(-8, 8)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.contains(pts[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SectorRingContains);
+
+void BM_ShadowMapVisible(benchmark::State& state) {
+  std::vector<Polygon> obstacles;
+  Rng rng(5);
+  for (int i = 0; i < 4; ++i) {
+    obstacles.push_back(geom::make_regular_polygon(
+        {rng.uniform(-6, 6), rng.uniform(2, 6)}, 1.0, 5, rng.angle()));
+  }
+  const discretize::ShadowMap sm({0, 0}, obstacles, 12.0);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 1024; ++i) {
+    pts.push_back({rng.uniform(-10, 10), rng.uniform(-10, 10)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sm.visible(pts[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ShadowMapVisible);
+
+void BM_InscribedAngleCircles(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::pair<Vec2, Vec2>> pairs;
+  for (int i = 0; i < 1024; ++i) {
+    pairs.push_back({{rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                     {rng.uniform(-5, 5), rng.uniform(-5, 5)}});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i % 1024];
+    if (geom::distance(a, b) > 0.1) {
+      benchmark::DoNotOptimize(
+          geom::inscribed_angle_circles(a, b, geom::kPi / 3.0));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_InscribedAngleCircles);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark) for the PDCS pipeline stages: power
+// evaluation, point-case extraction, per-device tasks, full extraction and
+// greedy selection at paper-default scale.
+#include <benchmark/benchmark.h>
+
+#include "src/core/solver.hpp"
+#include "src/model/scenario_gen.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/pdcs/extract.hpp"
+#include "src/pdcs/point_case.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace hipo;
+
+model::Scenario make_scenario(int device_mult = 4) {
+  model::GenOptions opt;
+  opt.device_multiplier = device_mult;
+  Rng rng(42);
+  return model::make_paper_scenario(opt, rng);
+}
+
+void BM_ExactPower(benchmark::State& state) {
+  const auto s = make_scenario();
+  Rng rng(1);
+  std::vector<model::Strategy> strategies;
+  for (int i = 0; i < 256; ++i) {
+    strategies.push_back({{rng.uniform(0, 40), rng.uniform(0, 40)},
+                          rng.angle(),
+                          rng.below(s.num_charger_types())});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.exact_power(strategies[i % 256], i % s.num_devices()));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExactPower);
+
+void BM_PointCaseExtraction(benchmark::State& state) {
+  const auto s = make_scenario();
+  std::vector<std::size_t> pool(s.num_devices());
+  for (std::size_t j = 0; j < pool.size(); ++j) pool[j] = j;
+  Rng rng(2);
+  std::vector<geom::Vec2> positions;
+  for (int i = 0; i < 256; ++i) {
+    positions.push_back({rng.uniform(0, 40), rng.uniform(0, 40)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pdcs::extract_point_case(s, i % s.num_charger_types(),
+                                 positions[i % 256], pool));
+    ++i;
+  }
+}
+BENCHMARK(BM_PointCaseExtraction);
+
+void BM_DeviceTask(benchmark::State& state) {
+  const auto s = make_scenario();
+  std::vector<geom::Vec2> pts;
+  for (std::size_t j = 0; j < s.num_devices(); ++j)
+    pts.push_back(s.device(j).pos);
+  const spatial::GridIndex index(s.region(), pts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pdcs::extract_device_task(s, index, i % s.num_devices(), {}));
+    ++i;
+  }
+}
+BENCHMARK(BM_DeviceTask);
+
+void BM_FullExtraction(benchmark::State& state) {
+  const auto s = make_scenario(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdcs::extract_all(s));
+  }
+}
+BENCHMARK(BM_FullExtraction)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GreedySelection(benchmark::State& state) {
+  const auto s = make_scenario();
+  const auto extraction = pdcs::extract_all(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::select_strategies(s, extraction.candidates));
+  }
+}
+BENCHMARK(BM_GreedySelection);
+
+void BM_EndToEndSolve(benchmark::State& state) {
+  const auto s = make_scenario();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(s));
+  }
+}
+BENCHMARK(BM_EndToEndSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Obstacle-count sweep (extension experiment): utility, candidate count,
+// and extraction time as obstacles are added — the Nh dependence of
+// Lemma 4.4's O(No²ε⁻²Nh²c²) bound, plus how much utility obstacles cost
+// each algorithm.
+#include "bench/harness.hpp"
+
+#include "src/core/solver.hpp"
+#include "src/model/scenario_gen.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/timer.hpp"
+
+using namespace hipo;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int reps = bench::resolve_reps(cli);
+  const bool csv = cli.has("csv");
+  cli.finish();
+
+  Table table({"obstacles", "HIPO util", "GPPDCS util", "candidates",
+               "extract ms", "blocked device share"});
+
+  for (int nh : {0, 1, 2, 3, 4, 6}) {
+    RunningStats hipo_u, base_u, cands, ms, blocked;
+    for (int rep = 0; rep < reps; ++rep) {
+      model::GenOptions gen;
+      gen.num_obstacles = nh;
+      gen.device_multiplier = 2;
+      Rng rng(seed_combine(bench::hash_id("obstacles"),
+                           static_cast<std::uint64_t>(nh),
+                           static_cast<std::uint64_t>(rep)));
+      const auto scenario = model::make_paper_scenario(gen, rng);
+
+      Timer t;
+      const auto result = core::solve(scenario);
+      ms.add(t.millis());
+      cands.add(static_cast<double>(result.extraction.candidates.size()));
+      hipo_u.add(result.utility);
+
+      Rng brng(seed_combine(bench::hash_id("obstacles"),
+                            static_cast<std::uint64_t>(nh),
+                            static_cast<std::uint64_t>(rep), 3));
+      base_u.add(scenario.placement_utility(baselines::place_gppdcs(
+          scenario, baselines::GridKind::kTriangle, brng)));
+
+      // Share of device-pairs whose line of sight is blocked — a proxy for
+      // how much the obstacles actually interfere.
+      int pairs = 0, cut = 0;
+      for (std::size_t i = 0; i < scenario.num_devices(); ++i) {
+        for (std::size_t j = i + 1; j < scenario.num_devices(); ++j) {
+          ++pairs;
+          if (!scenario.line_of_sight(scenario.device(i).pos,
+                                      scenario.device(j).pos))
+            ++cut;
+        }
+      }
+      blocked.add(pairs > 0 ? static_cast<double>(cut) / pairs : 0.0);
+    }
+    table.row()
+        .add(nh)
+        .add(hipo_u.mean(), 4)
+        .add(base_u.mean(), 4)
+        .add(cands.mean(), 1)
+        .add(ms.mean(), 2)
+        .add(blocked.mean(), 3);
+  }
+
+  std::cout << "Obstacle-count sweep (2x devices, default chargers):\n";
+  table.print(std::cout);
+  std::cout << "\n(blocked line-of-sight share and extraction time grow "
+               "with Nh per Lemma 4.4; utility moves mildly because devices "
+               "are resampled outside the obstacles)\n";
+  if (csv) table.write_csv_file("obstacles.csv");
+  return 0;
+}

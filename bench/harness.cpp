@@ -1,0 +1,97 @@
+#include "bench/harness.hpp"
+
+#include "src/core/solver.hpp"
+#include "src/util/stats.hpp"
+
+namespace hipo::bench {
+
+std::uint64_t hash_id(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<baselines::AlgorithmSpec> all_algorithms() {
+  std::vector<baselines::AlgorithmSpec> algorithms;
+  algorithms.push_back({"PDCS", [](const model::Scenario& s, Rng&) {
+                          return core::solve(s).placement;
+                        }});
+  for (auto& spec : baselines::comparison_algorithms()) {
+    algorithms.push_back(std::move(spec));
+  }
+  return algorithms;
+}
+
+int resolve_reps(Cli& cli) {
+  const int fallback = env_int_or("HIPO_REPS", 8);
+  const int reps = cli.get_or("reps", fallback);
+  HIPO_REQUIRE(reps >= 1, "--reps must be >= 1");
+  return reps;
+}
+
+SweepResult run_utility_sweep(const SweepConfig& config,
+                              const std::vector<SweepPoint>& points,
+                              std::ostream& os) {
+  auto algorithms = all_algorithms();
+
+  std::vector<std::string> header{config.x_label};
+  for (const auto& a : algorithms) header.push_back(a.name);
+  Table table(std::move(header));
+
+  std::vector<RunningStats> grand(algorithms.size());
+  // Per-point mean utilities, for the paper's mean-of-per-point-improvement
+  // summary.
+  std::vector<std::vector<double>> point_means(algorithms.size());
+  const std::uint64_t fig_seed = hash_id(config.figure_id);
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::vector<RunningStats> stats(algorithms.size());
+    for (int rep = 0; rep < config.reps; ++rep) {
+      Rng topo_rng(seed_combine(fig_seed, p, static_cast<std::uint64_t>(rep)));
+      const model::Scenario scenario = points[p].make_scenario(topo_rng);
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        Rng alg_rng(seed_combine(fig_seed, p,
+                                 static_cast<std::uint64_t>(rep), a + 1));
+        const auto placement = algorithms[a].run(scenario, alg_rng);
+        const double utility = scenario.placement_utility(placement);
+        stats[a].add(utility);
+        grand[a].add(utility);
+      }
+    }
+    table.row().add(points[p].label);
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      table.add(stats[a].mean(), 4);
+      point_means[a].push_back(stats[a].mean());
+    }
+  }
+
+  table.print(os);
+  os << '\n' << config.figure_id << " summary (" << config.reps
+     << " reps/point): average per-point HIPO improvement over each "
+        "baseline:\n";
+  SweepResult result{std::move(table), {}};
+  for (const auto& g : grand) result.grand_mean.push_back(g.mean());
+  for (std::size_t a = 1; a < algorithms.size(); ++a) {
+    RunningStats improvement;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      if (point_means[a][p] > 0.0) {
+        improvement.add((point_means[0][p] / point_means[a][p] - 1.0) * 100.0);
+      }
+    }
+    os << "  vs " << algorithms[a].name << ": +"
+       << format_double(improvement.mean(), 2) << "%\n";
+  }
+  if (config.csv) {
+    const std::string path =
+        config.csv_path.empty() ? config.figure_id + ".csv" : config.csv_path;
+    result.table.write_csv_file(path);
+    os << "CSV written to " << path << '\n';
+  }
+  os.flush();
+  return result;
+}
+
+}  // namespace hipo::bench

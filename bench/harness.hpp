@@ -1,0 +1,57 @@
+// Shared benchmark harness: the nine algorithms of Section 6 (HIPO + eight
+// baselines), deterministic seeding per (figure, sweep point, repetition),
+// and the sweep runner that reproduces the Fig. 11-style charging-utility
+// curves with mean ± improvement reporting.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/baselines/baselines.hpp"
+#include "src/model/scenario.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+
+namespace hipo::bench {
+
+/// "PDCS" (the paper's label for the HIPO algorithm in the figures) followed
+/// by the eight baselines in the paper's reporting order.
+std::vector<baselines::AlgorithmSpec> all_algorithms();
+
+/// Repetitions per sweep point: --reps flag, then HIPO_REPS env, then 8.
+int resolve_reps(Cli& cli);
+
+struct SweepPoint {
+  std::string label;                                    // x-axis value
+  std::function<model::Scenario(Rng&)> make_scenario;   // topology factory
+};
+
+struct SweepConfig {
+  std::string figure_id;     // e.g. "fig11a" — seeds and CSV name
+  std::string x_label;       // first column header
+  int reps = 8;
+  bool csv = false;
+  std::string csv_path;      // default: <figure_id>.csv
+};
+
+struct SweepResult {
+  Table table;
+  /// Mean utility per algorithm, averaged over all sweep points and reps
+  /// (index-aligned with all_algorithms()).
+  std::vector<double> grand_mean;
+};
+
+/// Run every algorithm on every sweep point `reps` times; prints the table
+/// (x, one column per algorithm) plus the paper's "HIPO outperforms X by
+/// ...%" summary. Seeds: seed_combine(hash(figure_id), point, rep).
+SweepResult run_utility_sweep(const SweepConfig& config,
+                              const std::vector<SweepPoint>& points,
+                              std::ostream& os = std::cout);
+
+/// FNV-1a hash for stable figure-id seeding.
+std::uint64_t hash_id(const std::string& s);
+
+}  // namespace hipo::bench

@@ -1,0 +1,290 @@
+#include "src/baselines/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "src/geometry/angles.hpp"
+#include "src/pdcs/point_case.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::baselines {
+
+using geom::Vec2;
+using model::Placement;
+using model::Scenario;
+using model::Strategy;
+
+std::vector<Vec2> grid_points(const Scenario& scenario,
+                              std::size_t charger_type, GridKind kind) {
+  const auto& ct = scenario.charger_type(charger_type);
+  const double g = std::sqrt(2.0) / 2.0 * ct.d_max;
+  const auto& region = scenario.region();
+  std::vector<Vec2> out;
+  if (kind == GridKind::kSquare) {
+    for (double y = region.lo.y; y <= region.hi.y + geom::kEps; y += g) {
+      for (double x = region.lo.x; x <= region.hi.x + geom::kEps; x += g) {
+        const Vec2 p{std::min(x, region.hi.x), std::min(y, region.hi.y)};
+        if (scenario.position_feasible(p)) out.push_back(p);
+      }
+    }
+  } else {
+    // Triangular (hexagonal) lattice: rows of pitch g, row spacing g·√3/2,
+    // odd rows offset by g/2.
+    const double row_h = g * std::sqrt(3.0) / 2.0;
+    int row = 0;
+    for (double y = region.lo.y; y <= region.hi.y + geom::kEps;
+         y += row_h, ++row) {
+      const double offset = (row % 2 == 1) ? g / 2.0 : 0.0;
+      for (double x = region.lo.x + offset; x <= region.hi.x + geom::kEps;
+           x += g) {
+        const Vec2 p{std::min(x, region.hi.x), std::min(y, region.hi.y)};
+        if (scenario.position_feasible(p)) out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Which devices a type-q charger at `pos` can cover under some orientation,
+/// with their bearing θ_j from the position and exact power (orientation-
+/// independent once covered — power depends only on distance).
+struct PosCover {
+  Vec2 pos;
+  std::vector<std::size_t> dev;
+  std::vector<double> theta;
+  std::vector<double> power;
+};
+
+PosCover compute_cover(const Scenario& scenario, std::size_t q, Vec2 pos) {
+  PosCover pc;
+  pc.pos = pos;
+  std::vector<std::size_t> all(scenario.num_devices());
+  for (std::size_t j = 0; j < all.size(); ++j) all[j] = j;
+  const auto coverable = pdcs::orientable_covers(scenario, q, pos, all);
+  const auto& ct = scenario.charger_type(q);
+  for (std::size_t j : coverable) {
+    const Vec2 so = scenario.device(j).pos - pos;
+    const double d = so.norm();
+    const auto& pp = scenario.pair_params(q, scenario.device(j).type);
+    pc.dev.push_back(j);
+    pc.theta.push_back(geom::norm_angle(so.angle()));
+    pc.power.push_back(pp.a / ((d + pp.b) * (d + pp.b)));
+  }
+  (void)ct;
+  return pc;
+}
+
+/// Sequential-placement state: accumulated exact power per device.
+class MarginalState {
+ public:
+  explicit MarginalState(const Scenario& scenario)
+      : scenario_(&scenario), weight_total_(scenario.total_weight()) {
+    acc_.assign(scenario.num_devices(), 0.0);
+  }
+
+  /// Utility gain of a type-q charger at pc.pos with orientation phi.
+  double gain(const PosCover& pc, double alpha, double phi) const {
+    double delta = 0.0;
+    for (std::size_t k = 0; k < pc.dev.size(); ++k) {
+      if (alpha < geom::kTwoPi &&
+          geom::angle_distance(pc.theta[k], phi) > alpha / 2.0 + 1e-9)
+        continue;
+      const std::size_t j = pc.dev[k];
+      const double pth = scenario_->device(j).p_th;
+      const double before = std::min(acc_[j], pth);
+      const double after = std::min(acc_[j] + pc.power[k], pth);
+      delta += scenario_->device(j).weight * (after - before) / pth;
+    }
+    return delta / weight_total_;
+  }
+
+  void add(const PosCover& pc, double alpha, double phi) {
+    for (std::size_t k = 0; k < pc.dev.size(); ++k) {
+      if (alpha < geom::kTwoPi &&
+          geom::angle_distance(pc.theta[k], phi) > alpha / 2.0 + 1e-9)
+        continue;
+      acc_[pc.dev[k]] += pc.power[k];
+    }
+  }
+
+ private:
+  const Scenario* scenario_;
+  double weight_total_;
+  std::vector<double> acc_;
+};
+
+Vec2 random_feasible_position(const Scenario& scenario, Rng& rng) {
+  const auto& region = scenario.region();
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    const Vec2 p{rng.uniform(region.lo.x, region.hi.x),
+                 rng.uniform(region.lo.y, region.hi.y)};
+    if (scenario.position_feasible(p)) return p;
+  }
+  throw ConfigError("could not sample a feasible charger position");
+}
+
+/// Enumerated orientations 0, α, 2α, … (⌈2π/α⌉ of them — RPAD/GPAD).
+std::vector<double> enumerated_orientations(double alpha) {
+  std::vector<double> out;
+  const int n = std::max(1, static_cast<int>(std::ceil(geom::kTwoPi / alpha)));
+  out.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k)
+    out.push_back(geom::norm_angle(static_cast<double>(k) * alpha));
+  return out;
+}
+
+/// Critical orientations of the PDCS point case: θ_j + α/2 per coverable
+/// device (GPPDCS).
+std::vector<double> pdcs_orientations(const PosCover& pc, double alpha) {
+  std::vector<double> out;
+  out.reserve(pc.theta.size());
+  for (double t : pc.theta) out.push_back(geom::norm_angle(t + alpha / 2.0));
+  if (out.empty()) out.push_back(0.0);
+  return out;
+}
+
+enum class PositionPolicy { kRandom, kGrid };
+enum class OrientationPolicy { kRandom, kEnumerated, kPdcs };
+
+Placement place_generic(const Scenario& scenario, PositionPolicy pos_policy,
+                        OrientationPolicy ori_policy,
+                        std::optional<GridKind> kind, Rng& rng) {
+  Placement placement;
+  MarginalState state(scenario);
+
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    const double alpha = scenario.charger_type(q).angle;
+
+    // Grid policies precompute coverage per lattice point once per type.
+    std::vector<PosCover> grid_covers;
+    if (pos_policy == PositionPolicy::kGrid) {
+      for (Vec2 p : grid_points(scenario, q, *kind)) {
+        grid_covers.push_back(compute_cover(scenario, q, p));
+      }
+      HIPO_REQUIRE(!grid_covers.empty(), "grid produced no feasible points");
+    }
+
+    const int budget = scenario.charger_count(q);
+    for (int c = 0; c < budget; ++c) {
+      PosCover chosen_cover;
+      double chosen_phi = 0.0;
+
+      if (pos_policy == PositionPolicy::kRandom) {
+        chosen_cover = compute_cover(scenario, q,
+                                     random_feasible_position(scenario, rng));
+        if (ori_policy == OrientationPolicy::kRandom) {
+          chosen_phi = rng.angle();
+        } else {
+          const auto phis = ori_policy == OrientationPolicy::kEnumerated
+                                ? enumerated_orientations(alpha)
+                                : pdcs_orientations(chosen_cover, alpha);
+          double best_gain = -1.0;
+          for (double phi : phis) {
+            const double g = state.gain(chosen_cover, alpha, phi);
+            if (g > best_gain) {
+              best_gain = g;
+              chosen_phi = phi;
+            }
+          }
+        }
+      } else {
+        // Grid position: pick the (point, orientation) pair with the best
+        // marginal gain under the orientation policy.
+        double best_gain = -1.0;
+        std::size_t best_point = 0;
+        const double random_phi = rng.angle();  // shared by GPAR this pick
+        for (std::size_t gi = 0; gi < grid_covers.size(); ++gi) {
+          const PosCover& pc = grid_covers[gi];
+          std::vector<double> phis;
+          switch (ori_policy) {
+            case OrientationPolicy::kRandom:
+              phis = {random_phi};
+              break;
+            case OrientationPolicy::kEnumerated:
+              phis = enumerated_orientations(alpha);
+              break;
+            case OrientationPolicy::kPdcs:
+              phis = pdcs_orientations(pc, alpha);
+              break;
+          }
+          for (double phi : phis) {
+            const double g = state.gain(pc, alpha, phi);
+            if (g > best_gain) {
+              best_gain = g;
+              best_point = gi;
+              chosen_phi = phi;
+            }
+          }
+        }
+        chosen_cover = grid_covers[best_point];
+      }
+
+      state.add(chosen_cover, alpha, chosen_phi);
+      placement.push_back(Strategy{chosen_cover.pos, chosen_phi, q});
+    }
+  }
+  return placement;
+}
+
+}  // namespace
+
+Placement place_rpar(const Scenario& scenario, Rng& rng) {
+  return place_generic(scenario, PositionPolicy::kRandom,
+                       OrientationPolicy::kRandom, std::nullopt, rng);
+}
+
+Placement place_rpad(const Scenario& scenario, Rng& rng) {
+  return place_generic(scenario, PositionPolicy::kRandom,
+                       OrientationPolicy::kEnumerated, std::nullopt, rng);
+}
+
+Placement place_gpar(const Scenario& scenario, GridKind kind, Rng& rng) {
+  return place_generic(scenario, PositionPolicy::kGrid,
+                       OrientationPolicy::kRandom, kind, rng);
+}
+
+Placement place_gpad(const Scenario& scenario, GridKind kind, Rng& rng) {
+  return place_generic(scenario, PositionPolicy::kGrid,
+                       OrientationPolicy::kEnumerated, kind, rng);
+}
+
+Placement place_gppdcs(const Scenario& scenario, GridKind kind, Rng& rng) {
+  return place_generic(scenario, PositionPolicy::kGrid,
+                       OrientationPolicy::kPdcs, kind, rng);
+}
+
+std::vector<AlgorithmSpec> comparison_algorithms() {
+  return {
+      {"GPPDCS Triangle",
+       [](const Scenario& s, Rng& r) {
+         return place_gppdcs(s, GridKind::kTriangle, r);
+       }},
+      {"GPPDCS Square",
+       [](const Scenario& s, Rng& r) {
+         return place_gppdcs(s, GridKind::kSquare, r);
+       }},
+      {"GPAD Triangle",
+       [](const Scenario& s, Rng& r) {
+         return place_gpad(s, GridKind::kTriangle, r);
+       }},
+      {"GPAD Square",
+       [](const Scenario& s, Rng& r) {
+         return place_gpad(s, GridKind::kSquare, r);
+       }},
+      {"GPAR Triangle",
+       [](const Scenario& s, Rng& r) {
+         return place_gpar(s, GridKind::kTriangle, r);
+       }},
+      {"GPAR Square",
+       [](const Scenario& s, Rng& r) {
+         return place_gpar(s, GridKind::kSquare, r);
+       }},
+      {"RPAD", [](const Scenario& s, Rng& r) { return place_rpad(s, r); }},
+      {"RPAR", [](const Scenario& s, Rng& r) { return place_rpar(s, r); }},
+  };
+}
+
+}  // namespace hipo::baselines

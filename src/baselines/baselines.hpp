@@ -1,0 +1,54 @@
+// The eight comparison algorithms of Section 6.
+//
+// All baselines place chargers sequentially (type by type, matching the
+// charger budget) and differ in how each charger's position and orientation
+// are chosen:
+//   * RPAR  — random feasible position, random orientation;
+//   * RPAD  — random feasible position, orientation enumerated over
+//             {0, α_s, 2α_s, …} picking the best marginal utility;
+//   * GPAR  — grid points (square or triangular lattice with spacing
+//             √2/2·d_max per charger type), a random orientation sampled
+//             per charger, best grid point by marginal utility;
+//   * GPAD  — grid points × enumerated orientations, best pair;
+//   * GPPDCS — grid points, orientations from the PDCS point-case
+//             extraction at each point, best pair.
+// Marginal utilities use the exact power model Eq. (1)–(3).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::baselines {
+
+enum class GridKind { kSquare, kTriangle };
+
+/// Lattice of feasible charger positions for type q: square or triangular
+/// grid with spacing √2/2 · d^q_max covering the region.
+std::vector<geom::Vec2> grid_points(const model::Scenario& scenario,
+                                    std::size_t charger_type, GridKind kind);
+
+model::Placement place_rpar(const model::Scenario& scenario, Rng& rng);
+model::Placement place_rpad(const model::Scenario& scenario, Rng& rng);
+model::Placement place_gpar(const model::Scenario& scenario, GridKind kind,
+                            Rng& rng);
+model::Placement place_gpad(const model::Scenario& scenario, GridKind kind,
+                            Rng& rng);
+model::Placement place_gppdcs(const model::Scenario& scenario, GridKind kind,
+                              Rng& rng);
+
+/// A named placement algorithm (baseline or HIPO) for the bench harness.
+struct AlgorithmSpec {
+  std::string name;
+  std::function<model::Placement(const model::Scenario&, Rng&)> run;
+};
+
+/// The eight baselines in the paper's reporting order:
+/// GPPDCS Triangle, GPPDCS Square, GPAD Triangle, GPAD Square,
+/// GPAR Triangle, GPAR Square, RPAD, RPAR.
+std::vector<AlgorithmSpec> comparison_algorithms();
+
+}  // namespace hipo::baselines

@@ -1,0 +1,26 @@
+#include "src/core/solver.hpp"
+
+#include "src/opt/local_search.hpp"
+
+namespace hipo::core {
+
+SolveResult solve(const model::Scenario& scenario,
+                  const SolveOptions& options) {
+  SolveResult result;
+  result.extraction = pdcs::extract_all(scenario, options.extract,
+                                        options.pool);
+  result.greedy = opt::select_strategies(scenario, result.extraction.candidates,
+                                         options.greedy);
+  if (options.local_search) {
+    result.greedy = opt::local_search_improve(scenario,
+                                              result.extraction.candidates,
+                                              result.greedy)
+                        .result;
+  }
+  result.placement = result.greedy.placement;
+  result.utility = result.greedy.exact_utility;
+  result.approx_utility = result.greedy.approx_utility;
+  return result;
+}
+
+}  // namespace hipo::core

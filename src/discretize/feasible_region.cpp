@@ -1,0 +1,126 @@
+#include "src/discretize/feasible_region.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace hipo::discretize {
+
+using geom::AngleInterval;
+using geom::Vec2;
+
+FeasibleRegion::FeasibleRegion(const model::Scenario& scenario,
+                               std::size_t device, std::size_t charger_type,
+                               const ShadowMap& shadow)
+    : scenario_(scenario),
+      device_(device),
+      charger_type_(charger_type),
+      shadow_(shadow) {
+  HIPO_REQUIRE(device < scenario.num_devices(), "device index out of range");
+  HIPO_REQUIRE(charger_type < scenario.num_charger_types(),
+               "charger type out of range");
+  const auto& dev = scenario.device(device);
+  const auto& ct = scenario.charger_type(charger_type);
+  HIPO_REQUIRE(shadow.max_range() >= ct.d_max - geom::kEps,
+               "ShadowMap range smaller than charger d_max");
+  const double alpha_o = scenario.device_type(dev.type).angle;
+  recv_ = alpha_o >= geom::kTwoPi
+              ? AngleInterval::full()
+              : AngleInterval(dev.orientation - alpha_o / 2.0, alpha_o);
+  d_min_ = ct.d_min;
+  d_max_ = ct.d_max;
+}
+
+bool FeasibleRegion::feasible(Vec2 p) const {
+  return ring_of(p).has_value();
+}
+
+std::optional<std::size_t> FeasibleRegion::ring_of(Vec2 p) const {
+  const auto& dev = scenario_.device(device_);
+  const Vec2 v = p - dev.pos;
+  const double d = v.norm();
+  if (d < d_min_ - geom::kCoverEps || d > d_max_ + geom::kCoverEps)
+    return std::nullopt;
+  if (d <= geom::kEps) return std::nullopt;
+  if (!recv_.is_full()) {
+    const double ang_eps = geom::kCoverEps / std::max(d, 1e-12);
+    if (!recv_.contains(v.angle(), ang_eps)) return std::nullopt;
+  }
+  if (!scenario_.position_feasible(p)) return std::nullopt;
+  if (!shadow_.visible(p)) return std::nullopt;
+  const auto& lad = scenario_.ladder_for_device(charger_type_, device_);
+  return lad.ring_index(std::clamp(d, lad.d_min(), lad.d_max()));
+}
+
+double FeasibleRegion::ring_power(std::size_t r) const {
+  return scenario_.ladder_for_device(charger_type_, device_).ring_power(r);
+}
+
+std::vector<FeasibleRegion::Cell> FeasibleRegion::enumerate_cells() const {
+  const auto& dev = scenario_.device(device_);
+  const auto& lad = scenario_.ladder_for_device(charger_type_, device_);
+
+  // Angular events: receiving-interval endpoints plus obstacle-vertex
+  // directions that fall inside the receiving interval.
+  std::vector<double> angles;
+  if (!recv_.is_full()) {
+    angles.push_back(recv_.start);
+    angles.push_back(recv_.end());
+  }
+  for (double a : shadow_.event_angles()) {
+    if (recv_.contains(a)) angles.push_back(geom::norm_angle(a));
+  }
+  if (angles.empty()) angles.push_back(0.0);
+  std::sort(angles.begin(), angles.end());
+  angles.erase(std::unique(angles.begin(), angles.end(),
+                           [](double a, double b) {
+                             return std::abs(a - b) <= 1e-12;
+                           }),
+               angles.end());
+
+  std::vector<Cell> cells;
+  const std::size_t n = angles.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a0 = angles[i];
+    const double a1 = angles[(i + 1) % n];
+    AngleInterval arc = AngleInterval::from_to(a0, a1);
+    if (n == 1) arc = AngleInterval::full();
+    if (arc.empty(1e-12)) continue;
+    // Keep only the part inside the receiving interval (arcs between
+    // consecutive events are either fully inside or fully outside).
+    if (!recv_.is_full() && !recv_.contains(arc.mid())) continue;
+
+    // Radial events: ladder rungs plus the shadow onset at the arc's
+    // midline (within an event-free angular interval the shadow boundary is
+    // a single edge; the midpoint distance splits inside/outside rings).
+    const double mid_angle = arc.mid();
+    const double block = shadow_.first_block_distance(mid_angle);
+    std::vector<double> radii;
+    radii.push_back(d_min_);
+    for (double r : lad.outer_radii()) radii.push_back(r);
+    if (block > d_min_ && block < d_max_) radii.push_back(block);
+    std::sort(radii.begin(), radii.end());
+    radii.erase(std::unique(radii.begin(), radii.end(),
+                            [](double a, double b) {
+                              return std::abs(a - b) <= 1e-12;
+                            }),
+                radii.end());
+
+    for (std::size_t r = 0; r + 1 < radii.size(); ++r) {
+      Cell cell;
+      cell.arc = arc;
+      cell.r_in = radii[r];
+      cell.r_out = radii[r + 1];
+      const double rep_r = 0.5 * (cell.r_in + cell.r_out);
+      cell.representative = dev.pos + geom::unit_vector(mid_angle) * rep_r;
+      const auto ring = ring_of(cell.representative);
+      if (!ring) continue;
+      cell.ring = *ring;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace hipo::discretize

@@ -1,0 +1,75 @@
+// Feasible geometric areas for one (device, charger type) pair
+// (Section 4.1.2).
+//
+// A charger of type q placed at point p charges device o_j with nonzero
+// (constant, ring-indexed) approximated power iff:
+//   * |p − o_j| lies in the ladder domain [d_min, d_max] — which ring fixes
+//     the constant power;
+//   * p lies inside o_j's receiving sector (angle α_o around φ_o);
+//   * the segment p–o_j is not blocked by an obstacle (p is not in a hole);
+//   * p itself is a legal charger position (inside the region, outside all
+//     obstacles).
+// FeasibleRegion bundles these predicates and enumerates the feasible cells
+// (angular interval × radial ring pieces) that Lemma 4.4 counts.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/discretize/shadow_map.hpp"
+#include "src/geometry/angles.hpp"
+#include "src/model/scenario.hpp"
+
+namespace hipo::discretize {
+
+class FeasibleRegion {
+ public:
+  /// `shadow` must be the ShadowMap of device `j` with range >= the charger
+  /// type's d_max; both scenario and shadow must outlive the region.
+  FeasibleRegion(const model::Scenario& scenario, std::size_t device,
+                 std::size_t charger_type, const ShadowMap& shadow);
+
+  std::size_t device() const { return device_; }
+  std::size_t charger_type() const { return charger_type_; }
+
+  /// Full feasibility predicate (all four conditions above).
+  bool feasible(geom::Vec2 p) const;
+
+  /// Ladder ring index of p if feasible, else nullopt.
+  std::optional<std::size_t> ring_of(geom::Vec2 p) const;
+
+  /// Constant approximated power a type-q charger provides the device from
+  /// ring r (assuming it orients to cover the device).
+  double ring_power(std::size_t r) const;
+
+  /// The device's receiving-orientation angular interval (directions from
+  /// the device in which chargers may sit).
+  const geom::AngleInterval& receiving_interval() const { return recv_; }
+
+  /// One feasible cell of the discretization: points whose direction from
+  /// the device lies in `arc` and whose distance lies in (r_in, r_out].
+  struct Cell {
+    geom::AngleInterval arc;
+    double r_in = 0.0;
+    double r_out = 0.0;
+    std::size_t ring = 0;        // ladder ring index
+    geom::Vec2 representative;   // an interior point of the cell
+  };
+
+  /// Enumerate feasible cells: angular events (receiving boundary, obstacle
+  /// vertices) × radial events (ladder rungs, shadow onset). Cells whose
+  /// representative fails the feasibility predicate are dropped.
+  std::vector<Cell> enumerate_cells() const;
+
+ private:
+  const model::Scenario& scenario_;
+  std::size_t device_;
+  std::size_t charger_type_;
+  const ShadowMap& shadow_;
+  geom::AngleInterval recv_;
+  double d_min_ = 0.0;
+  double d_max_ = 0.0;
+};
+
+}  // namespace hipo::discretize

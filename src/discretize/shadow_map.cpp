@@ -1,0 +1,97 @@
+#include "src/discretize/shadow_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/segment.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::discretize {
+
+using geom::AngleInterval;
+using geom::Polygon;
+using geom::Ray;
+using geom::Segment;
+using geom::Vec2;
+
+ShadowMap::ShadowMap(Vec2 origin, const std::vector<Polygon>& obstacles,
+                     double max_range)
+    : origin_(origin), max_range_(max_range) {
+  HIPO_REQUIRE(max_range > 0.0, "max_range must be positive");
+  for (const Polygon& h : obstacles) {
+    // Range cull: obstacle participates iff some boundary point is within
+    // max_range (device positions are never interior to obstacles).
+    double nearest = std::numeric_limits<double>::infinity();
+    for (std::size_t e = 0; e < h.size(); ++e) {
+      nearest = std::min(nearest, geom::point_segment_distance(origin, h.edge(e)));
+    }
+    if (nearest > max_range) continue;
+    relevant_.push_back(&h);
+
+    // Angular span subtended by the obstacle's vertices. For a convex
+    // obstacle this is exactly the shadowed direction cone; for non-convex
+    // ones it is a superset (exactness is restored by the per-query ray
+    // walk below).
+    geom::AngleIntervalSet span;
+    const auto& verts = h.vertices();
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      const double a0 = (verts[i] - origin).angle();
+      const double a1 = (verts[(i + 1) % verts.size()] - origin).angle();
+      // Each edge subtends the shorter angular interval between its
+      // endpoint directions (an edge never spans >= π as seen from an
+      // exterior point unless the origin is inside, which cannot happen).
+      const double ccw = geom::ccw_delta(a0, a1);
+      if (ccw <= geom::kPi) {
+        span.insert_from_to(a0, a1);
+      } else {
+        span.insert_from_to(a1, a0);
+      }
+      event_angles_.push_back(geom::norm_angle(a0));
+    }
+    blocked_ = blocked_.unite(span);
+  }
+  std::sort(event_angles_.begin(), event_angles_.end());
+  event_angles_.erase(
+      std::unique(event_angles_.begin(), event_angles_.end()),
+      event_angles_.end());
+}
+
+bool ShadowMap::visible(Vec2 p) const {
+  const Segment seg{origin_, p};
+  for (const Polygon* h : relevant_) {
+    if (h->blocks_segment(seg)) return false;
+  }
+  return true;
+}
+
+double ShadowMap::first_block_distance(double theta) const {
+  if (relevant_.empty()) return kUnblocked;
+  if (!blocked_.contains(theta, 1e-9)) return kUnblocked;
+  const Vec2 dir = geom::unit_vector(theta);
+  double best = kUnblocked;
+  for (const Polygon* h : relevant_) {
+    // Collect ray-edge hit distances, then walk the alternating
+    // inside/outside pattern via midpoint interior tests to find where the
+    // interior first begins.
+    std::vector<double> ts;
+    for (std::size_t e = 0; e < h->size(); ++e) {
+      if (auto t = geom::ray_segment_hit(Ray{origin_, dir}, h->edge(e))) {
+        if (*t <= max_range_ + geom::kEps) ts.push_back(*t);
+      }
+    }
+    if (ts.empty()) continue;
+    ts.push_back(max_range_ * 2.0);  // far sentinel for the last midpoint
+    std::sort(ts.begin(), ts.end());
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i + 1] - ts[i] <= geom::kEps) continue;
+      const double mid = 0.5 * (ts[i] + ts[i + 1]);
+      if (h->contains_interior(origin_ + dir * mid)) {
+        best = std::min(best, ts[i]);
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace hipo::discretize

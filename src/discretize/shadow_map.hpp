@@ -1,0 +1,71 @@
+// Per-device obstacle occlusion ("holes", Fig. 2).
+//
+// For a device at `origin`, an obstacle h casts a shadow: the set of points p
+// such that the open segment origin–p crosses h's interior — chargers placed
+// there cannot charge the device (Eq. 1's line-of-sight condition). The
+// feasible-geometric-area discretization of Section 4.1.2 cuts the device's
+// receiving area by these shadow boundaries.
+//
+// ShadowMap precomputes, per obstacle within range, the angular span it
+// subtends, and answers exact queries:
+//   * visible(p)               — line-of-sight predicate from the origin;
+//   * first_block_distance(θ)  — radial distance at which the shadow starts
+//                                along direction θ (+∞ if unobstructed);
+//   * blocked_directions()     — a conservative superset of shadowed
+//                                directions for quick rejection;
+//   * event_angles()           — obstacle-vertex directions: the angular
+//                                boundaries at which hole shapes change
+//                                (these seed PDCS candidate constructions).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "src/geometry/angles.hpp"
+#include "src/geometry/polygon.hpp"
+#include "src/geometry/vec2.hpp"
+
+namespace hipo::discretize {
+
+class ShadowMap {
+ public:
+  /// Obstacles are referenced (not copied); they must outlive the map.
+  /// Only obstacles intersecting the disk of `max_range` around `origin`
+  /// participate.
+  ShadowMap(geom::Vec2 origin, const std::vector<geom::Polygon>& obstacles,
+            double max_range);
+
+  geom::Vec2 origin() const { return origin_; }
+  double max_range() const { return max_range_; }
+
+  /// True iff the open segment origin–p avoids all obstacle interiors.
+  bool visible(geom::Vec2 p) const;
+
+  /// Distance along direction `theta` at which the first obstacle interior
+  /// begins; +∞ if the ray is clear within max_range.
+  double first_block_distance(double theta) const;
+
+  /// Superset of shadowed directions (exact for convex obstacles).
+  const geom::AngleIntervalSet& blocked_directions() const {
+    return blocked_;
+  }
+
+  /// Directions of obstacle vertices within range, normalized to [0, 2π).
+  const std::vector<double>& event_angles() const { return event_angles_; }
+
+  /// Obstacles that participate (within max_range of origin).
+  const std::vector<const geom::Polygon*>& relevant_obstacles() const {
+    return relevant_;
+  }
+
+  static constexpr double kUnblocked = std::numeric_limits<double>::infinity();
+
+ private:
+  geom::Vec2 origin_;
+  double max_range_;
+  std::vector<const geom::Polygon*> relevant_;
+  geom::AngleIntervalSet blocked_;
+  std::vector<double> event_angles_;
+};
+
+}  // namespace hipo::discretize

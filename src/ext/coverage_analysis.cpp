@@ -1,0 +1,54 @@
+#include "src/ext/coverage_analysis.hpp"
+
+#include <algorithm>
+
+#include "src/discretize/feasible_region.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+DeviceCoverage analyze_device(const model::Scenario& scenario,
+                              std::size_t device) {
+  HIPO_REQUIRE(device < scenario.num_devices(), "device index out of range");
+  DeviceCoverage out;
+  out.by_type.assign(scenario.num_charger_types(), false);
+
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    const discretize::ShadowMap shadow(scenario.device(device).pos,
+                                       scenario.obstacles(),
+                                       scenario.charger_type(q).d_max);
+    const discretize::FeasibleRegion region(scenario, device, q, shadow);
+    const auto cells = region.enumerate_cells();
+    if (cells.empty()) continue;
+    out.by_type[q] = true;
+    out.coverable = true;
+    for (const auto& cell : cells) {
+      out.best_single_power =
+          std::max(out.best_single_power, region.ring_power(cell.ring));
+    }
+  }
+  out.single_charger_utility = std::min(
+      1.0, out.best_single_power / scenario.device(device).p_th);
+  return out;
+}
+
+CoverageReport analyze_coverage(const model::Scenario& scenario) {
+  CoverageReport report;
+  report.devices.reserve(scenario.num_devices());
+  double coverable_weight = 0.0;
+  for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+    report.devices.push_back(analyze_device(scenario, j));
+    if (report.devices.back().coverable) {
+      coverable_weight += scenario.device(j).weight;
+    } else {
+      ++report.uncoverable;
+    }
+  }
+  report.utility_upper_bound =
+      scenario.num_devices() == 0
+          ? 0.0
+          : coverable_weight / scenario.total_weight();
+  return report;
+}
+
+}  // namespace hipo::ext

@@ -1,0 +1,46 @@
+// Coverage diagnostics: why does a device get zero utility?
+//
+// A device can be geometrically uncoverable — its receiving sector may face
+// out of the region, be swallowed by obstacle shadows, or leave no legal
+// charger position within [d_min, d_max] for any charger type. No placement
+// algorithm can fix that, and it caps the achievable objective (the Fig. 15
+// analysis in EXPERIMENTS.md). This module classifies every device and
+// computes the resulting utility upper bound.
+#pragma once
+
+#include <vector>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::ext {
+
+struct DeviceCoverage {
+  /// Some feasible charger position of type q can charge this device.
+  std::vector<bool> by_type;
+  bool coverable = false;
+  /// Best approximated power any single charger can deliver (max over
+  /// types and feasible rings); 0 when uncoverable.
+  double best_single_power = 0.0;
+  /// min(1, best_single_power / P_th): the utility one charger can reach.
+  double single_charger_utility = 0.0;
+};
+
+struct CoverageReport {
+  std::vector<DeviceCoverage> devices;
+  std::size_t uncoverable = 0;
+  /// Weighted share of coverable devices — an upper bound on the P1
+  /// objective for ANY placement of ANY size (uncoverable devices
+  /// contribute zero no matter what). Coverability is judged at cell
+  /// representatives, so hairline feasible slivers may be classified as
+  /// uncoverable; the bound is exact up to that approximation.
+  double utility_upper_bound = 0.0;
+};
+
+/// Geometric analysis of device j (independent of any candidate set):
+/// enumerates each charger type's feasible cells around the device.
+DeviceCoverage analyze_device(const model::Scenario& scenario,
+                              std::size_t device);
+
+CoverageReport analyze_coverage(const model::Scenario& scenario);
+
+}  // namespace hipo::ext

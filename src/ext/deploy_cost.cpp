@@ -1,0 +1,102 @@
+#include "src/ext/deploy_cost.hpp"
+
+#include <algorithm>
+
+#include "src/geometry/angles.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/opt/objective.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+double DeploymentCostModel::cost(const model::Strategy& s) const {
+  HIPO_REQUIRE(s.type < type_power.size(),
+               "type_power missing an entry for this charger type");
+  return c_dist * geom::distance(depot, s.pos) +
+         c_rot * geom::angle_distance(s.orientation, 0.0) +
+         c_power * type_power[s.type];
+}
+
+double DeploymentCostModel::cost(const model::Placement& placement) const {
+  double total = 0.0;
+  for (const auto& s : placement) total += cost(s);
+  return total;
+}
+
+BudgetedResult select_budgeted(const model::Scenario& scenario,
+                               std::span<const pdcs::Candidate> candidates,
+                               const DeploymentCostModel& cost_model,
+                               double budget) {
+  HIPO_REQUIRE(budget >= 0.0, "budget must be non-negative");
+  const opt::ChargingObjective objective(scenario, candidates);
+  const opt::PartitionMatroid matroid =
+      opt::placement_matroid(scenario, candidates);
+
+  std::vector<double> costs(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    costs[i] = cost_model.cost(candidates[i].strategy);
+  }
+
+  // Ratio greedy.
+  opt::ChargingObjective::State state(objective);
+  opt::PartitionMatroid::Tracker tracker(matroid);
+  BudgetedResult result;
+  std::vector<bool> taken(candidates.size(), false);
+  double spent = 0.0;
+  for (;;) {
+    std::optional<std::size_t> best;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i] || !tracker.can_add(i)) continue;
+      if (spent + costs[i] > budget + 1e-12) continue;
+      const double g = state.gain(i);
+      if (g <= 1e-15) continue;
+      const double ratio = costs[i] > 1e-12 ? g / costs[i] : g / 1e-12;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (!best) break;
+    taken[*best] = true;
+    tracker.add(*best);
+    state.add(*best);
+    spent += costs[*best];
+    result.selected.push_back(*best);
+  }
+
+  // Compare against the best affordable singleton — the classic guard that
+  // turns ratio greedy into a constant-factor algorithm.
+  std::optional<std::size_t> best_single;
+  double best_single_gain = 0.0;
+  {
+    opt::ChargingObjective::State empty(objective);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (costs[i] > budget + 1e-12) continue;
+      const double g = empty.gain(i);
+      if (g > best_single_gain) {
+        best_single_gain = g;
+        best_single = i;
+      }
+    }
+  }
+  if (best_single && best_single_gain > state.value()) {
+    result.selected = {*best_single};
+    spent = costs[*best_single];
+    opt::ChargingObjective::State single(objective);
+    single.add(*best_single);
+    result.approx_utility = single.value();
+  } else {
+    result.approx_utility = state.value();
+  }
+
+  result.spent = spent;
+  result.placement.clear();
+  for (std::size_t i : result.selected) {
+    result.placement.push_back(candidates[i].strategy);
+  }
+  result.utility = scenario.placement_utility(result.placement);
+  return result;
+}
+
+}  // namespace hipo::ext

@@ -1,0 +1,53 @@
+// Deployment costs (Section 8.2): traveling distance, rotating angle, and
+// working power of each deployed charger, with monotone (linear) cost
+// functions f_d, f_θ, f_P; placement under a cost budget B.
+//
+// After PDCS extraction yields the candidate strategy set, the budgeted
+// problem (maximize utility s.t. c(S) <= B) is monotone submodular
+// maximization under a knapsack + partition-matroid constraint; we use the
+// cost-benefit greedy (gain/cost ratio, keep the best of {ratio-greedy set,
+// best affordable singleton}) in the spirit of the routing-constrained
+// algorithm of [46] the paper points to.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/pdcs/candidate.hpp"
+
+namespace hipo::ext {
+
+struct DeploymentCostModel {
+  /// Base station chargers are transported from.
+  geom::Vec2 depot{0.0, 0.0};
+  /// Linear coefficients of f_d (per meter), f_θ (per radian), f_P (per
+  /// unit of working power).
+  double c_dist = 1.0;
+  double c_rot = 0.2;
+  double c_power = 0.5;
+  /// Working charging power per charger type (the fP argument).
+  std::vector<double> type_power;
+
+  /// c({s}) for one strategy: f_d(‖depot−pos‖) + f_θ(rotation from 0) +
+  /// f_P(type power).
+  double cost(const model::Strategy& s) const;
+  /// c(S) = Σ per-strategy costs.
+  double cost(const model::Placement& placement) const;
+};
+
+struct BudgetedResult {
+  std::vector<std::size_t> selected;
+  model::Placement placement;
+  double utility = 0.0;       // exact Eq. (1)–(3)
+  double approx_utility = 0.0;
+  double spent = 0.0;
+};
+
+/// Cost-benefit greedy under budget `B` and the scenario's per-type budget.
+BudgetedResult select_budgeted(const model::Scenario& scenario,
+                               std::span<const pdcs::Candidate> candidates,
+                               const DeploymentCostModel& cost_model,
+                               double budget);
+
+}  // namespace hipo::ext

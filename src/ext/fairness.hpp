@@ -1,0 +1,70 @@
+// Charging-utility balancing (Section 8.3).
+//
+// Max-min fairness (Eq. 15) has no known constant-factor algorithm for this
+// submodular structure; the paper points to metaheuristics — we provide
+// simulated annealing over candidate selections and particle swarm
+// optimization over continuous strategies, plus the proportional-fairness
+// objective (Eq. 16) solved by the ½−ε submodular greedy on Σ log(U_j + 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/pdcs/candidate.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::ext {
+
+/// min_j U_j under a placement (exact powers).
+double min_utility(const model::Scenario& scenario,
+                   const model::Placement& placement);
+
+struct MaxMinResult {
+  model::Placement placement;
+  double min_utility = 0.0;    // the max-min objective (exact)
+  double mean_utility = 0.0;   // Eq. (4) objective of the same placement
+};
+
+struct AnnealOptions {
+  int iterations = 4000;
+  double initial_temperature = 0.05;
+  double cooling = 0.999;
+};
+
+/// Simulated annealing over feasible candidate selections: states are
+/// budget-respecting index sets; a move swaps one selected candidate for an
+/// unselected one of the same charger type. Objective: min-device utility
+/// with approximated powers (exact utility reported on the final state).
+MaxMinResult maxmin_simulated_annealing(
+    const model::Scenario& scenario,
+    std::span<const pdcs::Candidate> candidates, Rng& rng,
+    const AnnealOptions& options = {});
+
+struct PsoOptions {
+  int particles = 24;
+  int iterations = 120;
+  double inertia = 0.72;
+  double cognitive = 1.5;
+  double social = 1.5;
+  /// Optional warm start (e.g. the HIPO greedy placement): seeds the first
+  /// particles (exactly, then with jitter). Must deploy the scenario's full
+  /// per-type budget; ignored otherwise. Not owned.
+  const model::Placement* warm_start = nullptr;
+};
+
+/// Particle swarm over the continuous strategy space (positions and
+/// orientations of all chargers). Chargers at infeasible positions
+/// contribute no power (soft penalty); the best particle is re-validated.
+MaxMinResult maxmin_particle_swarm(const model::Scenario& scenario, Rng& rng,
+                                   const PsoOptions& options = {});
+
+/// Proportional fairness (Eq. 16): greedy on Σ log(U_j + 1) over the PDCS
+/// candidate set — same ½−ε machinery as P3.
+opt::GreedyResult proportional_fairness_select(
+    const model::Scenario& scenario,
+    std::span<const pdcs::Candidate> candidates,
+    opt::GreedyMode mode = opt::GreedyMode::kPerType);
+
+}  // namespace hipo::ext

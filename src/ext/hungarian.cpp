@@ -1,0 +1,75 @@
+#include "src/ext/hungarian.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+AssignmentResult hungarian(const std::vector<double>& cost, std::size_t rows,
+                           std::size_t cols) {
+  HIPO_REQUIRE(rows >= 1 && cols >= rows, "hungarian needs 1 <= rows <= cols");
+  HIPO_REQUIRE(cost.size() == rows * cols, "cost matrix size mismatch");
+
+  // Standard O(n³) Jonker-style shortest-augmenting-path formulation with
+  // dual potentials; 1-based internal indexing with a virtual column 0.
+  const std::size_t n = rows;
+  const std::size_t m = cols;
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<std::size_t> way(m + 1, 0), match(m + 1, 0);
+
+  for (std::size_t r = 1; r <= n; ++r) {
+    match[0] = r;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t r0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[(r0 - 1) * m + (j - 1)] - u[r0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult out;
+  out.col_of.assign(rows, 0);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (match[j] != 0) out.col_of[match[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double c = cost[r * m + out.col_of[r]];
+    if (c >= kForbidden / 2.0) out.feasible = false;
+    out.total_cost += c;
+  }
+  return out;
+}
+
+}  // namespace hipo::ext

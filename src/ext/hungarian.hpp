@@ -1,0 +1,30 @@
+// Kuhn–Munkres (Hungarian) algorithm for min-cost perfect assignment
+// (Section 8.1.1: optimal charger redeployment per type).
+//
+// O(n³) potential/dual implementation over a dense cost matrix. Rectangular
+// problems (rows <= cols) assign every row; use kForbidden for disallowed
+// pairs (min-max redeployment prunes edges above the binary-search weight).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace hipo::ext {
+
+inline constexpr double kForbidden = 1e18;
+
+struct AssignmentResult {
+  /// col_of[r] = column assigned to row r.
+  std::vector<std::size_t> col_of;
+  double total_cost = 0.0;
+  /// False iff a perfect assignment required a kForbidden edge.
+  bool feasible = true;
+};
+
+/// cost is row-major [rows × cols], rows <= cols. Every row gets a distinct
+/// column minimizing total cost.
+AssignmentResult hungarian(const std::vector<double>& cost, std::size_t rows,
+                           std::size_t cols);
+
+}  // namespace hipo::ext

@@ -1,0 +1,79 @@
+#include "src/ext/matching.hpp"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+BipartiteGraph::BipartiteGraph(std::size_t left, std::size_t right)
+    : right_(right), adj_(left) {}
+
+void BipartiteGraph::add_edge(std::size_t l, std::size_t r) {
+  HIPO_REQUIRE(l < adj_.size() && r < right_, "edge endpoint out of range");
+  adj_[l].push_back(r);
+}
+
+std::size_t BipartiteGraph::max_matching() const {
+  const std::size_t n = adj_.size();
+  constexpr std::size_t kNil = std::numeric_limits<std::size_t>::max();
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> match_l(n, kNil), match_r(right_, kNil);
+  std::vector<std::size_t> dist(n, 0);
+
+  auto bfs = [&]() -> bool {
+    std::queue<std::size_t> queue;
+    for (std::size_t l = 0; l < n; ++l) {
+      if (match_l[l] == kNil) {
+        dist[l] = 0;
+        queue.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found = false;
+    while (!queue.empty()) {
+      const std::size_t l = queue.front();
+      queue.pop();
+      for (std::size_t r : adj_[l]) {
+        const std::size_t l2 = match_r[r];
+        if (l2 == kNil) {
+          found = true;
+        } else if (dist[l2] == kInf) {
+          dist[l2] = dist[l] + 1;
+          queue.push(l2);
+        }
+      }
+    }
+    return found;
+  };
+
+  std::function<bool(std::size_t)> dfs = [&](std::size_t l) -> bool {
+    for (std::size_t r : adj_[l]) {
+      const std::size_t l2 = match_r[r];
+      if (l2 == kNil || (dist[l2] == dist[l] + 1 && dfs(l2))) {
+        match_l[l] = r;
+        match_r[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  };
+
+  std::size_t matching = 0;
+  while (bfs()) {
+    for (std::size_t l = 0; l < n; ++l) {
+      if (match_l[l] == kNil && dfs(l)) ++matching;
+    }
+  }
+  return matching;
+}
+
+bool BipartiteGraph::has_perfect_matching() const {
+  return max_matching() == adj_.size();
+}
+
+}  // namespace hipo::ext

@@ -1,0 +1,32 @@
+// Hopcroft–Karp maximum bipartite matching and the Hall-condition check
+// used by the min-max redeployment search (Section 8.1.2): a threshold
+// weight is feasible iff the subgraph of edges at or below it admits a
+// perfect matching.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hipo::ext {
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph(std::size_t left, std::size_t right);
+
+  void add_edge(std::size_t l, std::size_t r);
+  std::size_t left_size() const { return adj_.size(); }
+  std::size_t right_size() const { return right_; }
+
+  /// Size of a maximum matching (Hopcroft–Karp, O(E·√V)).
+  std::size_t max_matching() const;
+
+  /// Perfect (left-saturating) matching exists — equivalent to Hall's
+  /// condition by König/Hall.
+  bool has_perfect_matching() const;
+
+ private:
+  std::size_t right_;
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+}  // namespace hipo::ext

@@ -1,0 +1,177 @@
+#include "src/ext/radiation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "src/geometry/angles.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/opt/matroid.hpp"
+#include "src/opt/objective.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+using geom::Vec2;
+using model::Scenario;
+using model::Strategy;
+
+RadiationModel RadiationModel::from_scenario(const Scenario& scenario) {
+  RadiationModel m;
+  m.emission.reserve(scenario.num_charger_types());
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    model::PairParams strongest{0.0, 1.0};
+    for (std::size_t t = 0; t < scenario.num_device_types(); ++t) {
+      const auto& pp = scenario.pair_params(q, t);
+      if (pp.a > strongest.a) strongest = pp;
+    }
+    m.emission.push_back(strongest);
+  }
+  return m;
+}
+
+double RadiationModel::radiation_from(const Scenario& scenario,
+                                      const Strategy& s, Vec2 p) const {
+  HIPO_REQUIRE(s.type < emission.size(),
+               "radiation model missing this charger type");
+  const auto& ct = scenario.charger_type(s.type);
+  const Vec2 sp = p - s.pos;
+  const double d = sp.norm();
+  // Inclusive gates (kCoverEps), mirroring the coverage predicate: a point
+  // a charger can charge must also count as irradiated — safety analysis
+  // must not be more lenient than the power model.
+  if (d < ct.d_min - geom::kCoverEps || d > ct.d_max + geom::kCoverEps ||
+      d <= geom::kEps) {
+    return 0.0;
+  }
+  if (ct.angle < geom::kTwoPi) {
+    const double ang_eps = geom::kCoverEps / std::max(d, 1e-12);
+    if (geom::angle_distance(sp.angle(), s.orientation) >
+        ct.angle / 2.0 + ang_eps) {
+      return 0.0;
+    }
+  }
+  if (!scenario.line_of_sight(s.pos, p)) return 0.0;
+  const auto& pp = emission[s.type];
+  return pp.a / ((d + pp.b) * (d + pp.b));
+}
+
+std::vector<Vec2> radiation_probes(const Scenario& scenario,
+                                   const RadiationModel& model) {
+  HIPO_REQUIRE(model.grid_nx >= 1 && model.grid_ny >= 1,
+               "radiation probe grid needs >= 1 cell per axis");
+  std::vector<Vec2> probes;
+  const auto& region = scenario.region();
+  const Vec2 ext = region.extent();
+  for (std::size_t iy = 0; iy < model.grid_ny; ++iy) {
+    for (std::size_t ix = 0; ix < model.grid_nx; ++ix) {
+      const Vec2 p{region.lo.x + (static_cast<double>(ix) + 0.5) * ext.x /
+                                     static_cast<double>(model.grid_nx),
+                   region.lo.y + (static_cast<double>(iy) + 0.5) * ext.y /
+                                     static_cast<double>(model.grid_ny)};
+      bool inside = false;
+      for (const auto& h : scenario.obstacles()) {
+        if (h.contains(p)) {
+          inside = true;
+          break;
+        }
+      }
+      if (!inside) probes.push_back(p);
+    }
+  }
+  for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+    probes.push_back(scenario.device(j).pos);
+  }
+  return probes;
+}
+
+double max_radiation(const Scenario& scenario,
+                     const model::Placement& placement,
+                     const RadiationModel& model) {
+  double peak = 0.0;
+  for (const Vec2& p : radiation_probes(scenario, model)) {
+    double total = 0.0;
+    for (const auto& s : placement) {
+      total += model.radiation_from(scenario, s, p);
+    }
+    peak = std::max(peak, total);
+  }
+  return peak;
+}
+
+SafeResult select_radiation_safe(const Scenario& scenario,
+                                 std::span<const pdcs::Candidate> candidates,
+                                 const RadiationModel& model,
+                                 double threshold) {
+  HIPO_REQUIRE(threshold >= 0.0, "radiation threshold must be >= 0");
+  const auto probes = radiation_probes(scenario, model);
+
+  // Per-candidate radiation footprint over the probes (sparse: most
+  // candidates irradiate only nearby probes).
+  struct Footprint {
+    std::vector<std::size_t> probe;
+    std::vector<double> dose;
+  };
+  std::vector<Footprint> footprints(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t k = 0; k < probes.size(); ++k) {
+      const double r =
+          model.radiation_from(scenario, candidates[i].strategy, probes[k]);
+      if (r > 0.0) {
+        footprints[i].probe.push_back(k);
+        footprints[i].dose.push_back(r);
+      }
+    }
+  }
+
+  const opt::ChargingObjective objective(scenario, candidates);
+  const opt::PartitionMatroid matroid =
+      opt::placement_matroid(scenario, candidates);
+  opt::ChargingObjective::State state(objective);
+  opt::PartitionMatroid::Tracker tracker(matroid);
+
+  std::vector<double> field(probes.size(), 0.0);
+  std::vector<bool> taken(candidates.size(), false);
+  SafeResult result;
+
+  auto admissible = [&](std::size_t i) {
+    for (std::size_t k = 0; k < footprints[i].probe.size(); ++k) {
+      if (field[footprints[i].probe[k]] + footprints[i].dose[k] >
+          threshold + 1e-12) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (;;) {
+    std::optional<std::size_t> best;
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i] || !tracker.can_add(i)) continue;
+      const double g = state.gain(i);
+      if (g <= best_gain + 1e-15) continue;
+      if (!admissible(i)) continue;
+      best_gain = g;
+      best = i;
+    }
+    if (!best) break;
+    taken[*best] = true;
+    tracker.add(*best);
+    state.add(*best);
+    for (std::size_t k = 0; k < footprints[*best].probe.size(); ++k) {
+      field[footprints[*best].probe[k]] += footprints[*best].dose[k];
+    }
+    result.selected.push_back(*best);
+  }
+
+  result.approx_utility = state.value();
+  for (std::size_t i : result.selected) {
+    result.placement.push_back(candidates[i].strategy);
+  }
+  result.utility = scenario.placement_utility(result.placement);
+  result.peak_radiation = max_radiation(scenario, result.placement, model);
+  return result;
+}
+
+}  // namespace hipo::ext

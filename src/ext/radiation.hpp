@@ -1,0 +1,65 @@
+// Radiation-constrained placement (the "safe charging" thread of the
+// paper's related work [16]–[23]: electromagnetic radiation anywhere on the
+// field must stay below a safety threshold Rt).
+//
+// Radiation at a point is modeled like received power — a/(d+b)² inside the
+// charger's sector ring with line-of-sight — summed over chargers (the
+// additive EMR model of SCAPE [18]). The constrained selection is the
+// cost-benefit greedy over PDCS candidates that only admits candidates
+// keeping every probe point at or below Rt; with the paper-style probe
+// grid this matches the "radiation constrained charger placement" setting
+// of [17].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/pdcs/candidate.hpp"
+
+namespace hipo::ext {
+
+struct RadiationModel {
+  /// Per-charger-type emission constants; defaults (from_scenario) reuse
+  /// the type's strongest pair coupling as a conservative proxy.
+  std::vector<model::PairParams> emission;
+  /// Probe-grid resolution across the region.
+  std::size_t grid_nx = 24;
+  std::size_t grid_ny = 24;
+
+  static RadiationModel from_scenario(const model::Scenario& scenario);
+
+  /// EMR contribution of one charger at a point (charger-side gates only:
+  /// range, sector, line of sight).
+  double radiation_from(const model::Scenario& scenario,
+                        const model::Strategy& s, geom::Vec2 p) const;
+};
+
+/// Probe points: grid cell centers outside obstacles, plus every device
+/// position (humans stand near their gadgets).
+std::vector<geom::Vec2> radiation_probes(const model::Scenario& scenario,
+                                         const RadiationModel& model);
+
+/// Maximum total radiation over the probe set for a placement.
+double max_radiation(const model::Scenario& scenario,
+                     const model::Placement& placement,
+                     const RadiationModel& model);
+
+struct SafeResult {
+  std::vector<std::size_t> selected;
+  model::Placement placement;
+  double utility = 0.0;         // exact Eq. (1)–(3)
+  double approx_utility = 0.0;
+  double peak_radiation = 0.0;  // over the probe set
+};
+
+/// Greedy utility maximization subject to the per-type budget AND the
+/// radiation cap: a candidate is admissible only if adding it keeps every
+/// probe at or below `threshold`. Heuristic (the cap is not a matroid);
+/// the returned placement always satisfies the cap on the probe set.
+SafeResult select_radiation_safe(const model::Scenario& scenario,
+                                 std::span<const pdcs::Candidate> candidates,
+                                 const RadiationModel& model,
+                                 double threshold);
+
+}  // namespace hipo::ext

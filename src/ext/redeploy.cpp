@@ -1,0 +1,149 @@
+#include "src/ext/redeploy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/ext/hungarian.hpp"
+#include "src/ext/matching.hpp"
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+using model::Placement;
+using model::Strategy;
+
+double SwitchCostModel::cost(const Strategy& from, const Strategy& to) const {
+  return w_move * geom::distance(from.pos, to.pos) +
+         w_rotate * geom::angle_distance(from.orientation, to.orientation);
+}
+
+namespace {
+
+struct TypeGroup {
+  std::vector<std::size_t> from_idx;
+  std::vector<std::size_t> to_idx;
+};
+
+std::vector<TypeGroup> group_by_type(const Placement& from,
+                                     const Placement& to,
+                                     std::size_t num_types) {
+  std::vector<TypeGroup> groups(num_types);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    HIPO_REQUIRE(from[i].type < num_types, "charger type out of range");
+    groups[from[i].type].from_idx.push_back(i);
+  }
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    HIPO_REQUIRE(to[i].type < num_types, "charger type out of range");
+    groups[to[i].type].to_idx.push_back(i);
+  }
+  for (std::size_t q = 0; q < num_types; ++q) {
+    HIPO_REQUIRE(groups[q].from_idx.size() == groups[q].to_idx.size(),
+                 "from/to deploy different counts of charger type " +
+                     std::to_string(q));
+  }
+  return groups;
+}
+
+/// Hungarian per type with an optional weight cap (edges above the cap are
+/// forbidden). Returns nullopt if infeasible under the cap.
+std::optional<RedeployPlan> solve_with_cap(const Placement& from,
+                                           const Placement& to,
+                                           std::size_t num_types,
+                                           const SwitchCostModel& model,
+                                           double cap) {
+  RedeployPlan plan;
+  plan.to_of.assign(from.size(), 0);
+  const auto groups = group_by_type(from, to, num_types);
+  for (const auto& g : groups) {
+    const std::size_t n = g.from_idx.size();
+    if (n == 0) continue;
+    std::vector<double> cost(n * n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        const double w = model.cost(from[g.from_idx[r]], to[g.to_idx[c]]);
+        cost[r * n + c] = w <= cap ? w : kForbidden;
+      }
+    }
+    const auto assignment = hungarian(cost, n, n);
+    if (!assignment.feasible) return std::nullopt;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t c = assignment.col_of[r];
+      plan.to_of[g.from_idx[r]] = g.to_idx[c];
+      const double w = cost[r * n + c];
+      plan.total_cost += w;
+      plan.max_cost = std::max(plan.max_cost, w);
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+RedeployPlan redeploy_min_total(const Placement& from, const Placement& to,
+                                std::size_t num_types,
+                                const SwitchCostModel& model) {
+  auto plan = solve_with_cap(from, to, num_types, model,
+                             std::numeric_limits<double>::infinity());
+  HIPO_ASSERT(plan.has_value());
+  return *plan;
+}
+
+RedeployPlan redeploy_min_max(const Placement& from, const Placement& to,
+                              std::size_t num_types,
+                              const SwitchCostModel& model) {
+  const auto groups = group_by_type(from, to, num_types);
+
+  // All candidate weights, sorted: the minimax value is one of them.
+  std::vector<double> weights;
+  for (const auto& g : groups) {
+    for (std::size_t r : g.from_idx) {
+      for (std::size_t c : g.to_idx) {
+        weights.push_back(model.cost(from[r], to[c]));
+      }
+    }
+  }
+  if (weights.empty()) return RedeployPlan{};
+  std::sort(weights.begin(), weights.end());
+  weights.erase(std::unique(weights.begin(), weights.end()), weights.end());
+
+  // Binary search the smallest cap admitting perfect matchings in every
+  // type's thresholded bipartite graph (Hall feasibility via Hopcroft–Karp).
+  auto feasible = [&](double cap) {
+    for (const auto& g : groups) {
+      const std::size_t n = g.from_idx.size();
+      if (n == 0) continue;
+      BipartiteGraph graph(n, n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          if (model.cost(from[g.from_idx[r]], to[g.to_idx[c]]) <=
+              cap + 1e-12) {
+            graph.add_edge(r, c);
+          }
+        }
+      }
+      if (!graph.has_perfect_matching()) return false;
+    }
+    return true;
+  };
+
+  std::size_t lo = 0, hi = weights.size() - 1;
+  HIPO_ASSERT_MSG(feasible(weights[hi]),
+                  "complete bipartite graph must admit a perfect matching");
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (feasible(weights[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  // Second phase: minimize total cost among minimax-optimal matchings.
+  auto plan = solve_with_cap(from, to, num_types, model,
+                             weights[lo] + 1e-12);
+  HIPO_ASSERT(plan.has_value());
+  return *plan;
+}
+
+}  // namespace hipo::ext

@@ -1,0 +1,52 @@
+// Charger redeployment (Section 8.1): when the device topology changes,
+// transfer each already-deployed charger to one of the new strategies of its
+// type, minimizing switching overhead (moving + rotating cost).
+//
+// Two objectives:
+//   * minimize the TOTAL switching overhead — per charger type this is a
+//     min-cost perfect matching on a complete bipartite graph, solved with
+//     the Hungarian algorithm (Section 8.1.1);
+//   * minimize the MAXIMUM switching overhead — binary search over sorted
+//     edge weights, feasibility checked with a perfect-matching (Hall)
+//     test, then a Hungarian pass restricted to edges at or below the
+//     minimax weight to also minimize the total (Section 8.1.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::ext {
+
+/// Switching overhead of transferring one charger between two strategies:
+/// w_move·‖Δpos‖ + w_rotate·Δorientation (shortest angular distance).
+struct SwitchCostModel {
+  double w_move = 1.0;
+  double w_rotate = 0.2;
+
+  double cost(const model::Strategy& from, const model::Strategy& to) const;
+};
+
+struct RedeployPlan {
+  /// to_of[i] = index into `to` assigned to `from[i]` (same charger type).
+  std::vector<std::size_t> to_of;
+  double total_cost = 0.0;
+  double max_cost = 0.0;
+};
+
+/// Minimize total switching overhead. `from` and `to` must deploy the same
+/// number of chargers of every type (run HIPO on both topologies).
+RedeployPlan redeploy_min_total(const model::Placement& from,
+                                const model::Placement& to,
+                                std::size_t num_types,
+                                const SwitchCostModel& model = {});
+
+/// Minimize the maximum switching overhead; among minimax solutions,
+/// minimize total cost.
+RedeployPlan redeploy_min_max(const model::Placement& from,
+                              const model::Placement& to,
+                              std::size_t num_types,
+                              const SwitchCostModel& model = {});
+
+}  // namespace hipo::ext

@@ -1,0 +1,123 @@
+#include "src/ext/resilience.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+using model::Placement;
+using model::Scenario;
+
+namespace {
+
+double binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  double result = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+Placement without(const Placement& placement,
+                  const std::vector<std::size_t>& removed) {
+  Placement out;
+  out.reserve(placement.size());
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    if (std::find(removed.begin(), removed.end(), i) == removed.end()) {
+      out.push_back(placement[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FailureImpact worst_case_failure(const Scenario& scenario,
+                                 const Placement& placement, std::size_t k,
+                                 std::size_t enumeration_limit) {
+  HIPO_REQUIRE(k <= placement.size(),
+               "cannot fail more chargers than are deployed");
+  const double intact = scenario.placement_utility(placement);
+  FailureImpact impact;
+  impact.utility = intact;
+
+  if (k == 0) return impact;
+
+  if (binomial(placement.size(), k) <=
+      static_cast<double>(enumeration_limit)) {
+    // Exact: enumerate k-subsets via combination stepping.
+    std::vector<std::size_t> combo(k);
+    for (std::size_t i = 0; i < k; ++i) combo[i] = i;
+    double worst = intact;
+    std::vector<std::size_t> worst_set = combo;
+    for (;;) {
+      const double u = scenario.placement_utility(without(placement, combo));
+      if (u < worst) {
+        worst = u;
+        worst_set = combo;
+      }
+      // Advance to the next combination.
+      std::size_t i = k;
+      while (i-- > 0) {
+        if (combo[i] + (k - i) < placement.size()) {
+          ++combo[i];
+          for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+          break;
+        }
+        if (i == 0) {
+          impact.failed = worst_set;
+          impact.utility = worst;
+          impact.drop = intact - worst;
+          return impact;
+        }
+      }
+    }
+  }
+
+  // Greedy adversary: remove the single most damaging charger k times.
+  std::vector<std::size_t> removed;
+  for (std::size_t round = 0; round < k; ++round) {
+    double worst = std::numeric_limits<double>::infinity();
+    std::size_t pick = placement.size();
+    for (std::size_t i = 0; i < placement.size(); ++i) {
+      if (std::find(removed.begin(), removed.end(), i) != removed.end())
+        continue;
+      auto trial = removed;
+      trial.push_back(i);
+      const double u = scenario.placement_utility(without(placement, trial));
+      if (u < worst) {
+        worst = u;
+        pick = i;
+      }
+    }
+    HIPO_ASSERT(pick < placement.size());
+    removed.push_back(pick);
+  }
+  std::sort(removed.begin(), removed.end());
+  impact.failed = removed;
+  impact.utility = scenario.placement_utility(without(placement, removed));
+  impact.drop = intact - impact.utility;
+  return impact;
+}
+
+double expected_failure_utility(const Scenario& scenario,
+                                const Placement& placement, double p,
+                                Rng& rng, int samples) {
+  HIPO_REQUIRE(p >= 0.0 && p <= 1.0, "failure probability must be in [0,1]");
+  HIPO_REQUIRE(samples >= 1, "need at least one sample");
+  if (p == 0.0) return scenario.placement_utility(placement);
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    Placement survivors;
+    for (const auto& strat : placement) {
+      if (rng.uniform() >= p) survivors.push_back(strat);
+    }
+    total += scenario.placement_utility(survivors);
+  }
+  return total / static_cast<double>(samples);
+}
+
+}  // namespace hipo::ext

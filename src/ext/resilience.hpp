@@ -1,0 +1,44 @@
+// Charger-failure resilience analysis.
+//
+// Wireless charger networks degrade when transmitters fail (the fault-
+// tolerance concern of the omnidirectional-charging literature the paper
+// surveys). This module quantifies a placement's robustness:
+//   * worst_case_failure — the adversarial k-subset of chargers whose loss
+//     hurts utility the most (exact enumeration for small k / fleets,
+//     greedy adversary otherwise);
+//   * expected_failure_utility — mean utility when each charger
+//     independently fails with probability p (Monte Carlo).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::ext {
+
+struct FailureImpact {
+  /// Indices (into the placement) of the failed chargers.
+  std::vector<std::size_t> failed;
+  /// Utility with those chargers removed.
+  double utility = 0.0;
+  /// Utility drop relative to the intact placement.
+  double drop = 0.0;
+};
+
+/// The worst utility over all ways to lose exactly `k` chargers. Uses
+/// exact enumeration when C(n, k) <= enumeration_limit, otherwise a greedy
+/// adversary (repeatedly removes the single most damaging charger).
+FailureImpact worst_case_failure(const model::Scenario& scenario,
+                                 const model::Placement& placement,
+                                 std::size_t k,
+                                 std::size_t enumeration_limit = 200000);
+
+/// Monte Carlo estimate of E[utility] when each charger independently
+/// fails with probability `p`.
+double expected_failure_utility(const model::Scenario& scenario,
+                                const model::Placement& placement, double p,
+                                Rng& rng, int samples = 200);
+
+}  // namespace hipo::ext

@@ -1,0 +1,180 @@
+#include "src/ext/tour.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace hipo::ext {
+
+using geom::Vec2;
+
+namespace {
+
+double tour_length(Vec2 depot, const std::vector<Vec2>& stops,
+                   const std::vector<std::size_t>& order) {
+  if (order.empty()) return 0.0;
+  double len = geom::distance(depot, stops[order.front()]);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    len += geom::distance(stops[order[i]], stops[order[i + 1]]);
+  }
+  len += geom::distance(stops[order.back()], depot);
+  return len;
+}
+
+/// 2-opt: reverse segments while any reversal shortens the tour.
+void two_opt(Vec2 depot, const std::vector<Vec2>& stops,
+             std::vector<std::size_t>& order) {
+  if (order.size() < 3) return;
+  const auto point = [&](std::ptrdiff_t i) -> Vec2 {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(order.size())) return depot;
+    return stops[order[static_cast<std::size_t>(i)]];
+  };
+  bool improved = true;
+  int guard = 0;
+  while (improved && ++guard < 200) {
+    improved = false;
+    const auto n = static_cast<std::ptrdiff_t>(order.size());
+    for (std::ptrdiff_t i = -1; i < n - 2; ++i) {
+      for (std::ptrdiff_t k = i + 1; k < n - (i < 0 ? 1 : 0); ++k) {
+        // Edge (i, i+1) and edge (k, k+1); reversing order[i+1..k] replaces
+        // them with (i, k) and (i+1, k+1).
+        const double before = geom::distance(point(i), point(i + 1)) +
+                              geom::distance(point(k), point(k + 1));
+        const double after = geom::distance(point(i), point(k)) +
+                             geom::distance(point(i + 1), point(k + 1));
+        if (after + 1e-12 < before) {
+          std::reverse(order.begin() + (i + 1), order.begin() + (k + 1));
+          improved = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tour plan_tour(Vec2 depot, const std::vector<Vec2>& stops) {
+  Tour tour;
+  if (stops.empty()) return tour;
+
+  // Nearest-neighbor construction.
+  std::vector<bool> visited(stops.size(), false);
+  Vec2 at = depot;
+  for (std::size_t step = 0; step < stops.size(); ++step) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < stops.size(); ++i) {
+      if (visited[i]) continue;
+      const double d = geom::distance(at, stops[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    visited[best] = true;
+    tour.order.push_back(best);
+    at = stops[best];
+  }
+
+  two_opt(depot, stops, tour.order);
+  tour.length = tour_length(depot, stops, tour.order);
+  return tour;
+}
+
+Tour optimal_tour(Vec2 depot, const std::vector<Vec2>& stops) {
+  Tour tour;
+  const std::size_t n = stops.size();
+  if (n == 0) return tour;
+  HIPO_REQUIRE(n <= 16, "optimal_tour supports at most 16 stops");
+
+  // Held–Karp: dp[mask][last] = shortest path depot → {mask} ending at last.
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(full + 1, std::vector<double>(n, inf));
+  std::vector<std::vector<std::size_t>> parent(
+      full + 1, std::vector<std::size_t>(n, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    dp[std::size_t{1} << i][i] = geom::distance(depot, stops[i]);
+  }
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    for (std::size_t last = 0; last < n; ++last) {
+      if (!(mask & (std::size_t{1} << last))) continue;
+      const double base = dp[mask][last];
+      if (base == inf) continue;
+      for (std::size_t next = 0; next < n; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const std::size_t nmask = mask | (std::size_t{1} << next);
+        const double cand = base + geom::distance(stops[last], stops[next]);
+        if (cand < dp[nmask][next]) {
+          dp[nmask][next] = cand;
+          parent[nmask][next] = last;
+        }
+      }
+    }
+  }
+  double best = inf;
+  std::size_t best_last = 0;
+  for (std::size_t last = 0; last < n; ++last) {
+    const double total = dp[full][last] + geom::distance(stops[last], depot);
+    if (total < best) {
+      best = total;
+      best_last = last;
+    }
+  }
+  // Reconstruct.
+  std::vector<std::size_t> reversed;
+  std::size_t mask = full;
+  std::size_t last = best_last;
+  while (last < n) {
+    reversed.push_back(last);
+    const std::size_t prev = parent[mask][last];
+    mask ^= std::size_t{1} << last;
+    last = prev;
+  }
+  tour.order.assign(reversed.rbegin(), reversed.rend());
+  tour.length = best;
+  return tour;
+}
+
+MultiTour plan_multi_tour(const std::vector<Vec2>& depots,
+                          const std::vector<Vec2>& stops) {
+  HIPO_REQUIRE(!depots.empty(), "m-TSP needs at least one depot");
+  MultiTour out;
+  out.depot_of.resize(stops.size());
+  std::vector<std::vector<std::size_t>> assigned(depots.size());
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t d = 0; d < depots.size(); ++d) {
+      const double dist = geom::distance(depots[d], stops[i]);
+      if (dist < best_d) {
+        best_d = dist;
+        best = d;
+      }
+    }
+    out.depot_of[i] = best;
+    assigned[best].push_back(i);
+  }
+  for (std::size_t d = 0; d < depots.size(); ++d) {
+    std::vector<Vec2> local;
+    local.reserve(assigned[d].size());
+    for (std::size_t i : assigned[d]) local.push_back(stops[i]);
+    Tour local_tour = plan_tour(depots[d], local);
+    // Remap local indices back to the original stop list.
+    for (auto& idx : local_tour.order) idx = assigned[d][idx];
+    out.total_length += local_tour.length;
+    out.max_length = std::max(out.max_length, local_tour.length);
+    out.tours.push_back(std::move(local_tour));
+  }
+  return out;
+}
+
+Tour plan_deployment_route(Vec2 depot, const model::Placement& placement) {
+  std::vector<Vec2> stops;
+  stops.reserve(placement.size());
+  for (const auto& s : placement) stops.push_back(s.pos);
+  return plan_tour(depot, stops);
+}
+
+}  // namespace hipo::ext

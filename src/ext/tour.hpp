@@ -1,0 +1,53 @@
+// Deployment routing (Section 8.2): the paper formalizes the traveling
+// part of the deployment cost as a TSP ("chargers in one base station
+// initially") or an m-TSP ("chargers in m base stations initially").
+//
+// This module provides:
+//   * nearest-neighbor tour construction + 2-opt improvement (the standard
+//     constructive/local-search pair for metric TSP);
+//   * exact Held–Karp dynamic programming for small instances (<= 16
+//     stops), used as the test oracle and for small deployments;
+//   * m-TSP splitting: assign each stop to the nearest depot, then solve a
+//     per-depot tour.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geometry/vec2.hpp"
+#include "src/model/types.hpp"
+
+namespace hipo::ext {
+
+struct Tour {
+  /// Visit order as indices into the input stop list (depot excluded).
+  std::vector<std::size_t> order;
+  /// Total length: depot → stops in order → back to depot.
+  double length = 0.0;
+};
+
+/// Nearest-neighbor + 2-opt tour through `stops`, starting and ending at
+/// `depot`. Deterministic. Empty stops → empty tour of length 0.
+Tour plan_tour(geom::Vec2 depot, const std::vector<geom::Vec2>& stops);
+
+/// Exact optimum via Held–Karp DP. Requires stops.size() <= 16.
+Tour optimal_tour(geom::Vec2 depot, const std::vector<geom::Vec2>& stops);
+
+struct MultiTour {
+  /// One tour per depot (order indices refer to the original stop list).
+  std::vector<Tour> tours;
+  /// depot_of[i] = depot index serving stop i.
+  std::vector<std::size_t> depot_of;
+  double total_length = 0.0;
+  double max_length = 0.0;  // bottleneck tour (fleet makespan)
+};
+
+/// m-TSP heuristic: nearest-depot assignment, then plan_tour per depot.
+MultiTour plan_multi_tour(const std::vector<geom::Vec2>& depots,
+                          const std::vector<geom::Vec2>& stops);
+
+/// Convenience: route a placement's charger positions from one depot.
+Tour plan_deployment_route(geom::Vec2 depot,
+                           const model::Placement& placement);
+
+}  // namespace hipo::ext

@@ -1,0 +1,126 @@
+#include "src/geometry/circle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::geom {
+
+std::vector<Vec2> circle_circle_intersections(const Circle& c1,
+                                              const Circle& c2, double eps) {
+  std::vector<Vec2> out;
+  const Vec2 d = c2.center - c1.center;
+  const double dist = d.norm();
+  if (dist <= eps) return out;  // concentric (or identical): no isolated points
+  const double r1 = c1.radius;
+  const double r2 = c2.radius;
+  if (dist > r1 + r2 + eps) return out;           // separate
+  if (dist < std::abs(r1 - r2) - eps) return out;  // contained
+
+  // Distance from c1.center to the radical line along d.
+  const double a = (dist * dist + r1 * r1 - r2 * r2) / (2.0 * dist);
+  const double h2 = r1 * r1 - a * a;
+  const Vec2 u = d / dist;
+  const Vec2 base = c1.center + u * a;
+  if (h2 <= eps * std::max(r1, 1.0)) {
+    out.push_back(base);  // tangent
+    return out;
+  }
+  const double h = std::sqrt(std::max(h2, 0.0));
+  const Vec2 n = u.perp();
+  out.push_back(base + n * h);
+  out.push_back(base - n * h);
+  return out;
+}
+
+std::vector<Vec2> circle_line_intersections(const Circle& c, Vec2 p, Vec2 dir,
+                                            double eps) {
+  std::vector<Vec2> out;
+  const double len = dir.norm();
+  if (len <= 0.0) return out;
+  const Vec2 u = dir / len;
+  const Vec2 pc = c.center - p;
+  const double proj = pc.dot(u);
+  const Vec2 foot = p + u * proj;
+  const double d2 = distance2(c.center, foot);
+  const double r2 = c.radius * c.radius;
+  if (d2 > r2 + eps * std::max(c.radius, 1.0)) return out;
+  const double h = std::sqrt(std::max(r2 - d2, 0.0));
+  if (h <= eps) {
+    out.push_back(foot);
+    return out;
+  }
+  out.push_back(foot + u * h);
+  out.push_back(foot - u * h);
+  return out;
+}
+
+std::vector<Vec2> circle_segment_intersections(const Circle& c,
+                                               const Segment& seg,
+                                               double eps) {
+  std::vector<Vec2> out;
+  const Vec2 d = seg.direction();
+  const double len = d.norm();
+  if (len <= 0.0) return out;
+  for (Vec2 p : circle_line_intersections(c, seg.a, d, eps)) {
+    const double t = (p - seg.a).dot(d) / (len * len);
+    if (t >= -eps && t <= 1.0 + eps) {
+      out.push_back(seg.point_at(std::clamp(t, 0.0, 1.0)));
+    }
+  }
+  return out;
+}
+
+std::vector<Circle> inscribed_angle_circles(Vec2 a, Vec2 b, double alpha,
+                                            double eps) {
+  std::vector<Circle> out;
+  const double chord = distance(a, b);
+  if (chord <= eps) return out;
+  HIPO_REQUIRE(alpha > 0.0 && alpha < kPi,
+               "inscribed angle must be in (0, π)");
+  const double radius = chord / (2.0 * std::sin(alpha));
+  const double offset2 = radius * radius - chord * chord / 4.0;
+  const double offset = std::sqrt(std::max(offset2, 0.0));
+  const Vec2 mid = (a + b) * 0.5;
+  const Vec2 n = (b - a).normalized().perp();
+  out.emplace_back(mid + n * offset, radius);
+  out.emplace_back(mid - n * offset, radius);
+  return out;
+}
+
+std::vector<Vec2> inscribed_angle_arc_points(Vec2 a, Vec2 b, double alpha,
+                                             int per_arc) {
+  HIPO_REQUIRE(per_arc >= 1, "per_arc must be >= 1");
+  std::vector<Vec2> out;
+  for (const Circle& c : inscribed_angle_circles(a, b, alpha)) {
+    // On each supporting circle, the arc where ∠APB == alpha is the arc on
+    // the *opposite* side of chord AB from the circle's "far" pole when
+    // alpha < π/2 (major arc), and the near arc when alpha > π/2. Rather
+    // than case-split, sample the whole circle finely between the chord
+    // endpoints on both sides and keep points whose inscribed angle matches.
+    const double ang_a = (a - c.center).angle();
+    const double ang_b = (b - c.center).angle();
+    for (int side = 0; side < 2; ++side) {
+      const double from = side == 0 ? ang_a : ang_b;
+      const double to = side == 0 ? ang_b : ang_a;
+      const double width = ccw_delta(from, to);
+      for (int i = 1; i <= per_arc; ++i) {
+        const double t =
+            static_cast<double>(i) / static_cast<double>(per_arc + 1);
+        const Vec2 p = c.point_at(from + width * t);
+        const Vec2 pa = a - p;
+        const Vec2 pb = b - p;
+        if (pa.norm() <= kEps || pb.norm() <= kEps) continue;
+        const double ang =
+            std::acos(std::clamp(pa.dot(pb) / (pa.norm() * pb.norm()),
+                                 -1.0, 1.0));
+        if (std::abs(ang - alpha) <= 1e-6) out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hipo::geom

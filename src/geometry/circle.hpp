@@ -1,0 +1,61 @@
+// Circles and circle intersection constructions.
+//
+// The PDCS candidate generator needs: circle×circle intersections (ring
+// boundaries around two devices), circle×segment intersections (ring boundary
+// against obstacle edges / the line through a device pair), and the
+// inscribed-angle construction (Algorithm 2 step 5: arcs through a device
+// pair seen under the charger's sector angle).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/geometry/segment.hpp"
+#include "src/geometry/vec2.hpp"
+
+namespace hipo::geom {
+
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  Circle() = default;
+  Circle(Vec2 c, double r) : center(c), radius(r) {}
+
+  bool contains(Vec2 p, double eps = kEps) const {
+    return distance(center, p) <= radius + eps;
+  }
+  Vec2 point_at(double angle) const {
+    return center + unit_vector(angle) * radius;
+  }
+};
+
+/// Intersection points of two circles (0, 1, or 2 points; tangency yields 1).
+/// Concentric / identical circles yield no points.
+std::vector<Vec2> circle_circle_intersections(const Circle& c1,
+                                              const Circle& c2,
+                                              double eps = kEps);
+
+/// Intersection points of a circle with a closed segment.
+std::vector<Vec2> circle_segment_intersections(const Circle& c,
+                                               const Segment& seg,
+                                               double eps = kEps);
+
+/// Intersection points of a circle with the infinite line through p along dir.
+std::vector<Vec2> circle_line_intersections(const Circle& c, Vec2 p, Vec2 dir,
+                                            double eps = kEps);
+
+/// Inscribed-angle construction: the locus of points P with ∠APB == alpha
+/// (0 < alpha < π) is a pair of circular arcs through A and B. Returns the
+/// two supporting circles (symmetric about line AB). Degenerate A == B
+/// returns empty.
+std::vector<Circle> inscribed_angle_circles(Vec2 a, Vec2 b, double alpha,
+                                            double eps = kEps);
+
+/// Sample points on the inscribed-angle arcs where ∠APB == alpha holds
+/// (i.e. the major/minor arc selected by the angle), excluding A and B.
+/// `per_arc` >= 1 evenly spaced interior points per valid arc.
+std::vector<Vec2> inscribed_angle_arc_points(Vec2 a, Vec2 b, double alpha,
+                                             int per_arc);
+
+}  // namespace hipo::geom

@@ -1,0 +1,174 @@
+#include "src/geometry/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::geom {
+
+namespace {
+
+double signed_area(const std::vector<Vec2>& v) {
+  double twice = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const Vec2& p = v[i];
+    const Vec2& q = v[(i + 1) % v.size()];
+    twice += p.cross(q);
+  }
+  return 0.5 * twice;
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  HIPO_REQUIRE(vertices_.size() >= 3, "polygon needs >= 3 vertices");
+  const double a = signed_area(vertices_);
+  HIPO_REQUIRE(std::abs(a) > kEps, "polygon area must be nonzero");
+  if (a < 0.0) std::reverse(vertices_.begin(), vertices_.end());
+  bbox_.lo = bbox_.hi = vertices_.front();
+  for (const Vec2& p : vertices_) {
+    bbox_.lo.x = std::min(bbox_.lo.x, p.x);
+    bbox_.lo.y = std::min(bbox_.lo.y, p.y);
+    bbox_.hi.x = std::max(bbox_.hi.x, p.x);
+    bbox_.hi.y = std::max(bbox_.hi.y, p.y);
+  }
+}
+
+Segment Polygon::edge(std::size_t i) const {
+  HIPO_ASSERT(i < vertices_.size());
+  return Segment(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+}
+
+double Polygon::area() const { return signed_area(vertices_); }
+
+Vec2 Polygon::centroid() const {
+  double a6 = 0.0;
+  Vec2 c{0.0, 0.0};
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& p = vertices_[i];
+    const Vec2& q = vertices_[(i + 1) % vertices_.size()];
+    const double w = p.cross(q);
+    a6 += w;
+    c += (p + q) * w;
+  }
+  return c / (3.0 * a6);
+}
+
+bool Polygon::is_convex(double eps) const {
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[(i + 1) % vertices_.size()];
+    const Vec2& c = vertices_[(i + 2) % vertices_.size()];
+    if (orientation(a, b, c, eps) < 0) return false;
+  }
+  return true;
+}
+
+bool Polygon::on_boundary(Vec2 p, double eps) const {
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (on_segment(p, edge(i), eps)) return true;
+  }
+  return false;
+}
+
+bool Polygon::contains(Vec2 p, double eps) const {
+  if (!bbox_.contains(p, eps)) return false;
+  if (on_boundary(p, eps)) return true;
+  return contains_interior(p, eps);
+}
+
+bool Polygon::contains_interior(Vec2 p, double eps) const {
+  if (!bbox_.contains(p, eps)) return false;
+  if (on_boundary(p, eps)) return false;
+  // Crossing-number test with a horizontal ray; boundary handled above, so
+  // standard half-open edge rule is safe.
+  bool inside = false;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Vec2& a = vertices_[i];
+    const Vec2& b = vertices_[(i + 1) % vertices_.size()];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      const double x_at = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (x_at > p.x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::vector<Vec2> Polygon::boundary_intersections(const Segment& seg,
+                                                  double eps) const {
+  std::vector<Vec2> out;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (auto p = segment_intersection_point(seg, edge(i), eps)) {
+      out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+bool Polygon::blocks_segment(const Segment& seg, double eps) const {
+  // Quick reject on bounding boxes.
+  BBox sb;
+  sb.lo = {std::min(seg.a.x, seg.b.x), std::min(seg.a.y, seg.b.y)};
+  sb.hi = {std::max(seg.a.x, seg.b.x), std::max(seg.a.y, seg.b.y)};
+  if (!bbox_.intersects(sb, eps)) return false;
+
+  // Collect intersection parameters with all edges plus interior endpoints,
+  // then test midpoints of the induced sub-segments for strict interiority.
+  const Vec2 d = seg.direction();
+  const double len2 = d.norm2();
+  if (len2 <= 0.0) return contains_interior(seg.a, eps);
+
+  std::vector<double> ts{0.0, 1.0};
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (auto p = segment_intersection_point(seg, edge(i), eps)) {
+      ts.push_back(std::clamp((*p - seg.a).dot(d) / len2, 0.0, 1.0));
+    }
+  }
+  std::sort(ts.begin(), ts.end());
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i + 1] - ts[i] <= eps) continue;
+    const Vec2 mid = seg.point_at(0.5 * (ts[i] + ts[i + 1]));
+    if (contains_interior(mid, eps)) return true;
+  }
+  return false;
+}
+
+Polygon make_rect(Vec2 lo, Vec2 hi) {
+  HIPO_REQUIRE(hi.x > lo.x && hi.y > lo.y, "rect needs hi > lo");
+  return Polygon({lo, {hi.x, lo.y}, hi, {lo.x, hi.y}});
+}
+
+Polygon make_regular_polygon(Vec2 center, double radius, int sides,
+                             double phase) {
+  HIPO_REQUIRE(sides >= 3, "polygon needs >= 3 sides");
+  HIPO_REQUIRE(radius > 0.0, "radius must be positive");
+  std::vector<Vec2> v;
+  v.reserve(static_cast<std::size_t>(sides));
+  for (int i = 0; i < sides; ++i) {
+    const double a = phase + kTwoPi * static_cast<double>(i) / sides;
+    v.push_back(center + unit_vector(a) * radius);
+  }
+  return Polygon(std::move(v));
+}
+
+Polygon make_star_convex_polygon(Vec2 center, double radius,
+                                 const std::vector<double>& unit_radii,
+                                 const std::vector<double>& angles) {
+  HIPO_REQUIRE(unit_radii.size() == angles.size(),
+               "radii/angles size mismatch");
+  HIPO_REQUIRE(unit_radii.size() >= 3, "polygon needs >= 3 vertices");
+  std::vector<double> sorted_angles = angles;
+  std::sort(sorted_angles.begin(), sorted_angles.end());
+  std::vector<Vec2> v;
+  v.reserve(unit_radii.size());
+  for (std::size_t i = 0; i < unit_radii.size(); ++i) {
+    const double r = radius * (0.5 + 0.5 * std::clamp(unit_radii[i], 0.0, 1.0));
+    v.push_back(center + unit_vector(sorted_angles[i]) * r);
+  }
+  return Polygon(std::move(v));
+}
+
+}  // namespace hipo::geom

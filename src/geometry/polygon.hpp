@@ -1,0 +1,82 @@
+// Simple polygons: containment, area, line-of-sight blockage tests, and
+// generators for obstacle shapes.
+//
+// Obstacles in HIPO are simple polygons with up to `c` edges (Lemma 4.4);
+// they block charging power along the line of sight (Eq. 1's condition
+// s_i o_j ∩ h_k = ∅, where h_k is the *interior* point set).
+#pragma once
+
+#include <vector>
+
+#include "src/geometry/segment.hpp"
+#include "src/geometry/vec2.hpp"
+
+namespace hipo::geom {
+
+struct BBox {
+  Vec2 lo{0.0, 0.0};
+  Vec2 hi{0.0, 0.0};
+
+  bool contains(Vec2 p, double eps = 0.0) const {
+    return p.x >= lo.x - eps && p.x <= hi.x + eps && p.y >= lo.y - eps &&
+           p.y <= hi.y + eps;
+  }
+  bool intersects(const BBox& o, double eps = 0.0) const {
+    return lo.x <= o.hi.x + eps && o.lo.x <= hi.x + eps &&
+           lo.y <= o.hi.y + eps && o.lo.y <= hi.y + eps;
+  }
+  Vec2 extent() const { return hi - lo; }
+};
+
+class Polygon {
+ public:
+  Polygon() = default;
+  /// Vertices in order (either winding; normalized to counter-clockwise).
+  /// Requires >= 3 vertices and nonzero area.
+  explicit Polygon(std::vector<Vec2> vertices);
+
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  Segment edge(std::size_t i) const;
+
+  double area() const;       // positive (CCW normalized)
+  Vec2 centroid() const;
+  const BBox& bbox() const { return bbox_; }
+  bool is_convex(double eps = kEps) const;
+
+  /// Strictly inside (boundary excluded, within eps).
+  bool contains_interior(Vec2 p, double eps = kEps) const;
+  /// Inside or on boundary.
+  bool contains(Vec2 p, double eps = kEps) const;
+  bool on_boundary(Vec2 p, double eps = kEps) const;
+
+  /// True iff the open segment passes through the polygon's interior — the
+  /// line-of-sight blockage predicate. Grazing a vertex or sliding along an
+  /// edge without entering the interior does NOT block.
+  bool blocks_segment(const Segment& seg, double eps = kEps) const;
+
+  /// All intersection points of `seg` with the polygon boundary.
+  std::vector<Vec2> boundary_intersections(const Segment& seg,
+                                           double eps = kEps) const;
+
+ private:
+  std::vector<Vec2> vertices_;
+  BBox bbox_;
+};
+
+/// Axis-aligned rectangle polygon.
+Polygon make_rect(Vec2 lo, Vec2 hi);
+
+/// Regular n-gon centered at `center` with circumradius `radius`, first
+/// vertex at polar angle `phase`.
+Polygon make_regular_polygon(Vec2 center, double radius, int sides,
+                             double phase = 0.0);
+
+/// Random convex polygon with `sides` vertices on a jittered circle of
+/// radius in [0.5, 1] * radius around center. Deterministic given the
+/// angle/radius sequences produced by the caller's RNG (see scenario_gen).
+Polygon make_star_convex_polygon(Vec2 center, double radius,
+                                 const std::vector<double>& unit_radii,
+                                 const std::vector<double>& angles);
+
+}  // namespace hipo::geom

@@ -1,0 +1,51 @@
+#include "src/geometry/sector_ring.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace hipo::geom {
+
+SectorRing::SectorRing(Vec2 apex, double orientation, double angle,
+                       double r_min, double r_max)
+    : apex_(apex),
+      orientation_(norm_angle(orientation)),
+      angle_(angle),
+      r_min_(r_min),
+      r_max_(r_max) {
+  HIPO_REQUIRE(angle > 0.0 && angle <= kTwoPi + 1e-12,
+               "sector angle must be in (0, 2π]");
+  HIPO_REQUIRE(r_min >= 0.0 && r_max > r_min,
+               "sector ring needs 0 <= r_min < r_max");
+  angle_ = std::min(angle_, kTwoPi);
+}
+
+bool SectorRing::in_ring_distance(Vec2 p, double eps) const {
+  const double d = distance(apex_, p);
+  return d >= r_min_ - eps && d <= r_max_ + eps;
+}
+
+bool SectorRing::contains(Vec2 p, double eps) const {
+  if (!in_ring_distance(p, eps)) return false;
+  if (angle_ >= kTwoPi) return true;
+  const Vec2 v = p - apex_;
+  if (v.norm() <= eps) return r_min_ <= eps;  // at the apex
+  const double dev = angle_distance(v.angle(), orientation_);
+  // Angular tolerance scaled so that `eps` remains a *distance* tolerance at
+  // the point's range from the apex.
+  const double ang_eps = eps / std::max(v.norm(), 1e-12);
+  return dev <= angle_ / 2.0 + ang_eps;
+}
+
+AngleInterval SectorRing::covering_orientations(Vec2 p) const {
+  const Vec2 v = p - apex_;
+  if (angle_ >= kTwoPi || v.norm() <= kEps) return AngleInterval::full();
+  const double theta = norm_angle(v.angle());
+  return AngleInterval(theta - angle_ / 2.0, angle_);
+}
+
+double SectorRing::area() const {
+  return 0.5 * angle_ * (r_max_ * r_max_ - r_min_ * r_min_);
+}
+
+}  // namespace hipo::geom

@@ -1,0 +1,47 @@
+// Sector rings — the paper's practical directional charging/receiving area
+// (Fig. 1): the region between radii [r_min, r_max] within half-angle
+// `angle/2` of an apex orientation.
+#pragma once
+
+#include "src/geometry/angles.hpp"
+#include "src/geometry/vec2.hpp"
+
+namespace hipo::geom {
+
+class SectorRing {
+ public:
+  SectorRing() = default;
+  /// apex: position; orientation: center direction (radians); angle: full
+  /// central angle α in (0, 2π]; radii 0 <= r_min < r_max.
+  SectorRing(Vec2 apex, double orientation, double angle, double r_min,
+             double r_max);
+
+  Vec2 apex() const { return apex_; }
+  double orientation() const { return orientation_; }
+  double angle() const { return angle_; }
+  double r_min() const { return r_min_; }
+  double r_max() const { return r_max_; }
+
+  /// Membership per Eq. (1)'s two sector conditions plus the ring bounds,
+  /// inclusive with tolerance (constructed candidates sit on boundaries).
+  bool contains(Vec2 p, double eps = kCoverEps) const;
+
+  /// Orientation interval [θ(p) − α/2, θ(p) + α/2]: the set of apex
+  /// orientations under which point `p` (already within ring distance) is
+  /// covered. Used by the Algorithm-1 rotational sweep.
+  AngleInterval covering_orientations(Vec2 p) const;
+
+  /// True iff p's distance to the apex lies within [r_min, r_max].
+  bool in_ring_distance(Vec2 p, double eps = kCoverEps) const;
+
+  double area() const;
+
+ private:
+  Vec2 apex_{};
+  double orientation_ = 0.0;
+  double angle_ = kTwoPi;
+  double r_min_ = 0.0;
+  double r_max_ = 1.0;
+};
+
+}  // namespace hipo::geom

@@ -1,0 +1,121 @@
+#include "src/geometry/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hipo::geom {
+
+int orientation(Vec2 a, Vec2 b, Vec2 c, double eps) {
+  const double cross = (b - a).cross(c - a);
+  // Scale tolerance by the magnitude of the operands so the predicate is
+  // usable both at meter scale and centimeter scale.
+  const double scale =
+      std::max({std::abs(b.x - a.x), std::abs(b.y - a.y), std::abs(c.x - a.x),
+                std::abs(c.y - a.y), 1.0});
+  const double tol = eps * scale;
+  if (cross > tol) return 1;
+  if (cross < -tol) return -1;
+  return 0;
+}
+
+bool on_segment(Vec2 p, const Segment& s, double eps) {
+  return point_segment_distance(p, s) <= eps;
+}
+
+double point_segment_distance(Vec2 p, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.norm2();
+  if (len2 <= 0.0) return distance(p, s.a);
+  const double t = std::clamp((p - s.a).dot(d) / len2, 0.0, 1.0);
+  return distance(p, s.a + d * t);
+}
+
+bool segments_intersect(const Segment& s1, const Segment& s2, double eps) {
+  const int o1 = orientation(s1.a, s1.b, s2.a, eps);
+  const int o2 = orientation(s1.a, s1.b, s2.b, eps);
+  const int o3 = orientation(s2.a, s2.b, s1.a, eps);
+  const int o4 = orientation(s2.a, s2.b, s1.b, eps);
+
+  if (o1 != o2 && o3 != o4 && o1 * o2 <= 0 && o3 * o4 <= 0) {
+    // Mixed signs on both sides, including touching (a zero among them).
+    if ((o1 != 0 || o2 != 0) && (o3 != 0 || o4 != 0)) return true;
+  }
+  if (o1 == 0 && on_segment(s2.a, s1, eps)) return true;
+  if (o2 == 0 && on_segment(s2.b, s1, eps)) return true;
+  if (o3 == 0 && on_segment(s1.a, s2, eps)) return true;
+  if (o4 == 0 && on_segment(s1.b, s2, eps)) return true;
+  return false;
+}
+
+std::optional<Vec2> segment_intersection_point(const Segment& s1,
+                                               const Segment& s2, double eps) {
+  const Vec2 r = s1.b - s1.a;
+  const Vec2 s = s2.b - s2.a;
+  const double denom = r.cross(s);
+  const Vec2 qp = s2.a - s1.a;
+  const double scale = std::max({r.norm(), s.norm(), 1.0});
+  if (std::abs(denom) > eps * scale * scale) {
+    const double t = qp.cross(s) / denom;
+    const double u = qp.cross(r) / denom;
+    const double slack = eps;
+    if (t >= -slack && t <= 1.0 + slack && u >= -slack && u <= 1.0 + slack) {
+      return s1.point_at(std::clamp(t, 0.0, 1.0));
+    }
+    return std::nullopt;
+  }
+  // Near-parallel. Handle collinear touching/overlap by endpoint testing.
+  if (on_segment(s2.a, s1, eps)) return s2.a;
+  if (on_segment(s2.b, s1, eps)) return s2.b;
+  if (on_segment(s1.a, s2, eps)) return s1.a;
+  if (on_segment(s1.b, s2, eps)) return s1.b;
+  return std::nullopt;
+}
+
+std::optional<double> ray_segment_hit(const Ray& ray, const Segment& seg,
+                                      double eps) {
+  const Vec2 r = ray.dir;
+  const Vec2 s = seg.b - seg.a;
+  const double denom = r.cross(s);
+  const Vec2 qp = seg.a - ray.origin;
+  const double scale = std::max({r.norm(), s.norm(), 1.0});
+  if (std::abs(denom) <= eps * scale * scale) {
+    // Parallel; collinear rays hit at the nearest endpoint in front.
+    if (std::abs(qp.cross(r)) > eps * scale * std::max(qp.norm(), 1.0))
+      return std::nullopt;
+    const double r2 = r.norm2();
+    if (r2 <= 0.0) return std::nullopt;
+    const double ta = qp.dot(r) / r2;
+    const double tb = (seg.b - ray.origin).dot(r) / r2;
+    const double tmin = std::min(ta, tb);
+    const double tmax = std::max(ta, tb);
+    if (tmax < -eps) return std::nullopt;
+    return std::max(tmin, 0.0);
+  }
+  const double t = qp.cross(s) / denom;  // along ray
+  const double u = qp.cross(r) / denom;  // along segment
+  if (t >= -eps && u >= -eps && u <= 1.0 + eps) return std::max(t, 0.0);
+  return std::nullopt;
+}
+
+std::vector<Vec2> line_segment_intersections(Vec2 p, Vec2 dir,
+                                             const Segment& seg, double eps) {
+  std::vector<Vec2> out;
+  const Vec2 s = seg.b - seg.a;
+  const double denom = dir.cross(s);
+  const Vec2 qp = seg.a - p;
+  const double scale = std::max({dir.norm(), s.norm(), 1.0});
+  if (std::abs(denom) <= eps * scale * scale) {
+    if (std::abs(qp.cross(dir)) <= eps * scale * std::max(qp.norm(), 1.0)) {
+      out.push_back(seg.a);
+      out.push_back(seg.b);
+    }
+    return out;
+  }
+  const double u = qp.cross(dir) / denom;
+  if (u >= -eps && u <= 1.0 + eps) {
+    out.push_back(seg.a + s * std::clamp(u, 0.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace hipo::geom

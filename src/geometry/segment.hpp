@@ -1,0 +1,63 @@
+// Line segments, rays, and their intersection predicates/constructions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/geometry/vec2.hpp"
+
+namespace hipo::geom {
+
+/// Sign of the signed area of triangle (a, b, c) with tolerance:
+/// +1 = counter-clockwise, -1 = clockwise, 0 = collinear within eps.
+int orientation(Vec2 a, Vec2 b, Vec2 c, double eps = kEps);
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  Segment() = default;
+  Segment(Vec2 a_, Vec2 b_) : a(a_), b(b_) {}
+
+  Vec2 direction() const { return b - a; }
+  double length() const { return distance(a, b); }
+  Vec2 point_at(double t) const { return a + (b - a) * t; }
+};
+
+/// True if point p lies on segment s (within eps).
+bool on_segment(Vec2 p, const Segment& s, double eps = kEps);
+
+/// Distance from point p to segment s.
+double point_segment_distance(Vec2 p, const Segment& s);
+
+/// Proper-or-touching intersection test between closed segments.
+bool segments_intersect(const Segment& s1, const Segment& s2,
+                        double eps = kEps);
+
+/// Intersection point of two segments if they intersect in a single point.
+/// Collinear-overlap cases return the midpoint of the shared portion's
+/// clamped representative (rare in our inputs; callers treat any returned
+/// point as "an" intersection witness).
+std::optional<Vec2> segment_intersection_point(const Segment& s1,
+                                               const Segment& s2,
+                                               double eps = kEps);
+
+/// A ray from `origin` in direction `dir` (need not be unit length).
+struct Ray {
+  Vec2 origin;
+  Vec2 dir;
+};
+
+/// Parameter t >= 0 (in units of |dir|) of the nearest hit of ray with
+/// segment, or nullopt. Grazing endpoint hits count.
+std::optional<double> ray_segment_hit(const Ray& ray, const Segment& seg,
+                                      double eps = kEps);
+
+/// All intersection points of an (infinite) line through `p` with direction
+/// `dir` against segment `seg` — 0 or 1 points (collinear overlap returns the
+/// segment endpoints).
+std::vector<Vec2> line_segment_intersections(Vec2 p, Vec2 dir,
+                                             const Segment& seg,
+                                             double eps = kEps);
+
+}  // namespace hipo::geom

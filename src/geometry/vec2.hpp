@@ -1,0 +1,107 @@
+// 2D vector/point type and the numeric tolerances used across the geometry
+// kernel.
+//
+// The kernel works in double precision with epsilon-aware comparisons instead
+// of exact arithmetic: the paper's constructions (circle/line intersections,
+// rotational sweeps) only require that candidate positions be *valid covers*,
+// which the PDCS algorithms re-verify with inclusive predicates, so bounded
+// rounding never invalidates the dominance argument — at worst a strategy is
+// generated twice or verified not to cover a marginal device.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace hipo::geom {
+
+/// Absolute tolerance for coordinate comparisons. Scenario coordinates in the
+/// paper are O(1)–O(100) meters; 1e-9 is ~10 ULP headroom below that scale.
+inline constexpr double kEps = 1e-9;
+
+/// Looser tolerance used when testing *coverage* of constructed candidate
+/// points (they sit exactly on coverage boundaries by construction).
+inline constexpr double kCoverEps = 1e-7;
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+  constexpr Vec2 operator/(double k) const { return {x / k, y / k}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double k) {
+    x *= k;
+    y *= k;
+    return *this;
+  }
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product; > 0 when `o` is counter-clockwise
+  /// from *this.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  double norm() const { return std::hypot(x, y); }
+  constexpr double norm2() const { return x * x + y * y; }
+
+  /// Unit vector; the zero vector maps to (0, 0).
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Perpendicular (rotated +90°).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  /// Rotated counter-clockwise by `radians`.
+  Vec2 rotated(double radians) const {
+    const double c = std::cos(radians);
+    const double s = std::sin(radians);
+    return {x * c - y * s, x * s + y * c};
+  }
+
+  /// Polar angle in [-π, π].
+  double angle() const { return std::atan2(y, x); }
+
+  friend constexpr bool operator==(Vec2 a, Vec2 b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline constexpr Vec2 operator*(double k, Vec2 v) { return v * k; }
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+/// Unit vector at polar angle `radians`.
+inline Vec2 unit_vector(double radians) {
+  return {std::cos(radians), std::sin(radians)};
+}
+
+inline bool approx_equal(Vec2 a, Vec2 b, double eps = kEps) {
+  return std::abs(a.x - b.x) <= eps && std::abs(a.y - b.y) <= eps;
+}
+
+inline bool approx_equal(double a, double b, double eps = kEps) {
+  return std::abs(a - b) <= eps;
+}
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace hipo::geom

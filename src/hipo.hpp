@@ -1,0 +1,56 @@
+// Umbrella header for the HIPO library.
+//
+// HIPO — practical Heterogeneous wIreless charger Placement with Obstacles —
+// implements the full pipeline of Wang et al. (ICPP 2018 / IEEE TMC 2019):
+// piecewise-constant power approximation, multi-feasible geometric area
+// discretization with obstacle shadows, Practical Dominating Coverage Set
+// extraction, and (1/2 − ε) submodular greedy placement, together with the
+// Section 8 extensions (redeployment, deployment costs, fairness) and the
+// eight comparison baselines of the paper's evaluation.
+#pragma once
+
+#include "src/baselines/baselines.hpp"
+#include "src/core/solver.hpp"
+#include "src/discretize/feasible_region.hpp"
+#include "src/discretize/shadow_map.hpp"
+#include "src/ext/coverage_analysis.hpp"
+#include "src/ext/deploy_cost.hpp"
+#include "src/ext/fairness.hpp"
+#include "src/ext/hungarian.hpp"
+#include "src/ext/matching.hpp"
+#include "src/ext/radiation.hpp"
+#include "src/ext/redeploy.hpp"
+#include "src/ext/resilience.hpp"
+#include "src/ext/tour.hpp"
+#include "src/geometry/angles.hpp"
+#include "src/geometry/circle.hpp"
+#include "src/geometry/polygon.hpp"
+#include "src/geometry/sector_ring.hpp"
+#include "src/geometry/segment.hpp"
+#include "src/geometry/vec2.hpp"
+#include "src/model/io.hpp"
+#include "src/model/piecewise.hpp"
+#include "src/model/scenario.hpp"
+#include "src/model/scenario_gen.hpp"
+#include "src/model/types.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/opt/exhaustive.hpp"
+#include "src/opt/local_search.hpp"
+#include "src/opt/matroid.hpp"
+#include "src/opt/objective.hpp"
+#include "src/parallel/lpt.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/pdcs/arrangement.hpp"
+#include "src/pdcs/candidate.hpp"
+#include "src/pdcs/candidate_gen.hpp"
+#include "src/pdcs/extract.hpp"
+#include "src/pdcs/point_case.hpp"
+#include "src/spatial/grid_index.hpp"
+#include "src/util/cli.hpp"
+
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+#include "src/viz/field_export.hpp"
+#include "src/viz/svg.hpp"

@@ -1,0 +1,232 @@
+#include "src/model/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace hipo::model {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ConfigError("scenario I/O: line " + std::to_string(line) + ": " +
+                    what);
+}
+
+/// Reads non-comment, non-blank lines and tokenizes the first word.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next meaningful line as a token stream; false at EOF.
+  bool next(std::string& keyword, std::istringstream& rest) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      rest = std::istringstream(line);
+      if (!(rest >> keyword)) continue;
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t line_no() const { return line_no_; }
+
+ private:
+  std::istream& is_;
+  std::size_t line_no_ = 0;
+};
+
+template <typename T>
+T expect(std::istringstream& in, std::size_t line, const char* what) {
+  T value;
+  if (!(in >> value)) fail(line, std::string("expected ") + what);
+  return value;
+}
+
+}  // namespace
+
+void write_scenario(std::ostream& os, const Scenario& scenario) {
+  os << "hipo-scenario v1\n";
+  os << std::setprecision(17);
+  const auto& region = scenario.region();
+  os << "region " << region.lo.x << ' ' << region.lo.y << ' ' << region.hi.x
+     << ' ' << region.hi.y << '\n';
+  os << "eps1 " << scenario.eps1() << '\n';
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    const auto& ct = scenario.charger_type(q);
+    os << "charger_type " << ct.angle << ' ' << ct.d_min << ' ' << ct.d_max
+       << ' ' << scenario.charger_count(q) << '\n';
+  }
+  for (std::size_t t = 0; t < scenario.num_device_types(); ++t) {
+    os << "device_type " << scenario.device_type(t).angle << '\n';
+  }
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    for (std::size_t t = 0; t < scenario.num_device_types(); ++t) {
+      const auto& pp = scenario.pair_params(q, t);
+      os << "pair " << q << ' ' << t << ' ' << pp.a << ' ' << pp.b << '\n';
+    }
+  }
+  for (const auto& h : scenario.obstacles()) {
+    os << "obstacle " << h.size();
+    for (const auto& v : h.vertices()) os << ' ' << v.x << ' ' << v.y;
+    os << '\n';
+  }
+  for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+    const auto& d = scenario.device(j);
+    os << "device " << d.pos.x << ' ' << d.pos.y << ' ' << d.orientation
+       << ' ' << d.type << ' ' << d.p_th << ' ' << d.weight << '\n';
+  }
+}
+
+Scenario read_scenario(std::istream& is) {
+  LineReader reader(is);
+  std::string keyword;
+  std::istringstream rest;
+  if (!reader.next(keyword, rest) || keyword != "hipo-scenario") {
+    fail(reader.line_no(), "missing 'hipo-scenario v1' header");
+  }
+
+  Scenario::Config cfg;
+  struct PairEntry {
+    std::size_t q, t;
+    PairParams pp;
+  };
+  std::vector<PairEntry> pairs;
+
+  while (reader.next(keyword, rest)) {
+    // Consume the keyword already read; remaining tokens are the payload.
+    std::string skip;
+    std::istringstream in(rest.str());
+    in >> skip;
+    const std::size_t line = reader.line_no();
+    if (keyword == "region") {
+      cfg.region.lo.x = expect<double>(in, line, "lo.x");
+      cfg.region.lo.y = expect<double>(in, line, "lo.y");
+      cfg.region.hi.x = expect<double>(in, line, "hi.x");
+      cfg.region.hi.y = expect<double>(in, line, "hi.y");
+    } else if (keyword == "eps1") {
+      cfg.eps1 = expect<double>(in, line, "eps1 value");
+    } else if (keyword == "charger_type") {
+      ChargerType ct;
+      ct.angle = expect<double>(in, line, "angle");
+      ct.d_min = expect<double>(in, line, "d_min");
+      ct.d_max = expect<double>(in, line, "d_max");
+      cfg.charger_counts.push_back(expect<int>(in, line, "count"));
+      cfg.charger_types.push_back(ct);
+    } else if (keyword == "device_type") {
+      cfg.device_types.push_back({expect<double>(in, line, "angle")});
+    } else if (keyword == "pair") {
+      PairEntry e;
+      e.q = expect<std::size_t>(in, line, "charger type index");
+      e.t = expect<std::size_t>(in, line, "device type index");
+      e.pp.a = expect<double>(in, line, "a");
+      e.pp.b = expect<double>(in, line, "b");
+      pairs.push_back(e);
+    } else if (keyword == "obstacle") {
+      const auto n = expect<std::size_t>(in, line, "vertex count");
+      if (n < 3) fail(line, "obstacle needs >= 3 vertices");
+      std::vector<geom::Vec2> verts;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = expect<double>(in, line, "vertex x");
+        const double y = expect<double>(in, line, "vertex y");
+        verts.push_back({x, y});
+      }
+      cfg.obstacles.emplace_back(std::move(verts));
+    } else if (keyword == "device") {
+      Device d;
+      d.pos.x = expect<double>(in, line, "x");
+      d.pos.y = expect<double>(in, line, "y");
+      d.orientation = expect<double>(in, line, "orientation");
+      d.type = expect<std::size_t>(in, line, "type");
+      d.p_th = expect<double>(in, line, "p_th");
+      double weight;
+      if (in >> weight) d.weight = weight;  // optional; defaults to 1
+      cfg.devices.push_back(d);
+    } else {
+      fail(line, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (cfg.charger_types.empty()) fail(reader.line_no(), "no charger_type");
+  if (cfg.device_types.empty()) fail(reader.line_no(), "no device_type");
+  cfg.pair_params.assign(cfg.charger_types.size() * cfg.device_types.size(),
+                         PairParams{});
+  std::vector<bool> seen(cfg.pair_params.size(), false);
+  for (const auto& e : pairs) {
+    if (e.q >= cfg.charger_types.size() || e.t >= cfg.device_types.size()) {
+      fail(reader.line_no(), "pair indices out of range");
+    }
+    const std::size_t idx = e.q * cfg.device_types.size() + e.t;
+    cfg.pair_params[idx] = e.pp;
+    seen[idx] = true;
+  }
+  for (bool s : seen) {
+    if (!s) fail(reader.line_no(), "missing pair entry for some (q, t)");
+  }
+  return Scenario(std::move(cfg));
+}
+
+void write_scenario_file(const std::string& path, const Scenario& scenario) {
+  std::ofstream out(path);
+  HIPO_REQUIRE(out.good(), "cannot open scenario file for write: " + path);
+  write_scenario(out, scenario);
+}
+
+Scenario read_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  HIPO_REQUIRE(in.good(), "cannot open scenario file: " + path);
+  return read_scenario(in);
+}
+
+void write_placement(std::ostream& os, const Placement& placement) {
+  os << "hipo-placement v1\n";
+  os << std::setprecision(17);
+  for (const auto& s : placement) {
+    os << "strategy " << s.pos.x << ' ' << s.pos.y << ' ' << s.orientation
+       << ' ' << s.type << '\n';
+  }
+}
+
+Placement read_placement(std::istream& is) {
+  LineReader reader(is);
+  std::string keyword;
+  std::istringstream rest;
+  if (!reader.next(keyword, rest) || keyword != "hipo-placement") {
+    fail(reader.line_no(), "missing 'hipo-placement v1' header");
+  }
+  Placement placement;
+  while (reader.next(keyword, rest)) {
+    std::string skip;
+    std::istringstream in(rest.str());
+    in >> skip;
+    const std::size_t line = reader.line_no();
+    if (keyword != "strategy") fail(line, "expected 'strategy'");
+    Strategy s;
+    s.pos.x = expect<double>(in, line, "x");
+    s.pos.y = expect<double>(in, line, "y");
+    s.orientation = expect<double>(in, line, "orientation");
+    s.type = expect<std::size_t>(in, line, "type");
+    placement.push_back(s);
+  }
+  return placement;
+}
+
+void write_placement_file(const std::string& path,
+                          const Placement& placement) {
+  std::ofstream out(path);
+  HIPO_REQUIRE(out.good(), "cannot open placement file for write: " + path);
+  write_placement(out, placement);
+}
+
+Placement read_placement_file(const std::string& path) {
+  std::ifstream in(path);
+  HIPO_REQUIRE(in.good(), "cannot open placement file: " + path);
+  return read_placement(in);
+}
+
+}  // namespace hipo::model

@@ -1,0 +1,44 @@
+// Plain-text serialization of scenarios and placements.
+//
+// A deliberately simple line-oriented format so instances can be versioned,
+// diffed, and shipped to the CLI tool without a JSON dependency:
+//
+//   hipo-scenario v1
+//   region <lo.x> <lo.y> <hi.x> <hi.y>
+//   eps1 <value>
+//   charger_type <angle> <d_min> <d_max> <count>     (one per type)
+//   device_type <angle>                              (one per type)
+//   pair <q> <t> <a> <b>                             (one per pair)
+//   obstacle <n> <x1> <y1> ... <xn> <yn>
+//   device <x> <y> <orientation> <type> <p_th>
+//
+// Placements:
+//
+//   hipo-placement v1
+//   strategy <x> <y> <orientation> <type>
+//
+// Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::model {
+
+void write_scenario(std::ostream& os, const Scenario& scenario);
+void write_scenario_file(const std::string& path, const Scenario& scenario);
+
+/// Parses the format above; throws ConfigError with a line number on any
+/// malformed input.
+Scenario read_scenario(std::istream& is);
+Scenario read_scenario_file(const std::string& path);
+
+void write_placement(std::ostream& os, const Placement& placement);
+void write_placement_file(const std::string& path,
+                          const Placement& placement);
+Placement read_placement(std::istream& is);
+Placement read_placement_file(const std::string& path);
+
+}  // namespace hipo::model

@@ -1,0 +1,64 @@
+#include "src/model/piecewise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace hipo::model {
+
+RingLadder::RingLadder(double a, double b, double d_min, double d_max,
+                       double eps1)
+    : a_(a), b_(b), d_min_(d_min), d_max_(d_max), eps1_(eps1) {
+  HIPO_REQUIRE(a > 0.0 && b > 0.0, "power constants a, b must be positive");
+  HIPO_REQUIRE(d_min >= 0.0 && d_max > d_min,
+               "need 0 <= d_min < d_max for the charging range");
+  HIPO_REQUIRE(eps1 > 0.0, "ε₁ must be positive");
+
+  const double log1e = std::log1p(eps1);
+  // l(k) = b((1+ε₁)^{k/2} − 1). k₀ is the smallest k with l(k) >= d_min;
+  // K−1 is the largest interior rung below d_max; l(K) = d_max exactly.
+  const auto l = [&](long long k) {
+    return b * (std::exp(0.5 * static_cast<double>(k) * log1e) - 1.0);
+  };
+  const auto k0 = static_cast<long long>(
+      std::ceil(2.0 * std::log1p(d_min / b) / log1e - 1e-12));
+  const auto big_k = static_cast<long long>(
+      std::ceil(2.0 * std::log1p(d_max / b) / log1e - 1e-12));
+  HIPO_ASSERT(big_k >= k0);
+
+  for (long long k = k0; k < big_k; ++k) {
+    const double radius = l(k);
+    if (radius > d_min_ + 1e-12 && radius < d_max_ - 1e-12) {
+      outer_.push_back(radius);
+    }
+  }
+  outer_.push_back(d_max_);
+  powers_.reserve(outer_.size());
+  for (double r : outer_) powers_.push_back(exact_power(r));
+  // Rings must be strictly increasing for ring_index's binary search.
+  HIPO_ASSERT(std::is_sorted(outer_.begin(), outer_.end()));
+}
+
+double RingLadder::exact_power(double d) const {
+  return a_ / ((d + b_) * (d + b_));
+}
+
+std::optional<std::size_t> RingLadder::ring_index(double d) const {
+  if (d < d_min_ || d > d_max_) return std::nullopt;
+  const auto it = std::lower_bound(outer_.begin(), outer_.end(), d);
+  if (it == outer_.end()) return outer_.size() - 1;  // d == d_max rounding
+  return static_cast<std::size_t>(it - outer_.begin());
+}
+
+double RingLadder::ring_power(std::size_t r) const {
+  HIPO_ASSERT(r < powers_.size());
+  return powers_[r];
+}
+
+double RingLadder::approx_power(double d) const {
+  const auto r = ring_index(d);
+  return r ? powers_[*r] : 0.0;
+}
+
+}  // namespace hipo::model

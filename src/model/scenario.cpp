@@ -1,0 +1,266 @@
+#include "src/model/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::model {
+
+using geom::SectorRing;
+using geom::Vec2;
+
+Scenario::Scenario(Config config)
+    : charger_types_(std::move(config.charger_types)),
+      device_types_(std::move(config.device_types)),
+      pair_params_(std::move(config.pair_params)),
+      charger_counts_(std::move(config.charger_counts)),
+      devices_(std::move(config.devices)),
+      obstacles_(std::move(config.obstacles)),
+      region_(config.region),
+      eps1_(config.eps1) {
+  HIPO_REQUIRE(!charger_types_.empty(), "need at least one charger type");
+  HIPO_REQUIRE(!device_types_.empty(), "need at least one device type");
+  HIPO_REQUIRE(pair_params_.size() ==
+                   charger_types_.size() * device_types_.size(),
+               "pair_params must be a [charger × device] table");
+  HIPO_REQUIRE(charger_counts_.size() == charger_types_.size(),
+               "charger_counts must match charger_types");
+  HIPO_REQUIRE(region_.hi.x > region_.lo.x && region_.hi.y > region_.lo.y,
+               "region must be non-degenerate");
+  HIPO_REQUIRE(eps1_ > 0.0, "ε₁ must be positive");
+  for (int count : charger_counts_)
+    HIPO_REQUIRE(count >= 0, "charger counts must be non-negative");
+  for (const auto& ct : charger_types_) {
+    HIPO_REQUIRE(ct.angle > 0.0 && ct.angle <= geom::kTwoPi,
+                 "charger angle must be in (0, 2π]");
+    HIPO_REQUIRE(ct.d_min >= 0.0 && ct.d_max > ct.d_min,
+                 "charger needs 0 <= d_min < d_max");
+  }
+  for (const auto& dt : device_types_) {
+    HIPO_REQUIRE(dt.angle > 0.0 && dt.angle <= geom::kTwoPi,
+                 "device angle must be in (0, 2π]");
+  }
+  for (const auto& d : devices_) {
+    HIPO_REQUIRE(d.type < device_types_.size(), "device type out of range");
+    HIPO_REQUIRE(d.p_th > 0.0, "device P_th must be positive");
+    HIPO_REQUIRE(d.weight > 0.0, "device weight must be positive");
+    HIPO_REQUIRE(region_.contains(d.pos, geom::kEps),
+                 "device outside the region");
+    for (const auto& h : obstacles_) {
+      HIPO_REQUIRE(!h.contains_interior(d.pos),
+                   "device placed inside an obstacle");
+    }
+  }
+
+  ladders_.reserve(pair_params_.size());
+  for (std::size_t q = 0; q < charger_types_.size(); ++q) {
+    const auto& ct = charger_types_[q];
+    max_range_ = std::max(max_range_, ct.d_max);
+    for (std::size_t t = 0; t < device_types_.size(); ++t) {
+      const auto& pp = pair_params_[q * device_types_.size() + t];
+      HIPO_REQUIRE(pp.a > 0.0 && pp.b > 0.0,
+                   "pair params (a, b) must be positive");
+      ladders_.emplace_back(pp.a, pp.b, ct.d_min, ct.d_max, eps1_);
+    }
+  }
+}
+
+std::size_t Scenario::num_chargers() const {
+  std::size_t total = 0;
+  for (int c : charger_counts_) total += static_cast<std::size_t>(c);
+  return total;
+}
+
+const ChargerType& Scenario::charger_type(std::size_t q) const {
+  HIPO_ASSERT(q < charger_types_.size());
+  return charger_types_[q];
+}
+
+const DeviceType& Scenario::device_type(std::size_t t) const {
+  HIPO_ASSERT(t < device_types_.size());
+  return device_types_[t];
+}
+
+const PairParams& Scenario::pair_params(std::size_t q, std::size_t t) const {
+  HIPO_ASSERT(q < charger_types_.size() && t < device_types_.size());
+  return pair_params_[q * device_types_.size() + t];
+}
+
+int Scenario::charger_count(std::size_t q) const {
+  HIPO_ASSERT(q < charger_counts_.size());
+  return charger_counts_[q];
+}
+
+const Device& Scenario::device(std::size_t j) const {
+  HIPO_ASSERT(j < devices_.size());
+  return devices_[j];
+}
+
+const RingLadder& Scenario::ladder(std::size_t q, std::size_t t) const {
+  HIPO_ASSERT(q < charger_types_.size() && t < device_types_.size());
+  return ladders_[q * device_types_.size() + t];
+}
+
+const RingLadder& Scenario::ladder_for_device(std::size_t q,
+                                              std::size_t j) const {
+  return ladder(q, device(j).type);
+}
+
+bool Scenario::line_of_sight(Vec2 a, Vec2 b) const {
+  const geom::Segment seg{a, b};
+  for (const auto& h : obstacles_) {
+    if (h.blocks_segment(seg)) return false;
+  }
+  return true;
+}
+
+bool Scenario::position_feasible(Vec2 p) const {
+  if (!region_.contains(p, geom::kEps)) return false;
+  for (const auto& h : obstacles_) {
+    if (h.contains(p)) return false;
+  }
+  return true;
+}
+
+SectorRing Scenario::charging_area(const Strategy& s) const {
+  const auto& ct = charger_type(s.type);
+  return SectorRing(s.pos, s.orientation, ct.angle, ct.d_min, ct.d_max);
+}
+
+SectorRing Scenario::receiving_area(std::size_t j, std::size_t q) const {
+  const auto& d = device(j);
+  const auto& ct = charger_type(q);
+  return SectorRing(d.pos, d.orientation, device_type(d.type).angle, ct.d_min,
+                    ct.d_max);
+}
+
+bool Scenario::coverage_conditions(const Strategy& s, std::size_t j,
+                                   double& distance_out) const {
+  const auto& ct = charger_type(s.type);
+  const auto& dev = device(j);
+  const Vec2 so = dev.pos - s.pos;
+  const double d = so.norm();
+  distance_out = d;
+  if (d < ct.d_min - geom::kCoverEps || d > ct.d_max + geom::kCoverEps)
+    return false;
+  if (d <= geom::kEps) return false;  // coincident positions: undefined angles
+  const double ang_eps = geom::kCoverEps / std::max(d, 1e-12);
+  // Charger's sector contains the device.
+  if (ct.angle < geom::kTwoPi) {
+    const double dev_angle = geom::angle_distance(so.angle(), s.orientation);
+    if (dev_angle > ct.angle / 2.0 + ang_eps) return false;
+  }
+  // Device's receiving sector contains the charger.
+  const double recv_angle = device_type(dev.type).angle;
+  if (recv_angle < geom::kTwoPi) {
+    const double chg_angle =
+        geom::angle_distance((-so).angle(), dev.orientation);
+    if (chg_angle > recv_angle / 2.0 + ang_eps) return false;
+  }
+  return line_of_sight(s.pos, dev.pos);
+}
+
+bool Scenario::covers(const Strategy& s, std::size_t j) const {
+  double d;
+  return coverage_conditions(s, j, d);
+}
+
+double Scenario::exact_power(const Strategy& s, std::size_t j) const {
+  double d;
+  if (!coverage_conditions(s, j, d)) return 0.0;
+  const auto& pp = pair_params(s.type, device(j).type);
+  return pp.a / ((d + pp.b) * (d + pp.b));
+}
+
+double Scenario::approx_power(const Strategy& s, std::size_t j) const {
+  double d;
+  if (!coverage_conditions(s, j, d)) return 0.0;
+  const auto& lad = ladder_for_device(s.type, j);
+  // Gating passed with tolerance but d may sit a hair outside the ladder
+  // domain; clamp into it so covered devices always get the ring power.
+  const double dc = std::clamp(d, lad.d_min(), lad.d_max());
+  return lad.approx_power(dc);
+}
+
+double Scenario::total_exact_power(std::span<const Strategy> placement,
+                                   std::size_t j) const {
+  double total = 0.0;
+  for (const auto& s : placement) total += exact_power(s, j);
+  return total;
+}
+
+double Scenario::total_approx_power(std::span<const Strategy> placement,
+                                    std::size_t j) const {
+  double total = 0.0;
+  for (const auto& s : placement) total += approx_power(s, j);
+  return total;
+}
+
+double Scenario::utility(std::size_t j, double x) const {
+  const double pth = device(j).p_th;
+  return x >= pth ? 1.0 : x / pth;
+}
+
+double Scenario::total_weight() const {
+  double total = 0.0;
+  for (const auto& d : devices_) total += d.weight;
+  return total;
+}
+
+double Scenario::placement_utility(std::span<const Strategy> placement) const {
+  if (devices_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    total += devices_[j].weight * utility(j, total_exact_power(placement, j));
+  }
+  return total / total_weight();
+}
+
+double Scenario::placement_utility_approx(
+    std::span<const Strategy> placement) const {
+  if (devices_.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    total += devices_[j].weight * utility(j, total_approx_power(placement, j));
+  }
+  return total / total_weight();
+}
+
+std::vector<double> Scenario::per_device_power(
+    std::span<const Strategy> placement) const {
+  std::vector<double> out(devices_.size());
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    out[j] = total_exact_power(placement, j);
+  }
+  return out;
+}
+
+std::vector<double> Scenario::per_device_utility(
+    std::span<const Strategy> placement) const {
+  std::vector<double> out(devices_.size());
+  for (std::size_t j = 0; j < devices_.size(); ++j) {
+    out[j] = utility(j, total_exact_power(placement, j));
+  }
+  return out;
+}
+
+void Scenario::validate_placement(std::span<const Strategy> placement) const {
+  std::vector<int> used(charger_types_.size(), 0);
+  for (const auto& s : placement) {
+    HIPO_REQUIRE(s.type < charger_types_.size(),
+                 "strategy charger type out of range");
+    HIPO_REQUIRE(position_feasible(s.pos),
+                 "strategy position infeasible (outside region or inside "
+                 "an obstacle)");
+    ++used[s.type];
+  }
+  for (std::size_t q = 0; q < used.size(); ++q) {
+    HIPO_REQUIRE(used[q] <= charger_counts_[q],
+                 "placement exceeds the charger budget of type " +
+                     std::to_string(q));
+  }
+}
+
+}  // namespace hipo::model

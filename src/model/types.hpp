@@ -1,0 +1,56 @@
+// Core model vocabulary: heterogeneous charger and device types, placed
+// devices, and charger placement strategies (Section 3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geometry/vec2.hpp"
+
+namespace hipo::model {
+
+/// A charger hardware type (Table 2): sector-ring charging area parameters.
+/// The receiving *ring radii* of a device facing this charger type are the
+/// same [d_min, d_max] by geometric symmetry (Section 3.1).
+struct ChargerType {
+  double angle = 0.0;  // charging central angle α_s (radians)
+  double d_min = 0.0;  // nearest charging distance
+  double d_max = 0.0;  // farthest charging distance
+};
+
+/// A device hardware type (Table 3): receiving central angle.
+struct DeviceType {
+  double angle = 0.0;  // receiving central angle α_o (radians)
+};
+
+/// Empirical power-model constants for one (charger type, device type)
+/// combination (Table 4): P = a / (d + b)².
+struct PairParams {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+/// A placed rechargeable device: fixed position and orientation (Section 3),
+/// with its saturation threshold P_th (Eq. 3).
+struct Device {
+  geom::Vec2 pos;
+  double orientation = 0.0;  // φ_o (radians)
+  std::size_t type = 0;      // index into DeviceType table
+  double p_th = 0.05;        // utility saturation threshold
+  /// Relative importance in the objective. The paper assigns the uniform
+  /// weight 1/N_o "for normalization"; non-uniform weights generalize P1 to
+  /// Σ w_j·U_j / Σ w_j without affecting submodularity.
+  double weight = 1.0;
+};
+
+/// A charger placement strategy ⟨s_i, φ_i⟩ plus which charger type it uses.
+struct Strategy {
+  geom::Vec2 pos;
+  double orientation = 0.0;  // φ_s (radians)
+  std::size_t type = 0;      // index into ChargerType table
+};
+
+/// A full placement: one strategy per deployed charger.
+using Placement = std::vector<Strategy>;
+
+}  // namespace hipo::model

@@ -1,0 +1,184 @@
+#include "src/opt/greedy.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+
+#include "src/util/error.hpp"
+
+namespace hipo::opt {
+
+PartitionMatroid placement_matroid(
+    const model::Scenario& scenario,
+    std::span<const pdcs::Candidate> candidates) {
+  std::vector<std::size_t> part_of;
+  part_of.reserve(candidates.size());
+  for (const auto& c : candidates) part_of.push_back(c.strategy.type);
+  std::vector<std::size_t> caps;
+  caps.reserve(scenario.num_charger_types());
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    caps.push_back(static_cast<std::size_t>(scenario.charger_count(q)));
+  }
+  return PartitionMatroid(std::move(part_of), std::move(caps));
+}
+
+namespace {
+
+/// One pass of Algorithm 3's inner argmax over a candidate subset.
+/// Returns the best index by gain (ties to the lower index) or nullopt if
+/// no candidate has positive gain.
+std::optional<std::size_t> best_gain(
+    const ChargingObjective::State& state,
+    const std::vector<std::size_t>& pool,
+    const std::vector<bool>& taken) {
+  std::optional<std::size_t> best;
+  double best_gain_value = 0.0;
+  for (std::size_t i : pool) {
+    if (taken[i]) continue;
+    const double g = state.gain(i);
+    if (g > best_gain_value + 1e-15) {
+      best_gain_value = g;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void finish(const model::Scenario& scenario,
+            std::span<const pdcs::Candidate> candidates, GreedyResult& result,
+            const ChargingObjective::State& state) {
+  result.approx_utility = state.value();
+  result.placement.clear();
+  result.placement.reserve(result.selected.size());
+  for (std::size_t i : result.selected) {
+    result.placement.push_back(candidates[i].strategy);
+  }
+  result.exact_utility = scenario.placement_utility(result.placement);
+}
+
+GreedyResult greedy_per_type(const model::Scenario& scenario,
+                             std::span<const pdcs::Candidate> candidates,
+                             ObjectiveKind kind) {
+  const ChargingObjective objective(scenario, candidates, kind);
+  ChargingObjective::State state(objective);
+  GreedyResult result;
+  std::vector<bool> taken(candidates.size(), false);
+
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    std::vector<std::size_t> pool;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (candidates[i].strategy.type == q) pool.push_back(i);
+    }
+    const auto budget = static_cast<std::size_t>(scenario.charger_count(q));
+    for (std::size_t pick = 0; pick < budget; ++pick) {
+      const auto best = best_gain(state, pool, taken);
+      if (!best) break;  // nothing left with positive gain for this type
+      taken[*best] = true;
+      state.add(*best);
+      result.selected.push_back(*best);
+    }
+  }
+  finish(scenario, candidates, result, state);
+  return result;
+}
+
+GreedyResult greedy_global(const model::Scenario& scenario,
+                           std::span<const pdcs::Candidate> candidates,
+                           ObjectiveKind kind) {
+  const ChargingObjective objective(scenario, candidates, kind);
+  ChargingObjective::State state(objective);
+  const PartitionMatroid matroid = placement_matroid(scenario, candidates);
+  PartitionMatroid::Tracker tracker(matroid);
+  GreedyResult result;
+  std::vector<bool> taken(candidates.size(), false);
+
+  while (!tracker.saturated()) {
+    std::optional<std::size_t> best;
+    double best_gain_value = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i] || !tracker.can_add(i)) continue;
+      const double g = state.gain(i);
+      if (g > best_gain_value + 1e-15) {
+        best_gain_value = g;
+        best = i;
+      }
+    }
+    if (!best) break;
+    taken[*best] = true;
+    tracker.add(*best);
+    state.add(*best);
+    result.selected.push_back(*best);
+  }
+  finish(scenario, candidates, result, state);
+  return result;
+}
+
+GreedyResult greedy_lazy(const model::Scenario& scenario,
+                         std::span<const pdcs::Candidate> candidates,
+                         ObjectiveKind kind) {
+  const ChargingObjective objective(scenario, candidates, kind);
+  ChargingObjective::State state(objective);
+  const PartitionMatroid matroid = placement_matroid(scenario, candidates);
+  PartitionMatroid::Tracker tracker(matroid);
+  GreedyResult result;
+
+  // Max-heap of (stale gain upper bound, candidate). Submodularity
+  // guarantees gains only decrease, so a re-evaluated top that stays on top
+  // is exactly the argmax.
+  struct Entry {
+    double gain;
+    std::size_t index;
+    std::size_t round;  // selection round the gain was computed in
+    bool operator<(const Entry& other) const {
+      if (gain != other.gain) return gain < other.gain;
+      return index > other.index;  // deterministic tie-break: lower index wins
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double g = state.gain(i);
+    if (g > 0.0) heap.push({g, i, 0});
+  }
+
+  std::size_t round = 0;
+  while (!tracker.saturated() && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (!tracker.can_add(top.index)) continue;  // part already full
+    if (top.round != round) {
+      const double g = state.gain(top.index);
+      if (g <= 1e-15) continue;
+      top.gain = g;
+      top.round = round;
+      if (!heap.empty() && heap.top().gain > g + 1e-15) {
+        heap.push(top);
+        continue;
+      }
+    }
+    tracker.add(top.index);
+    state.add(top.index);
+    result.selected.push_back(top.index);
+    ++round;
+  }
+  finish(scenario, candidates, result, state);
+  return result;
+}
+
+}  // namespace
+
+GreedyResult select_strategies(const model::Scenario& scenario,
+                               std::span<const pdcs::Candidate> candidates,
+                               GreedyMode mode, ObjectiveKind kind) {
+  switch (mode) {
+    case GreedyMode::kPerType:
+      return greedy_per_type(scenario, candidates, kind);
+    case GreedyMode::kGlobal:
+      return greedy_global(scenario, candidates, kind);
+    case GreedyMode::kLazyGlobal:
+      return greedy_lazy(scenario, candidates, kind);
+  }
+  HIPO_ASSERT_MSG(false, "unknown greedy mode");
+  return {};
+}
+
+}  // namespace hipo::opt

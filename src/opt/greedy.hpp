@@ -1,0 +1,53 @@
+// Greedy strategy selection under the partition matroid (Section 4.3).
+//
+// Three interchangeable modes:
+//   * PerType    — Algorithm 3 verbatim: iterate charger types in order and
+//                  fill each type's budget greedily, gains evaluated on the
+//                  global state.
+//   * Global     — textbook matroid greedy: at every step pick the feasible
+//                  candidate with the best global marginal gain. Both
+//                  achieve the 1/2 bound for monotone submodular f under a
+//                  matroid constraint [Fisher–Nemhauser–Wolsey; ref 38].
+//   * LazyGlobal — Global accelerated with Minoux's lazy evaluation; exact
+//                  same output by submodularity (stale upper bounds only
+//                  ever postpone re-evaluation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/opt/matroid.hpp"
+#include "src/opt/objective.hpp"
+#include "src/pdcs/candidate.hpp"
+
+namespace hipo::opt {
+
+enum class GreedyMode { kPerType, kGlobal, kLazyGlobal };
+
+struct GreedyResult {
+  /// Indices into the candidate span, in selection order.
+  std::vector<std::size_t> selected;
+  /// The selected strategies (one per deployed charger).
+  model::Placement placement;
+  /// Objective value f(X) under approximated powers.
+  double approx_utility = 0.0;
+  /// Exact Eq. (1)-(3) utility of the placement.
+  double exact_utility = 0.0;
+};
+
+/// Build the partition matroid for `candidates` from the scenario's per-type
+/// charger budget.
+PartitionMatroid placement_matroid(const model::Scenario& scenario,
+                                   std::span<const pdcs::Candidate> candidates);
+
+/// Select strategies greedily. Stops early when no remaining candidate has
+/// positive gain and every budget is either filled or its part exhausted.
+/// `kind` selects the per-device transform (kLogUtility gives the
+/// proportional-fairness objective of Section 8.3).
+GreedyResult select_strategies(const model::Scenario& scenario,
+                               std::span<const pdcs::Candidate> candidates,
+                               GreedyMode mode = GreedyMode::kPerType,
+                               ObjectiveKind kind = ObjectiveKind::kUtility);
+
+}  // namespace hipo::opt

@@ -1,0 +1,62 @@
+#include "src/opt/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace hipo::opt {
+
+ChargingObjective::ChargingObjective(
+    const model::Scenario& scenario,
+    std::span<const pdcs::Candidate> candidates, ObjectiveKind kind)
+    : scenario_(&scenario), candidates_(candidates), kind_(kind) {
+  p_th_.reserve(scenario.num_devices());
+  weight_.reserve(scenario.num_devices());
+  for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+    p_th_.push_back(scenario.device(j).p_th);
+    weight_.push_back(scenario.device(j).weight);
+    weight_total_ += scenario.device(j).weight;
+  }
+}
+
+const pdcs::Candidate& ChargingObjective::candidate(std::size_t i) const {
+  HIPO_ASSERT(i < candidates_.size());
+  return candidates_[i];
+}
+
+double ChargingObjective::device_score(std::size_t j, double x) const {
+  const double u = std::min(x, p_th_[j]) / p_th_[j];
+  return weight_[j] * (kind_ == ObjectiveKind::kUtility ? u : std::log1p(u));
+}
+
+double ChargingObjective::value(std::span<const std::size_t> selected) const {
+  State state(*this);
+  for (std::size_t i : selected) state.add(i);
+  return state.value();
+}
+
+ChargingObjective::State::State(const ChargingObjective& objective)
+    : objective_(&objective), power_(objective.p_th_.size(), 0.0) {}
+
+double ChargingObjective::State::gain(std::size_t i) const {
+  const auto& cand = objective_->candidate(i);
+  if (objective_->p_th_.empty()) return 0.0;
+  double delta = 0.0;
+  for (std::size_t k = 0; k < cand.covered.size(); ++k) {
+    const std::size_t j = cand.covered[k];
+    delta += objective_->device_score(j, power_[j] + cand.powers[k]) -
+             objective_->device_score(j, power_[j]);
+  }
+  return delta / objective_->weight_total_;
+}
+
+void ChargingObjective::State::add(std::size_t i) {
+  value_ += gain(i);
+  const auto& cand = objective_->candidate(i);
+  for (std::size_t k = 0; k < cand.covered.size(); ++k) {
+    power_[cand.covered[k]] += cand.powers[k];
+  }
+}
+
+}  // namespace hipo::opt

@@ -1,0 +1,78 @@
+// The P2/P3 objective (Section 4.3): normalized total charging utility of a
+// set of candidate strategies, using the approximated (ring-constant) powers
+// the candidates carry.
+//
+//   f(X) = (1/N_o) Σ_j U_j( Σ_{c ∈ X} P̃(c, o_j) )
+//
+// f is normalized, monotone and submodular (Lemma 4.6): each U_j is concave
+// non-decreasing and the inner sum is additive, so marginal gains shrink as
+// accumulated power grows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/pdcs/candidate.hpp"
+
+namespace hipo::opt {
+
+/// Per-device transform of the utility (both keep f monotone submodular):
+///   kUtility    — P1/P3's Σ U_j (Eq. 4);
+///   kLogUtility — Σ log(U_j + 1), the proportional-fairness objective of
+///                 Section 8.3 (Eq. 16): concave of a concave non-decreasing
+///                 function of additive power.
+enum class ObjectiveKind { kUtility, kLogUtility };
+
+class ChargingObjective {
+ public:
+  /// Both references must outlive the objective.
+  ChargingObjective(const model::Scenario& scenario,
+                    std::span<const pdcs::Candidate> candidates,
+                    ObjectiveKind kind = ObjectiveKind::kUtility);
+
+  std::size_t num_candidates() const { return candidates_.size(); }
+  const pdcs::Candidate& candidate(std::size_t i) const;
+
+  /// f(X) for an explicit index set (recomputed from scratch).
+  double value(std::span<const std::size_t> selected) const;
+
+  /// Incremental evaluation state: accumulated approximated power per
+  /// device plus the current objective value.
+  class State {
+   public:
+    explicit State(const ChargingObjective& objective);
+
+    double value() const { return value_; }
+    /// Marginal gain f(X ∪ {i}) − f(X); does not modify the state.
+    double gain(std::size_t i) const;
+    /// Add candidate i to X.
+    void add(std::size_t i);
+    const std::vector<double>& device_power() const { return power_; }
+
+   private:
+    const ChargingObjective* objective_;
+    std::vector<double> power_;
+    double value_ = 0.0;
+  };
+
+  const model::Scenario& scenario() const { return *scenario_; }
+
+  ObjectiveKind kind() const { return kind_; }
+
+ private:
+  friend class State;
+  /// Per-device contribution given accumulated power x (already includes
+  /// the 1/N_o normalization factor applied by the caller).
+  double device_score(std::size_t j, double x) const;
+
+  const model::Scenario* scenario_;
+  std::span<const pdcs::Candidate> candidates_;
+  std::vector<double> p_th_;    // per-device thresholds (cache)
+  std::vector<double> weight_;  // per-device weights (cache)
+  double weight_total_ = 0.0;
+  ObjectiveKind kind_;
+};
+
+}  // namespace hipo::opt

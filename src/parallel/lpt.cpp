@@ -1,0 +1,59 @@
+#include "src/parallel/lpt.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "src/util/error.hpp"
+
+namespace hipo::parallel {
+
+LptSchedule lpt_schedule(const std::vector<double>& durations,
+                         std::size_t machines) {
+  HIPO_REQUIRE(machines >= 1, "need at least one machine");
+  LptSchedule out;
+  out.machine_of.resize(durations.size());
+  out.loads.assign(machines, 0.0);
+
+  std::vector<std::size_t> order(durations.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (durations[a] != durations[b]) return durations[a] > durations[b];
+    return a < b;
+  });
+
+  // Min-heap of (load, machine).
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t m = 0; m < machines; ++m) heap.emplace(0.0, m);
+
+  for (std::size_t task : order) {
+    auto [load, m] = heap.top();
+    heap.pop();
+    out.machine_of[task] = m;
+    load += durations[task];
+    out.loads[m] = load;
+    heap.emplace(load, m);
+  }
+  out.makespan = *std::max_element(out.loads.begin(), out.loads.end());
+  return out;
+}
+
+LptSchedule round_robin_schedule(const std::vector<double>& durations,
+                                 std::size_t machines) {
+  HIPO_REQUIRE(machines >= 1, "need at least one machine");
+  LptSchedule out;
+  out.machine_of.resize(durations.size());
+  out.loads.assign(machines, 0.0);
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    const std::size_t m = i % machines;
+    out.machine_of[i] = m;
+    out.loads[m] += durations[i];
+  }
+  out.makespan = out.loads.empty()
+                     ? 0.0
+                     : *std::max_element(out.loads.begin(), out.loads.end());
+  return out;
+}
+
+}  // namespace hipo::parallel

@@ -1,0 +1,32 @@
+// Longest Processing Time (LPT) multiprocessor scheduling (Graham 1969).
+//
+// Algorithm 5 assigns PDCS-extraction tasks (one per device) to `n` parallel
+// machines with LPT, which is a 4/3-approximation for minimizing makespan.
+// The same routine drives the simulated multi-machine timing of Fig. 12.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hipo::parallel {
+
+struct LptSchedule {
+  /// machine_of[i] = machine assigned to task i.
+  std::vector<std::size_t> machine_of;
+  /// Total processing time per machine.
+  std::vector<double> loads;
+  /// max(loads) — the schedule's completion time.
+  double makespan = 0.0;
+};
+
+/// Schedule `durations` onto `machines` (>= 1) machines using LPT: sort
+/// tasks by decreasing duration, repeatedly assign to the least-loaded
+/// machine. Ties broken by machine index for determinism.
+LptSchedule lpt_schedule(const std::vector<double>& durations,
+                         std::size_t machines);
+
+/// Naive round-robin assignment (ablation baseline for Fig. 12).
+LptSchedule round_robin_schedule(const std::vector<double>& durations,
+                                 std::size_t machines);
+
+}  // namespace hipo::parallel

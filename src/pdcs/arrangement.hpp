@@ -1,0 +1,49 @@
+// Arrangement-vertex candidate generation — the literal Section 4 route.
+//
+// Section 4.1.2 cuts the plane, per charger type, into multi-feasible
+// geometric areas by (i) every device's ring circles l(k), (ii) every
+// device's receiving-sector boundary rays, (iii) hole-boundary rays through
+// obstacle vertices, and (iv) obstacle edges. Theorem 4.1's projection +
+// slide argument places dominating strategies on the *boundaries* of these
+// areas, and the area-case constructions anchor them at boundary
+// intersections.
+//
+// This module computes the arrangement's vertex set — all pairwise
+// intersections among those boundary curves (within charging range of some
+// device) — and runs the point-case sweep at each vertex. It is the global
+// counterpart of the per-pair generator in candidate_gen.{hpp,cpp}
+// (Algorithm 4); the two are compared in bench_arrangement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/pdcs/candidate.hpp"
+
+namespace hipo::pdcs {
+
+struct ArrangementOptions {
+  /// Also include per-curve sample points (arc midpoints between adjacent
+  /// vertices would be exact; a fixed azimuthal sampling approximates the
+  /// same role cheaply).
+  bool sample_ring_arcs = true;
+  int ring_arc_samples = 8;
+  /// Run the final global dominance filter.
+  bool global_filter = true;
+};
+
+/// All arrangement vertices for charger type q: intersections of ring
+/// circles × ring circles, ring circles × sector-boundary/hole rays, ring
+/// circles × obstacle edges, rays × rays (within range), and obstacle edge
+/// endpoints on rings. Deduplicated, feasibility-filtered.
+std::vector<geom::Vec2> arrangement_vertices(const model::Scenario& scenario,
+                                             std::size_t q,
+                                             const ArrangementOptions& opt = {});
+
+/// Full extraction from arrangement vertices (all charger types), with
+/// per-type dominance filtering. Returns candidates in charger-type order.
+std::vector<Candidate> extract_all_arrangement(
+    const model::Scenario& scenario, const ArrangementOptions& opt = {});
+
+}  // namespace hipo::pdcs

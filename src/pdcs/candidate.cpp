@@ -1,0 +1,89 @@
+#include "src/pdcs/candidate.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/error.hpp"
+
+namespace hipo::pdcs {
+
+CoverageMask::CoverageMask(std::size_t num_devices)
+    : words_((num_devices + 63) / 64, 0) {}
+
+void CoverageMask::set(std::size_t j) {
+  HIPO_ASSERT(j / 64 < words_.size());
+  words_[j / 64] |= std::uint64_t{1} << (j % 64);
+}
+
+bool CoverageMask::test(std::size_t j) const {
+  if (j / 64 >= words_.size()) return false;
+  return (words_[j / 64] >> (j % 64)) & 1;
+}
+
+bool CoverageMask::is_subset_of(const CoverageMask& other) const {
+  HIPO_ASSERT(words_.size() == other.words_.size());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] & ~other.words_[w]) return false;
+  }
+  return true;
+}
+
+std::size_t CoverageMask::count() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool dominated_by(const Candidate& a, const Candidate& b, double eps) {
+  if (a.covered.size() > b.covered.size()) return false;
+  // Merge-walk: every device of a must appear in b with >= power.
+  std::size_t ib = 0;
+  for (std::size_t ia = 0; ia < a.covered.size(); ++ia) {
+    while (ib < b.covered.size() && b.covered[ib] < a.covered[ia]) ++ib;
+    if (ib == b.covered.size() || b.covered[ib] != a.covered[ia]) return false;
+    if (b.powers[ib] + eps < a.powers[ia]) return false;
+  }
+  return true;
+}
+
+std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
+                                        std::size_t num_devices) {
+  // Sort by decreasing coverage size, then decreasing total power: a
+  // candidate can only be dominated by one at or before it in this order.
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> total_power(candidates.size(), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (double p : candidates[i].powers) total_power[i] += p;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (candidates[x].covered.size() != candidates[y].covered.size())
+      return candidates[x].covered.size() > candidates[y].covered.size();
+    if (total_power[x] != total_power[y]) return total_power[x] > total_power[y];
+    return x < y;
+  });
+
+  std::vector<Candidate> kept;
+  std::vector<CoverageMask> kept_masks;
+  for (std::size_t idx : order) {
+    Candidate& cand = candidates[idx];
+    if (cand.covers_nothing()) continue;
+    CoverageMask mask(num_devices);
+    for (std::size_t j : cand.covered) mask.set(j);
+    bool dominated = false;
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      if (!mask.is_subset_of(kept_masks[k])) continue;
+      if (dominated_by(cand, kept[k])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      kept.push_back(std::move(cand));
+      kept_masks.push_back(std::move(mask));
+    }
+  }
+  return kept;
+}
+
+}  // namespace hipo::pdcs

@@ -1,0 +1,56 @@
+// Candidate strategies with their covered-device sets (Definitions 4.1–4.3).
+//
+// A Candidate pairs a placement strategy with the set of devices it covers
+// and the constant approximated power it delivers to each. Dominance
+// (Definition 4.1) compares candidates of the same charger type: A is
+// dominated by B when B covers a superset of A's devices — and, because our
+// candidates carry per-device ring powers rather than living inside one
+// feasible geometric area, we additionally require B's power to each of A's
+// devices to be at least A's. This value-wise dominance is sound for the
+// submodular objective (swapping A for B never decreases any marginal gain).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/types.hpp"
+
+namespace hipo::pdcs {
+
+struct Candidate {
+  model::Strategy strategy;
+  /// Devices receiving nonzero approximated power, ascending indices.
+  std::vector<std::size_t> covered;
+  /// Approximated (ring-constant) power per covered device, parallel to
+  /// `covered`.
+  std::vector<double> powers;
+
+  bool covers_nothing() const { return covered.empty(); }
+};
+
+/// Bitmask over device indices for fast subset tests.
+class CoverageMask {
+ public:
+  explicit CoverageMask(std::size_t num_devices);
+  void set(std::size_t j);
+  bool test(std::size_t j) const;
+  bool is_subset_of(const CoverageMask& other) const;
+  std::size_t count() const;
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// True iff `a` is dominated by (or equivalent to and ranked after) `b`:
+/// covered(a) ⊆ covered(b) with power(b, j) >= power(a, j) − eps for every
+/// j covered by a. Candidates must share a charger type for the comparison
+/// to be meaningful; the caller guarantees it.
+bool dominated_by(const Candidate& a, const Candidate& b, double eps = 1e-12);
+
+/// Remove dominated candidates (Algorithm 2 step 9 / Algorithm 4 step 11).
+/// Also removes exact duplicates. Stable in the sense that survivors keep
+/// their relative order of first appearance among equals.
+std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
+                                        std::size_t num_devices);
+
+}  // namespace hipo::pdcs

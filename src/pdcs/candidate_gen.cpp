@@ -1,0 +1,266 @@
+#include "src/pdcs/candidate_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/geometry/angles.hpp"
+#include "src/geometry/circle.hpp"
+#include "src/pdcs/point_case.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::pdcs {
+
+using geom::Circle;
+using geom::Segment;
+using geom::Vec2;
+
+std::vector<double> ring_radii(const model::Scenario& scenario, std::size_t q,
+                               std::size_t j) {
+  const auto& lad = scenario.ladder_for_device(q, j);
+  std::vector<double> radii;
+  radii.reserve(lad.num_rings() + 1);
+  radii.push_back(lad.d_min());
+  for (double r : lad.outer_radii()) radii.push_back(r);
+  return radii;
+}
+
+namespace {
+
+/// Deduplicating position collector with feasibility and range filters.
+class PositionSink {
+ public:
+  PositionSink(const model::Scenario& scenario, Vec2 anchor_a, Vec2 anchor_b,
+               double range)
+      : scenario_(scenario), a_(anchor_a), b_(anchor_b), range_(range) {}
+
+  void add(Vec2 p) {
+    if (geom::distance(p, a_) > range_ + geom::kCoverEps &&
+        geom::distance(p, b_) > range_ + geom::kCoverEps)
+      return;
+    if (!scenario_.position_feasible(p)) return;
+    const auto key = quantize(p);
+    if (seen_.insert(key).second) positions_.push_back(p);
+  }
+
+  void add_all(const std::vector<Vec2>& ps) {
+    for (Vec2 p : ps) add(p);
+  }
+
+  std::vector<Vec2> take() { return std::move(positions_); }
+
+ private:
+  static std::uint64_t quantize(Vec2 p) {
+    // ~1e-6 spatial resolution; duplicates closer than this behave
+    // identically for coverage purposes.
+    const auto qx = static_cast<std::int64_t>(std::llround(p.x * 1e6));
+    const auto qy = static_cast<std::int64_t>(std::llround(p.y * 1e6));
+    return static_cast<std::uint64_t>(qx) * 0x9e3779b97f4a7c15ULL ^
+           static_cast<std::uint64_t>(qy);
+  }
+
+  const model::Scenario& scenario_;
+  Vec2 a_;
+  Vec2 b_;
+  double range_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::vector<Vec2> positions_;
+};
+
+/// Obstacle edges within `range` of either anchor.
+std::vector<Segment> nearby_obstacle_edges(const model::Scenario& scenario,
+                                           Vec2 a, Vec2 b, double range) {
+  std::vector<Segment> edges;
+  for (const auto& h : scenario.obstacles()) {
+    for (std::size_t e = 0; e < h.size(); ++e) {
+      const Segment seg = h.edge(e);
+      if (geom::point_segment_distance(a, seg) <= range ||
+          geom::point_segment_distance(b, seg) <= range) {
+        edges.push_back(seg);
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<Vec2> pair_candidate_positions(const model::Scenario& scenario,
+                                           std::size_t q, std::size_t i,
+                                           std::size_t j,
+                                           const ExtractOptions& opt) {
+  const Vec2 oi = scenario.device(i).pos;
+  const Vec2 oj = scenario.device(j).pos;
+  const auto& ct = scenario.charger_type(q);
+  PositionSink sink(scenario, oi, oj, ct.d_max);
+
+  const std::vector<double> ri = ring_radii(scenario, q, i);
+  const std::vector<double> rj = ring_radii(scenario, q, j);
+  const auto edges = nearby_obstacle_edges(scenario, oi, oj, ct.d_max);
+
+  // Ring circles of both devices.
+  std::vector<Circle> circles;
+  circles.reserve(ri.size() + rj.size());
+  for (double r : ri)
+    if (r > geom::kEps) circles.emplace_back(oi, r);
+  for (double r : rj)
+    if (r > geom::kEps) circles.emplace_back(oj, r);
+
+  // (a) Ring × ring intersections (Algorithm 4 step 9).
+  if (opt.use_ring_ring) {
+    for (double r1 : ri) {
+      if (r1 <= geom::kEps) continue;
+      for (double r2 : rj) {
+        if (r2 <= geom::kEps) continue;
+        sink.add_all(
+            geom::circle_circle_intersections(Circle(oi, r1), Circle(oj, r2)));
+      }
+    }
+  }
+
+  // (b) The straight line through the pair (Algorithm 4 steps 3–5):
+  // intersections with ring circles and with obstacle edges.
+  if (opt.use_pair_line) {
+    const Vec2 dir = oj - oi;
+    if (dir.norm() > geom::kEps) {
+      for (const Circle& c : circles) {
+        sink.add_all(geom::circle_line_intersections(c, oi, dir));
+      }
+      for (const Segment& e : edges) {
+        sink.add_all(geom::line_segment_intersections(oi, dir, e));
+      }
+    }
+  }
+
+  // (c) Inscribed-angle arcs (Algorithm 4 steps 6–8): circles through the
+  // pair seen under the charging angle α_q; intersect with ring circles and
+  // obstacle edges, plus interior samples.
+  if (opt.use_pair_arcs && ct.angle < geom::kPi - 1e-9) {
+    const double chord = geom::distance(oi, oj);
+    if (chord > geom::kEps) {
+      for (const Circle& arc :
+           geom::inscribed_angle_circles(oi, oj, ct.angle)) {
+        for (const Circle& c : circles) {
+          sink.add_all(geom::circle_circle_intersections(arc, c));
+        }
+        for (const Segment& e : edges) {
+          sink.add_all(geom::circle_segment_intersections(arc, e));
+        }
+      }
+      if (opt.arc_samples > 0) {
+        sink.add_all(geom::inscribed_angle_arc_points(oi, oj, ct.angle,
+                                                      opt.arc_samples));
+      }
+    }
+  }
+
+  // (d) Ring × obstacle-edge intersections and hole-boundary rays
+  // (Algorithm 4 step 10). The hole boundary behind an obstacle w.r.t. a
+  // device is carried by rays through obstacle vertices; candidates sit
+  // where those rays cross ring radii.
+  if (opt.use_obstacle_ring) {
+    for (const Circle& c : circles) {
+      for (const Segment& e : edges) {
+        sink.add_all(geom::circle_segment_intersections(c, e));
+      }
+    }
+    for (const auto& h : scenario.obstacles()) {
+      for (const Vec2& v : h.vertices()) {
+        for (int anchor = 0; anchor < 2; ++anchor) {
+          const Vec2 o = anchor == 0 ? oi : oj;
+          const auto& radii = anchor == 0 ? ri : rj;
+          const Vec2 dir = v - o;
+          const double dist = dir.norm();
+          if (dist <= geom::kEps || dist > ct.d_max) continue;
+          const Vec2 u = dir / dist;
+          for (double r : radii) {
+            if (r > dist) sink.add(o + u * r);
+          }
+        }
+      }
+    }
+  }
+
+  return sink.take();
+}
+
+std::vector<Vec2> singleton_candidate_positions(
+    const model::Scenario& scenario, std::size_t q, std::size_t i,
+    const ExtractOptions& opt) {
+  const auto& dev = scenario.device(i);
+  const auto& ct = scenario.charger_type(q);
+  PositionSink sink(scenario, dev.pos, dev.pos, ct.d_max);
+
+  // Directions: evenly spaced azimuths across the receiving sector
+  // (boundaries included) plus obstacle-vertex (hole boundary) directions
+  // within range.
+  const double alpha_o = scenario.device_type(dev.type).angle;
+  const int n_az = std::max(2, opt.singleton_azimuths);
+  std::vector<double> dirs;
+  if (alpha_o >= geom::kTwoPi) {
+    for (int k = 0; k < n_az; ++k) {
+      dirs.push_back(geom::kTwoPi * static_cast<double>(k) / n_az);
+    }
+  } else {
+    const double start = dev.orientation - alpha_o / 2.0;
+    for (int k = 0; k < n_az; ++k) {
+      dirs.push_back(start + alpha_o * static_cast<double>(k) / (n_az - 1));
+    }
+  }
+  for (const auto& h : scenario.obstacles()) {
+    for (const Vec2& v : h.vertices()) {
+      const double dist = geom::distance(v, dev.pos);
+      if (dist > geom::kEps && dist <= ct.d_max) {
+        dirs.push_back((v - dev.pos).angle());
+      }
+    }
+  }
+
+  for (double r : ring_radii(scenario, q, i)) {
+    if (r <= geom::kEps) continue;
+    for (double a : dirs) {
+      sink.add(dev.pos + geom::unit_vector(a) * r);
+    }
+  }
+  return sink.take();
+}
+
+std::vector<Candidate> extract_device_task(const model::Scenario& scenario,
+                                           const spatial::GridIndex& devices,
+                                           std::size_t i,
+                                           const ExtractOptions& opt) {
+  std::vector<Candidate> out;
+  const Vec2 oi = scenario.device(i).pos;
+
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    const auto& ct = scenario.charger_type(q);
+    // Neighbor set O^k_i: devices within 2·d^k_max (Algorithm 4 step 1).
+    const auto neighbors = devices.query_radius(oi, 2.0 * ct.d_max);
+
+    std::vector<Vec2> positions;
+    if (opt.use_singleton) {
+      auto single = singleton_candidate_positions(scenario, q, i, opt);
+      positions.insert(positions.end(), single.begin(), single.end());
+    }
+    for (std::size_t j : neighbors) {
+      if (j <= i) continue;  // larger indices only — no duplicate tasks
+      auto pts = pair_candidate_positions(scenario, q, i, j, opt);
+      positions.insert(positions.end(), pts.begin(), pts.end());
+    }
+
+    std::vector<Candidate> type_candidates;
+    for (Vec2 p : positions) {
+      // Pool: devices within charging range of the position (exact pool for
+      // the rotational sweep; sorted by GridIndex contract).
+      const auto pool = devices.query_radius(p, ct.d_max + geom::kCoverEps);
+      auto cands = extract_point_case(scenario, q, p, pool);
+      for (auto& c : cands) type_candidates.push_back(std::move(c));
+    }
+    auto filtered =
+        filter_dominated(std::move(type_candidates), scenario.num_devices());
+    for (auto& c : filtered) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace hipo::pdcs

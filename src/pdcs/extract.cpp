@@ -1,0 +1,67 @@
+#include "src/pdcs/extract.hpp"
+
+#include <numeric>
+
+#include "src/util/timer.hpp"
+
+namespace hipo::pdcs {
+
+ExtractionResult extract_all(const model::Scenario& scenario,
+                             const ExtractOptions& opt,
+                             parallel::ThreadPool* pool) {
+  const std::size_t n = scenario.num_devices();
+  ExtractionResult result;
+  result.task_seconds.assign(n, 0.0);
+
+  std::vector<geom::Vec2> points;
+  points.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) points.push_back(scenario.device(j).pos);
+  const spatial::GridIndex index(scenario.region(), std::move(points));
+
+  std::vector<std::vector<Candidate>> per_task(n);
+  auto run_task = [&](std::size_t i) {
+    Timer timer;
+    per_task[i] = extract_device_task(scenario, index, i, opt);
+    result.task_seconds[i] = timer.seconds();
+  };
+
+  if (pool != nullptr && pool->num_workers() > 1) {
+    pool->parallel_for(n, run_task);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) run_task(i);
+  }
+
+  // Merge in device order (deterministic), then filter per charger type.
+  std::vector<std::vector<Candidate>> by_type(scenario.num_charger_types());
+  for (std::size_t i = 0; i < n; ++i) {
+    result.raw_candidates += per_task[i].size();
+    for (auto& c : per_task[i]) {
+      by_type[c.strategy.type].push_back(std::move(c));
+    }
+  }
+  result.per_type_counts.assign(scenario.num_charger_types(), 0);
+  for (std::size_t q = 0; q < by_type.size(); ++q) {
+    auto kept = opt.global_filter
+                    ? filter_dominated(std::move(by_type[q]), n)
+                    : std::move(by_type[q]);
+    result.per_type_counts[q] = kept.size();
+    for (auto& c : kept) result.candidates.push_back(std::move(c));
+  }
+  return result;
+}
+
+double simulated_distributed_seconds(const std::vector<double>& task_seconds,
+                                     std::size_t machines, bool use_lpt) {
+  if (task_seconds.empty()) return 0.0;
+  // Algorithm 5: with machines >= tasks each task gets its own machine.
+  if (machines >= task_seconds.size()) {
+    return *std::max_element(task_seconds.begin(), task_seconds.end());
+  }
+  const auto schedule = use_lpt
+                            ? parallel::lpt_schedule(task_seconds, machines)
+                            : parallel::round_robin_schedule(task_seconds,
+                                                             machines);
+  return schedule.makespan;
+}
+
+}  // namespace hipo::pdcs

@@ -1,0 +1,102 @@
+#include "src/pdcs/point_case.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::pdcs {
+
+using geom::AngleInterval;
+using geom::Vec2;
+using model::Strategy;
+
+std::vector<std::size_t> orientable_covers(const model::Scenario& scenario,
+                                           std::size_t charger_type,
+                                           Vec2 pos,
+                                           std::span<const std::size_t> pool) {
+  std::vector<std::size_t> out;
+  const auto& ct = scenario.charger_type(charger_type);
+  for (std::size_t j : pool) {
+    const auto& dev = scenario.device(j);
+    const Vec2 so = dev.pos - pos;
+    const double d = so.norm();
+    if (d < ct.d_min - geom::kCoverEps || d > ct.d_max + geom::kCoverEps)
+      continue;
+    if (d <= geom::kEps) continue;
+    const double recv_angle = scenario.device_type(dev.type).angle;
+    if (recv_angle < geom::kTwoPi) {
+      const double ang_eps = geom::kCoverEps / std::max(d, 1e-12);
+      const double chg_angle =
+          geom::angle_distance((-so).angle(), dev.orientation);
+      if (chg_angle > recv_angle / 2.0 + ang_eps) continue;
+    }
+    if (!scenario.line_of_sight(pos, dev.pos)) continue;
+    out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<Candidate> extract_point_case(const model::Scenario& scenario,
+                                          std::size_t charger_type,
+                                          Vec2 pos,
+                                          std::span<const std::size_t> pool) {
+  std::vector<Candidate> out;
+  if (!scenario.position_feasible(pos)) return out;
+
+  const std::vector<std::size_t> coverable =
+      orientable_covers(scenario, charger_type, pos, pool);
+  if (coverable.empty()) return out;
+
+  const double alpha = scenario.charger_type(charger_type).angle;
+
+  // Orientation interval per coverable device.
+  std::vector<double> theta(coverable.size());
+  for (std::size_t i = 0; i < coverable.size(); ++i) {
+    theta[i] = geom::norm_angle(
+        (scenario.device(coverable[i]).pos - pos).angle());
+  }
+
+  // Candidate orientations: for each device, the orientation at which it is
+  // about to fall out of the *clockwise* boundary when rotating CCW — that
+  // is φ = θ_j + α/2 (the covering interval's end). A full-circle charger
+  // has a single orientation class.
+  std::vector<double> orientations;
+  if (alpha >= geom::kTwoPi) {
+    orientations.push_back(0.0);
+  } else {
+    orientations.reserve(theta.size());
+    for (double t : theta) orientations.push_back(geom::norm_angle(t + alpha / 2.0));
+    std::sort(orientations.begin(), orientations.end());
+    orientations.erase(std::unique(orientations.begin(), orientations.end(),
+                                   [](double a, double b) {
+                                     return std::abs(a - b) <= 1e-12;
+                                   }),
+                       orientations.end());
+  }
+
+  out.reserve(orientations.size());
+  for (double phi : orientations) {
+    Candidate cand;
+    cand.strategy = Strategy{pos, phi, charger_type};
+    for (std::size_t i = 0; i < coverable.size(); ++i) {
+      const std::size_t j = coverable[i];
+      // Covered iff θ_j within α/2 of φ (boundary inclusive: the device
+      // "about to fall out" still counts, matching Algorithm 1).
+      if (alpha < geom::kTwoPi &&
+          geom::angle_distance(theta[i], phi) > alpha / 2.0 + 1e-9)
+        continue;
+      const double p = scenario.approx_power(cand.strategy, j);
+      if (p > 0.0) {
+        cand.covered.push_back(j);
+        cand.powers.push_back(p);
+      }
+    }
+    if (!cand.covers_nothing()) out.push_back(std::move(cand));
+  }
+
+  return filter_dominated(std::move(out), scenario.num_devices());
+}
+
+}  // namespace hipo::pdcs

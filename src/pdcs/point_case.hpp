@@ -1,0 +1,38 @@
+// PDCS extraction for the point case (Algorithm 1).
+//
+// With the charger's position fixed, rotate it through 360°: the devices a
+// type-q charger at p can possibly cover contribute orientation intervals
+// [θ_j − α_q/2, θ_j + α_q/2] (SectorRing::covering_orientations). Every
+// maximal covered set is attained at an orientation where some device is
+// about to fall out of the clockwise boundary — i.e. at an interval end —
+// so sweeping interval ends extracts all PDCSs at p.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/geometry/vec2.hpp"
+#include "src/model/scenario.hpp"
+#include "src/pdcs/candidate.hpp"
+
+namespace hipo::pdcs {
+
+/// Devices a type-q charger at `pos` could cover under SOME orientation:
+/// all Eq. (1) conditions except the charger's own sector-angle condition.
+std::vector<std::size_t> orientable_covers(const model::Scenario& scenario,
+                                           std::size_t charger_type,
+                                           geom::Vec2 pos,
+                                           std::span<const std::size_t> pool);
+
+/// Algorithm 1 at position `pos`: one candidate per maximal covered set,
+/// restricted to the device pool (pass all device indices for the exact
+/// algorithm; Algorithm 4 passes a neighbor set). Candidates carry the
+/// approximated (ring) powers. Dominated candidates at this point are
+/// already filtered. Returns an empty vector if nothing is coverable or
+/// `pos` is not a feasible charger position.
+std::vector<Candidate> extract_point_case(const model::Scenario& scenario,
+                                          std::size_t charger_type,
+                                          geom::Vec2 pos,
+                                          std::span<const std::size_t> pool);
+
+}  // namespace hipo::pdcs

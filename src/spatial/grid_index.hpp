@@ -1,0 +1,48 @@
+// Uniform grid over a bounding box for radius queries on point sets.
+//
+// Used to find a device's neighbor set (Algorithm 4: devices within
+// 2·d^k_max) and to prune candidate-position coverage checks without an
+// O(No) scan per query.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/geometry/polygon.hpp"
+#include "src/geometry/vec2.hpp"
+
+namespace hipo::spatial {
+
+class GridIndex {
+ public:
+  /// Builds an index over `points` inside `bounds`; `target_per_cell`
+  /// controls grid resolution. Points outside bounds are clamped to the
+  /// boundary cells (still retrievable).
+  GridIndex(const geom::BBox& bounds, std::vector<geom::Vec2> points,
+            double target_per_cell = 2.0);
+
+  /// Indices of points within `radius` of `center` (exact post-filter).
+  std::vector<std::size_t> query_radius(geom::Vec2 center,
+                                        double radius) const;
+
+  /// Indices of points inside the axis-aligned box (exact post-filter).
+  std::vector<std::size_t> query_box(const geom::BBox& box) const;
+
+  std::size_t size() const { return points_.size(); }
+  const std::vector<geom::Vec2>& points() const { return points_; }
+
+ private:
+  std::size_t cell_of(geom::Vec2 p) const;
+  void cell_range(const geom::BBox& box, std::size_t& x0, std::size_t& x1,
+                  std::size_t& y0, std::size_t& y1) const;
+
+  geom::BBox bounds_;
+  std::vector<geom::Vec2> points_;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  std::vector<std::vector<std::size_t>> cells_;
+};
+
+}  // namespace hipo::spatial

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name`. Unknown
+// flags raise ConfigError so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hipo {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Declare a flag so it is accepted; returns value if present.
+  std::optional<std::string> get(const std::string& name);
+  std::string get_or(const std::string& name, const std::string& fallback);
+  double get_or(const std::string& name, double fallback);
+  int get_or(const std::string& name, int fallback);
+  bool has(const std::string& name);
+
+  /// Call after all get()/has() declarations; throws on unknown flags.
+  void finish() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+};
+
+/// Environment-variable override helper: returns integer value of `name`
+/// if set and parseable, else `fallback`. Used for HIPO_REPS etc.
+int env_int_or(const char* name, int fallback);
+
+}  // namespace hipo

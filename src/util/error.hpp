@@ -1,0 +1,56 @@
+// Lightweight assertion / error helpers used across the library.
+//
+// HIPO_ASSERT is active in all build types: the library's invariants are cheap
+// to check relative to the geometric work they guard, and a silent invariant
+// violation in an arrangement/sweep algorithm produces answers that look
+// plausible but are wrong.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hipo {
+
+/// Thrown when a library invariant is violated (programming error or
+/// numerically impossible input).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown on invalid user-supplied configuration (bad parameters, malformed
+/// scenarios).
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "HIPO_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hipo
+
+#define HIPO_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::hipo::detail::assert_fail(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define HIPO_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::hipo::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define HIPO_REQUIRE(expr, msg)                     \
+  do {                                              \
+    if (!(expr)) throw ::hipo::ConfigError((msg));  \
+  } while (0)

@@ -1,0 +1,22 @@
+#include "src/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hipo {
+
+double Rng::normal() {
+  // Marsaglia polar method; unconditionally loops until an in-disk sample.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::angle() { return uniform(0.0, 2.0 * std::numbers::pi); }
+
+}  // namespace hipo

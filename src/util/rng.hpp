@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments in the benchmark harness must be reproducible bit-for-bit
+// across runs, so the library carries its own xoshiro256** generator (public
+// domain algorithm by Blackman & Vigna) seeded through SplitMix64, instead of
+// relying on implementation-defined std::default_random_engine behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace hipo {
+
+/// SplitMix64 step; used for seeding and for hashing experiment coordinates
+/// (figure id, sweep point, repetition) into independent seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine seed components into one 64-bit seed (order-sensitive).
+constexpr std::uint64_t seed_combine(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t c = 0, std::uint64_t d = 0) {
+  std::uint64_t s = a;
+  std::uint64_t out = splitmix64(s);
+  s ^= b + 0x9e3779b97f4a7c15ULL;
+  out ^= splitmix64(s);
+  s ^= c + 0xc2b2ae3d27d4eb4fULL;
+  out ^= splitmix64(s) << 1;
+  s ^= d + 0x165667b19e3779f9ULL;
+  out ^= splitmix64(s) >> 1;
+  return out;
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    HIPO_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  std::uint64_t below(std::uint64_t n) {
+    HIPO_ASSERT(n > 0);
+    // Lemire's nearly-divisionless bounded sampling.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    HIPO_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Uniform angle in [0, 2π).
+  double angle();
+
+  /// Fisher–Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hipo

@@ -1,0 +1,91 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace hipo {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double mean(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double percentile(std::span<const double> xs, double p) {
+  HIPO_REQUIRE(!xs.empty(), "percentile of empty sample");
+  HIPO_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+std::vector<double> ecdf(std::span<const double> xs,
+                         std::span<const double> thresholds) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    out.push_back(sorted.empty()
+                      ? 0.0
+                      : static_cast<double>(it - sorted.begin()) /
+                            static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  HIPO_REQUIRE(n >= 1, "linspace needs n >= 1");
+  std::vector<double> out;
+  out.reserve(n);
+  if (n == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(lo + step * static_cast<double>(i));
+  out.back() = hi;  // avoid accumulated rounding on the endpoint
+  return out;
+}
+
+}  // namespace hipo

@@ -1,0 +1,47 @@
+// Descriptive statistics used by the benchmark harness (means over repeated
+// random topologies, confidence intervals, CDFs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hipo {
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation; copies + sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Empirical CDF evaluated at `thresholds`: fraction of xs <= t.
+std::vector<double> ecdf(std::span<const double> xs,
+                         std::span<const double> thresholds);
+
+/// Evenly spaced values [lo, hi] inclusive (n >= 2), or {lo} when n == 1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace hipo

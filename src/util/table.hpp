@@ -1,0 +1,43 @@
+// Aligned console tables and CSV output for the benchmark harness.
+//
+// Every bench binary prints the same rows/series its paper figure reports;
+// Table collects cells as strings and renders either a fixed-width console
+// table or CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hipo {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row; subsequent add() calls append cells to it.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 4);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  /// Writes CSV to `path`; throws ConfigError if the file cannot be opened.
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with bench output).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace hipo

@@ -1,0 +1,102 @@
+#include "src/viz/field_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::viz {
+
+using geom::Vec2;
+
+double FieldGrid::at(std::size_t ix, std::size_t iy) const {
+  HIPO_ASSERT(ix < nx && iy < ny);
+  return values[iy * nx + ix];
+}
+
+Vec2 FieldGrid::cell_center(std::size_t ix, std::size_t iy) const {
+  const Vec2 ext = bounds.extent();
+  return {bounds.lo.x + (static_cast<double>(ix) + 0.5) * ext.x /
+                            static_cast<double>(nx),
+          bounds.lo.y + (static_cast<double>(iy) + 0.5) * ext.y /
+                            static_cast<double>(ny)};
+}
+
+FieldGrid sample_power_field(const model::Scenario& scenario,
+                             const model::Placement& placement,
+                             std::size_t probe_type, std::size_t nx,
+                             std::size_t ny) {
+  HIPO_REQUIRE(nx >= 1 && ny >= 1, "field grid needs >= 1 cell per axis");
+  HIPO_REQUIRE(probe_type < scenario.num_device_types(),
+               "probe device type out of range");
+  FieldGrid grid;
+  grid.nx = nx;
+  grid.ny = ny;
+  grid.bounds = scenario.region();
+  grid.values.assign(nx * ny, 0.0);
+
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const Vec2 p = grid.cell_center(ix, iy);
+      bool inside_obstacle = false;
+      for (const auto& h : scenario.obstacles()) {
+        if (h.contains(p)) {
+          inside_obstacle = true;
+          break;
+        }
+      }
+      if (inside_obstacle) continue;
+      double total = 0.0;
+      for (const auto& s : placement) {
+        // Best-case probe: oriented straight at this charger, so only the
+        // charger-side gates (range, charger sector, line of sight) apply.
+        const auto& ct = scenario.charger_type(s.type);
+        const Vec2 sp = p - s.pos;
+        const double d = sp.norm();
+        if (d < ct.d_min || d > ct.d_max || d <= geom::kEps) continue;
+        if (ct.angle < geom::kTwoPi &&
+            geom::angle_distance(sp.angle(), s.orientation) > ct.angle / 2.0)
+          continue;
+        if (!scenario.line_of_sight(s.pos, p)) continue;
+        const auto& pp = scenario.pair_params(s.type, probe_type);
+        total += pp.a / ((d + pp.b) * (d + pp.b));
+      }
+      grid.values[iy * nx + ix] = total;
+    }
+  }
+  return grid;
+}
+
+void write_field_csv(const std::string& path, const FieldGrid& grid) {
+  std::ofstream out(path);
+  HIPO_REQUIRE(out.good(), "cannot open field CSV for write: " + path);
+  out << "x,y,value\n";
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      const auto c = grid.cell_center(ix, iy);
+      out << c.x << ',' << c.y << ',' << grid.at(ix, iy) << '\n';
+    }
+  }
+}
+
+void write_field_pgm(const std::string& path, const FieldGrid& grid) {
+  std::ofstream out(path);
+  HIPO_REQUIRE(out.good(), "cannot open field PGM for write: " + path);
+  const double peak =
+      *std::max_element(grid.values.begin(), grid.values.end());
+  out << "P2\n" << grid.nx << ' ' << grid.ny << "\n255\n";
+  // PGM rows run top-to-bottom; our grid rows bottom-to-top.
+  for (std::size_t row = grid.ny; row-- > 0;) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      const int level =
+          peak > 0.0 ? static_cast<int>(std::lround(
+                           255.0 * grid.at(ix, row) / peak))
+                     : 0;
+      out << level << (ix + 1 < grid.nx ? ' ' : '\n');
+    }
+  }
+}
+
+}  // namespace hipo::viz

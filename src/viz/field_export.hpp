@@ -1,0 +1,38 @@
+// Scalar-field export: sample the received power / utility over a grid for
+// plotting heatmaps of a placement's coverage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::viz {
+
+struct FieldGrid {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  geom::BBox bounds;
+  /// Row-major values, row 0 at bounds.lo.y.
+  std::vector<double> values;
+
+  double at(std::size_t ix, std::size_t iy) const;
+  geom::Vec2 cell_center(std::size_t ix, std::size_t iy) const;
+};
+
+/// The total power a *virtual probe device* of type `probe_type` (oriented
+/// toward each sampled point's nearest charger — i.e. best case) would
+/// receive at each grid cell. Cells inside obstacles sample 0.
+FieldGrid sample_power_field(const model::Scenario& scenario,
+                             const model::Placement& placement,
+                             std::size_t probe_type, std::size_t nx,
+                             std::size_t ny);
+
+/// CSV dump: header "x,y,value" rows (plot with any tool).
+void write_field_csv(const std::string& path, const FieldGrid& grid);
+
+/// Plain PGM (P2) grayscale image, max value scaled to 255 (viewable
+/// anywhere, zero dependencies).
+void write_field_pgm(const std::string& path, const FieldGrid& grid);
+
+}  // namespace hipo::viz

@@ -1,0 +1,164 @@
+#include "src/viz/svg.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::viz {
+
+using geom::kTwoPi;
+using geom::Vec2;
+
+namespace {
+
+class SvgWriter {
+ public:
+  SvgWriter(const geom::BBox& region, const SvgOptions& opt)
+      : region_(region), opt_(opt) {
+    width_ = region.extent().x * opt.scale + 2.0 * opt.margin;
+    height_ = region.extent().y * opt.scale + 2.0 * opt.margin;
+    os_ << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_
+        << "\" height=\"" << height_ << "\" viewBox=\"0 0 " << width_ << ' '
+        << height_ << "\">\n";
+    os_ << "<rect width=\"100%\" height=\"100%\" fill=\"#fcfcf8\"/>\n";
+  }
+
+  /// Scenario coordinates → SVG pixels (y flipped).
+  Vec2 map(Vec2 p) const {
+    return {opt_.margin + (p.x - region_.lo.x) * opt_.scale,
+            height_ - (opt_.margin + (p.y - region_.lo.y) * opt_.scale)};
+  }
+
+  void rect_region() {
+    const Vec2 a = map(region_.lo);
+    const Vec2 b = map(region_.hi);
+    os_ << "<rect x=\"" << std::min(a.x, b.x) << "\" y=\""
+        << std::min(a.y, b.y) << "\" width=\"" << std::abs(b.x - a.x)
+        << "\" height=\"" << std::abs(b.y - a.y)
+        << "\" fill=\"none\" stroke=\"#888\" stroke-dasharray=\"6 4\"/>\n";
+  }
+
+  void polygon(const geom::Polygon& poly, const std::string& fill,
+               const std::string& stroke) {
+    os_ << "<polygon points=\"";
+    for (const Vec2& v : poly.vertices()) {
+      const Vec2 p = map(v);
+      os_ << p.x << ',' << p.y << ' ';
+    }
+    os_ << "\" fill=\"" << fill << "\" stroke=\"" << stroke << "\"/>\n";
+  }
+
+  void dot(Vec2 center, double radius_px, const std::string& fill) {
+    const Vec2 p = map(center);
+    os_ << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\""
+        << radius_px << "\" fill=\"" << fill << "\"/>\n";
+  }
+
+  /// Annular sector between radii [r0, r1] and angles [a0, a0+width]
+  /// (scenario units/radians).
+  void sector_ring(Vec2 apex, double a0, double width, double r0, double r1,
+                   const std::string& fill, const std::string& stroke) {
+    if (width >= kTwoPi - 1e-9) {
+      // Full annulus: two concentric circles.
+      for (double r : {r0, r1}) {
+        const Vec2 c = map(apex);
+        os_ << "<circle cx=\"" << c.x << "\" cy=\"" << c.y << "\" r=\""
+            << r * opt_.scale << "\" fill=\"none\" stroke=\"" << stroke
+            << "\"/>\n";
+      }
+      return;
+    }
+    const double a1 = a0 + width;
+    const Vec2 p00 = map(apex + geom::unit_vector(a0) * r0);
+    const Vec2 p01 = map(apex + geom::unit_vector(a0) * r1);
+    const Vec2 p11 = map(apex + geom::unit_vector(a1) * r1);
+    const Vec2 p10 = map(apex + geom::unit_vector(a1) * r0);
+    const int large = width > geom::kPi ? 1 : 0;
+    // Screen y is flipped, so CCW in scenario space is sweep=0 on screen.
+    os_ << "<path d=\"M " << p00.x << ' ' << p00.y << " L " << p01.x << ' '
+        << p01.y << " A " << r1 * opt_.scale << ' ' << r1 * opt_.scale
+        << " 0 " << large << " 0 " << p11.x << ' ' << p11.y << " L " << p10.x
+        << ' ' << p10.y << " A " << r0 * opt_.scale << ' ' << r0 * opt_.scale
+        << " 0 " << large << " 1 " << p00.x << ' ' << p00.y
+        << " Z\" fill=\"" << fill << "\" stroke=\"" << stroke << "\"/>\n";
+  }
+
+  void arrow(Vec2 from, double angle, double length,
+             const std::string& stroke) {
+    const Vec2 a = map(from);
+    const Vec2 b = map(from + geom::unit_vector(angle) * length);
+    os_ << "<line x1=\"" << a.x << "\" y1=\"" << a.y << "\" x2=\"" << b.x
+        << "\" y2=\"" << b.y << "\" stroke=\"" << stroke
+        << "\" stroke-width=\"1.5\"/>\n";
+  }
+
+  std::string finish() {
+    os_ << "</svg>\n";
+    return os_.str();
+  }
+
+ private:
+  geom::BBox region_;
+  SvgOptions opt_;
+  double width_ = 0.0;
+  double height_ = 0.0;
+  std::ostringstream os_;
+};
+
+const char* kChargerColors[] = {"#e07b39", "#c2452d", "#8c2d9c",
+                                "#2d8c5f", "#6b6b1f"};
+
+}  // namespace
+
+std::string render_svg(const model::Scenario& scenario,
+                       const model::Placement& placement,
+                       const SvgOptions& options) {
+  HIPO_REQUIRE(options.scale > 0.0, "SVG scale must be positive");
+  SvgWriter svg(scenario.region(), options);
+  svg.rect_region();
+
+  for (const auto& h : scenario.obstacles()) {
+    svg.polygon(h, "#b9b9b9", "#555");
+  }
+
+  for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+    const auto& d = scenario.device(j);
+    if (options.draw_receiving_areas && scenario.num_charger_types() > 0) {
+      const auto ring = scenario.receiving_area(j, 0);
+      svg.sector_ring(d.pos, ring.orientation() - ring.angle() / 2.0,
+                      ring.angle(), ring.r_min(), ring.r_max(),
+                      "rgba(60,110,200,0.08)", "rgba(60,110,200,0.35)");
+    }
+    svg.arrow(d.pos, d.orientation, 0.8, "#3c6ec8");
+    svg.dot(d.pos, 3.5, "#3c6ec8");
+  }
+
+  for (const auto& s : placement) {
+    const char* color =
+        kChargerColors[s.type % (sizeof(kChargerColors) /
+                                 sizeof(kChargerColors[0]))];
+    if (options.draw_charging_areas) {
+      const auto ring = scenario.charging_area(s);
+      svg.sector_ring(s.pos, ring.orientation() - ring.angle() / 2.0,
+                      ring.angle(), ring.r_min(), ring.r_max(),
+                      "rgba(224,123,57,0.10)", color);
+    }
+    svg.arrow(s.pos, s.orientation, 1.2, color);
+    svg.dot(s.pos, 4.5, color);
+  }
+
+  return svg.finish();
+}
+
+void write_svg_file(const std::string& path, const model::Scenario& scenario,
+                    const model::Placement& placement,
+                    const SvgOptions& options) {
+  std::ofstream out(path);
+  HIPO_REQUIRE(out.good(), "cannot open SVG output file: " + path);
+  out << render_svg(scenario, placement, options);
+}
+
+}  // namespace hipo::viz

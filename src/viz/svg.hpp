@@ -1,0 +1,35 @@
+// SVG rendering of scenarios and placements — the quickest way to eyeball a
+// solution (region, obstacles, device receiving sectors, charger charging
+// sector rings).
+#pragma once
+
+#include <string>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::viz {
+
+struct SvgOptions {
+  /// Pixels per scenario unit.
+  double scale = 20.0;
+  double margin = 20.0;  // pixels around the region
+  /// Draw each device's receiving sector ring (w.r.t. charger type 0 radii).
+  bool draw_receiving_areas = true;
+  /// Draw each charger's charging sector ring.
+  bool draw_charging_areas = true;
+};
+
+/// Renders the scenario and an optional placement to a standalone SVG
+/// document. Devices: blue dots (receiving wedges translucent blue);
+/// chargers: orange dots (charging wedges translucent orange); obstacles:
+/// gray polygons.
+std::string render_svg(const model::Scenario& scenario,
+                       const model::Placement& placement = {},
+                       const SvgOptions& options = {});
+
+/// Writes render_svg() output to `path`; throws ConfigError on I/O failure.
+void write_svg_file(const std::string& path, const model::Scenario& scenario,
+                    const model::Placement& placement = {},
+                    const SvgOptions& options = {});
+
+}  // namespace hipo::viz

@@ -1,0 +1,170 @@
+#include "src/geometry/angles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+
+namespace hipo::geom {
+namespace {
+
+TEST(NormAngle, CanonicalRange) {
+  EXPECT_NEAR(norm_angle(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(norm_angle(kTwoPi), 0.0, 1e-15);
+  EXPECT_NEAR(norm_angle(-kPi / 2.0), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(norm_angle(5.0 * kTwoPi + 1.0), 1.0, 1e-12);
+}
+
+TEST(NormAngle, AlwaysInRange) {
+  hipo::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = norm_angle(rng.uniform(-100.0, 100.0));
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, kTwoPi);
+  }
+}
+
+TEST(CcwDelta, Basic) {
+  EXPECT_NEAR(ccw_delta(0.0, kPi / 2.0), kPi / 2.0, 1e-12);
+  EXPECT_NEAR(ccw_delta(kPi / 2.0, 0.0), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(ccw_delta(1.0, 1.0), 0.0, 1e-12);
+}
+
+TEST(AngleDistance, SymmetricAndBounded) {
+  hipo::Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = rng.uniform(-10.0, 10.0);
+    const double b = rng.uniform(-10.0, 10.0);
+    const double d = angle_distance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, kPi + 1e-12);
+    EXPECT_NEAR(d, angle_distance(b, a), 1e-12);
+  }
+}
+
+TEST(AngleDistance, WrapAround) {
+  EXPECT_NEAR(angle_distance(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+}
+
+TEST(AngleInterval, ContainsInterior) {
+  const AngleInterval iv(1.0, 1.0);
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(1.5));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(2.1));
+  EXPECT_FALSE(iv.contains(0.9));
+}
+
+TEST(AngleInterval, WrapsPastTwoPi) {
+  const auto iv = AngleInterval::from_to(kTwoPi - 0.5, 0.5);
+  EXPECT_NEAR(iv.width, 1.0, 1e-12);
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(kTwoPi - 0.25));
+  EXPECT_TRUE(iv.contains(0.25));
+  EXPECT_FALSE(iv.contains(kPi));
+}
+
+TEST(AngleInterval, FullContainsEverything) {
+  const auto iv = AngleInterval::full();
+  EXPECT_TRUE(iv.is_full());
+  for (double a = 0.0; a < kTwoPi; a += 0.1) EXPECT_TRUE(iv.contains(a));
+}
+
+TEST(AngleInterval, MidAndEnd) {
+  const AngleInterval iv(kTwoPi - 1.0, 2.0);
+  EXPECT_NEAR(iv.end(), 1.0, 1e-12);
+  EXPECT_NEAR(iv.mid(), 0.0, 1e-12);
+}
+
+TEST(AngleIntervalSet, UnionMergesOverlap) {
+  AngleIntervalSet s;
+  s.insert(AngleInterval(0.0, 1.0));
+  s.insert(AngleInterval(0.5, 1.0));
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_NEAR(s.measure(), 1.5, 1e-12);
+}
+
+TEST(AngleIntervalSet, DisjointKept) {
+  AngleIntervalSet s;
+  s.insert(AngleInterval(0.0, 0.5));
+  s.insert(AngleInterval(2.0, 0.5));
+  EXPECT_EQ(s.intervals().size(), 2u);
+  EXPECT_NEAR(s.measure(), 1.0, 1e-12);
+}
+
+TEST(AngleIntervalSet, WrapJoin) {
+  AngleIntervalSet s;
+  s.insert(AngleInterval::from_to(kTwoPi - 0.3, 0.1));
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_TRUE(s.contains(0.0));
+  EXPECT_TRUE(s.contains(kTwoPi - 0.2));
+  EXPECT_FALSE(s.contains(1.0));
+}
+
+TEST(AngleIntervalSet, ComplementOfEmptyIsFull) {
+  AngleIntervalSet s;
+  EXPECT_TRUE(s.complement().is_full());
+}
+
+TEST(AngleIntervalSet, ComplementOfFullIsEmpty) {
+  AngleIntervalSet s(AngleInterval::full());
+  EXPECT_TRUE(s.complement().empty());
+}
+
+TEST(AngleIntervalSet, SaturatesToFull) {
+  AngleIntervalSet s;
+  s.insert(AngleInterval(0.0, 4.0));
+  s.insert(AngleInterval(3.0, 4.0));
+  EXPECT_TRUE(s.is_full());
+}
+
+// Property: for random interval sets A and B, membership algebra holds at
+// random probe angles.
+class IntervalAlgebraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalAlgebraTest, DeMorganAndMembership) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  AngleIntervalSet a, b;
+  const int na = 1 + static_cast<int>(rng.below(4));
+  const int nb = 1 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < na; ++i)
+    a.insert(AngleInterval(rng.angle(), rng.uniform(0.0, 2.5)));
+  for (int i = 0; i < nb; ++i)
+    b.insert(AngleInterval(rng.angle(), rng.uniform(0.0, 2.5)));
+
+  const auto a_and_b = a.intersect(b);
+  const auto a_or_b = a.unite(b);
+  const auto not_a = a.complement();
+
+  for (int probe = 0; probe < 500; ++probe) {
+    const double t = rng.angle();
+    const bool in_a = a.contains(t);
+    const bool in_b = b.contains(t);
+    // Skip probes within epsilon of any boundary (membership there is
+    // legitimately ambiguous under floating point).
+    bool near_boundary = false;
+    for (const auto& set : {&a, &b}) {
+      for (const auto& iv : set->intervals()) {
+        if (angle_distance(t, iv.start) < 1e-9 ||
+            angle_distance(t, iv.end()) < 1e-9)
+          near_boundary = true;
+      }
+    }
+    if (near_boundary) continue;
+    EXPECT_EQ(a_and_b.contains(t), in_a && in_b) << "angle " << t;
+    EXPECT_EQ(a_or_b.contains(t), in_a || in_b) << "angle " << t;
+    EXPECT_EQ(not_a.contains(t), !in_a) << "angle " << t;
+  }
+
+  // Measure identities.
+  EXPECT_NEAR(a.measure() + not_a.measure(), kTwoPi, 1e-9);
+  EXPECT_NEAR(a_or_b.measure() + a_and_b.measure(),
+              a.measure() + b.measure(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, IntervalAlgebraTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace hipo::geom

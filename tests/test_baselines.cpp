@@ -1,0 +1,136 @@
+#include "src/baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::baselines {
+namespace {
+
+TEST(GridPoints, SquareSpacing) {
+  const auto s = test::simple_scenario();
+  const auto pts = grid_points(s, 0, GridKind::kSquare);
+  ASSERT_FALSE(pts.empty());
+  const double g = std::sqrt(2.0) / 2.0 * s.charger_type(0).d_max;
+  // First two points in a row differ by the grid pitch.
+  bool found_pitch = false;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    if (std::abs(pts[i].y - pts[0].y) < 1e-9 &&
+        std::abs(pts[i].x - pts[0].x - g) < 1e-9) {
+      found_pitch = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_pitch);
+  for (const auto& p : pts) EXPECT_TRUE(s.position_feasible(p));
+}
+
+TEST(GridPoints, TriangleAlternatesOffset) {
+  const auto s = test::simple_scenario();
+  const auto pts = grid_points(s, 0, GridKind::kTriangle);
+  ASSERT_FALSE(pts.empty());
+  for (const auto& p : pts) EXPECT_TRUE(s.position_feasible(p));
+  // Triangular lattice has more rows (row height g·√3/2 < g).
+  const auto sq = grid_points(s, 0, GridKind::kSquare);
+  EXPECT_GT(pts.size(), sq.size());
+}
+
+TEST(GridPoints, ExcludesObstacleInterior) {
+  const auto s = test::blocked_scenario();
+  for (auto kind : {GridKind::kSquare, GridKind::kTriangle}) {
+    for (const auto& p : grid_points(s, 0, kind)) {
+      for (const auto& h : s.obstacles()) {
+        EXPECT_FALSE(h.contains(p));
+      }
+    }
+  }
+}
+
+class BaselineContractTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaselineContractTest, PlacementContract) {
+  const auto algorithms = comparison_algorithms();
+  ASSERT_EQ(algorithms.size(), 8u);
+  const auto& alg = algorithms[GetParam()];
+  const auto s = test::small_paper_scenario(77, 2, 1);
+  hipo::Rng rng(13);
+  const auto placement = alg.run(s, rng);
+  // Full budget deployed, every strategy valid.
+  EXPECT_EQ(placement.size(), s.num_chargers());
+  s.validate_placement(placement);
+  std::vector<int> per_type(s.num_charger_types(), 0);
+  for (const auto& strat : placement) ++per_type[strat.type];
+  for (std::size_t q = 0; q < per_type.size(); ++q) {
+    EXPECT_EQ(per_type[q], s.charger_count(q));
+  }
+  const double u = s.placement_utility(placement);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEight, BaselineContractTest,
+                         ::testing::Range(std::size_t{0}, std::size_t{8}));
+
+TEST(Baselines, DeterministicGivenSeed) {
+  const auto s = test::small_paper_scenario(78, 2, 1);
+  for (const auto& alg : comparison_algorithms()) {
+    hipo::Rng r1(99), r2(99);
+    const auto p1 = alg.run(s, r1);
+    const auto p2 = alg.run(s, r2);
+    ASSERT_EQ(p1.size(), p2.size());
+    for (std::size_t i = 0; i < p1.size(); ++i) {
+      EXPECT_EQ(p1[i].pos, p2[i].pos) << alg.name;
+      EXPECT_EQ(p1[i].orientation, p2[i].orientation) << alg.name;
+    }
+  }
+}
+
+TEST(Baselines, OrientationOptimizationHelps) {
+  // Averaged over seeds, RPAD (enumerated orientations) beats RPAR (random
+  // orientations) and GPAD beats GPAR.
+  const auto s = test::small_paper_scenario(79, 3, 2);
+  double rpar = 0.0, rpad = 0.0, gpar = 0.0, gpad = 0.0;
+  const int reps = 10;
+  for (int rep = 0; rep < reps; ++rep) {
+    hipo::Rng r1(rep), r2(rep), r3(rep), r4(rep);
+    rpar += s.placement_utility(place_rpar(s, r1));
+    rpad += s.placement_utility(place_rpad(s, r2));
+    gpar += s.placement_utility(place_gpar(s, GridKind::kSquare, r3));
+    gpad += s.placement_utility(place_gpad(s, GridKind::kSquare, r4));
+  }
+  EXPECT_GT(rpad, rpar);
+  EXPECT_GT(gpad, gpar);
+}
+
+TEST(Baselines, GppdcsAtLeastAsGoodAsGpadOnAverage) {
+  const auto s = test::small_paper_scenario(80, 3, 2);
+  double gpad = 0.0, gppdcs = 0.0;
+  const int reps = 8;
+  for (int rep = 0; rep < reps; ++rep) {
+    hipo::Rng r1(rep + 100), r2(rep + 100);
+    gpad += s.placement_utility(place_gpad(s, GridKind::kTriangle, r1));
+    gppdcs += s.placement_utility(place_gppdcs(s, GridKind::kTriangle, r2));
+  }
+  // GPPDCS explores the PDCS critical orientations, a superset in quality;
+  // allow a small slack for the discrete-enumeration lucky cases.
+  EXPECT_GT(gppdcs, 0.9 * gpad);
+}
+
+TEST(Baselines, NamesInPaperOrder) {
+  const auto algorithms = comparison_algorithms();
+  EXPECT_EQ(algorithms[0].name, "GPPDCS Triangle");
+  EXPECT_EQ(algorithms[1].name, "GPPDCS Square");
+  EXPECT_EQ(algorithms[2].name, "GPAD Triangle");
+  EXPECT_EQ(algorithms[3].name, "GPAD Square");
+  EXPECT_EQ(algorithms[4].name, "GPAR Triangle");
+  EXPECT_EQ(algorithms[5].name, "GPAR Square");
+  EXPECT_EQ(algorithms[6].name, "RPAD");
+  EXPECT_EQ(algorithms[7].name, "RPAR");
+}
+
+}  // namespace
+}  // namespace hipo::baselines

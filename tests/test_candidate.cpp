@@ -1,0 +1,154 @@
+#include "src/pdcs/candidate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace hipo::pdcs {
+namespace {
+
+Candidate make_candidate(std::vector<std::size_t> covered,
+                         std::vector<double> powers, std::size_t type = 0) {
+  Candidate c;
+  c.strategy.type = type;
+  c.covered = std::move(covered);
+  c.powers = std::move(powers);
+  return c;
+}
+
+TEST(CoverageMask, SetAndTest) {
+  CoverageMask m(130);
+  m.set(0);
+  m.set(64);
+  m.set(129);
+  EXPECT_TRUE(m.test(0));
+  EXPECT_TRUE(m.test(64));
+  EXPECT_TRUE(m.test(129));
+  EXPECT_FALSE(m.test(1));
+  EXPECT_FALSE(m.test(128));
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(CoverageMask, SubsetAcrossWords) {
+  CoverageMask a(130), b(130);
+  a.set(3);
+  a.set(70);
+  b.set(3);
+  b.set(70);
+  b.set(100);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+}
+
+TEST(DominatedBy, StrictSubsetWithHigherPower) {
+  const auto a = make_candidate({1, 3}, {0.1, 0.2});
+  const auto b = make_candidate({1, 2, 3}, {0.1, 0.5, 0.3});
+  EXPECT_TRUE(dominated_by(a, b));
+  EXPECT_FALSE(dominated_by(b, a));
+}
+
+TEST(DominatedBy, SubsetButLowerPowerNotDominated) {
+  const auto a = make_candidate({1}, {0.5});
+  const auto b = make_candidate({1, 2}, {0.1, 0.1});
+  EXPECT_FALSE(dominated_by(a, b));
+}
+
+TEST(DominatedBy, EquivalentCandidates) {
+  const auto a = make_candidate({1, 2}, {0.1, 0.2});
+  const auto b = make_candidate({1, 2}, {0.1, 0.2});
+  EXPECT_TRUE(dominated_by(a, b));
+  EXPECT_TRUE(dominated_by(b, a));
+}
+
+TEST(DominatedBy, DisjointSetsNotDominated) {
+  const auto a = make_candidate({1}, {0.1});
+  const auto b = make_candidate({2}, {0.1});
+  EXPECT_FALSE(dominated_by(a, b));
+  EXPECT_FALSE(dominated_by(b, a));
+}
+
+TEST(FilterDominated, KeepsMaximal) {
+  std::vector<Candidate> cands;
+  cands.push_back(make_candidate({1}, {0.1}));
+  cands.push_back(make_candidate({1, 2}, {0.1, 0.2}));
+  cands.push_back(make_candidate({3}, {0.4}));
+  const auto kept = filter_dominated(std::move(cands), 5);
+  ASSERT_EQ(kept.size(), 2u);
+}
+
+TEST(FilterDominated, RemovesDuplicates) {
+  std::vector<Candidate> cands;
+  cands.push_back(make_candidate({1, 2}, {0.1, 0.2}));
+  cands.push_back(make_candidate({1, 2}, {0.1, 0.2}));
+  const auto kept = filter_dominated(std::move(cands), 5);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+TEST(FilterDominated, DropsEmptyCoverage) {
+  std::vector<Candidate> cands;
+  cands.push_back(make_candidate({}, {}));
+  cands.push_back(make_candidate({1}, {0.1}));
+  const auto kept = filter_dominated(std::move(cands), 5);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+TEST(FilterDominated, IncomparablePowersBothKept) {
+  // Same coverage set, each better on a different device: neither dominates.
+  std::vector<Candidate> cands;
+  cands.push_back(make_candidate({1, 2}, {0.5, 0.1}));
+  cands.push_back(make_candidate({1, 2}, {0.1, 0.5}));
+  const auto kept = filter_dominated(std::move(cands), 5);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+// Property: after filtering, (a) no kept candidate is dominated by another
+// kept candidate; (b) every input candidate is dominated by (or equal to)
+// some kept candidate.
+class FilterPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterPropertyTest, SoundAndComplete) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 71 + 13);
+  const std::size_t num_devices = 12;
+  std::vector<Candidate> input;
+  for (int i = 0; i < 60; ++i) {
+    Candidate c;
+    c.strategy.type = 0;
+    for (std::size_t j = 0; j < num_devices; ++j) {
+      if (rng.uniform() < 0.3) {
+        c.covered.push_back(j);
+        // Quantized powers so domination chains actually occur.
+        c.powers.push_back(0.1 * static_cast<double>(1 + rng.below(3)));
+      }
+    }
+    input.push_back(c);
+  }
+  auto copy = input;
+  const auto kept = filter_dominated(std::move(copy), num_devices);
+
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      if (i == k) continue;
+      // Strict domination between distinct kept candidates is forbidden;
+      // mutual equivalence would have been deduplicated.
+      EXPECT_FALSE(dominated_by(kept[i], kept[k]) &&
+                   !dominated_by(kept[k], kept[i]));
+    }
+  }
+  for (const auto& orig : input) {
+    if (orig.covered.empty()) continue;
+    bool covered = false;
+    for (const auto& k : kept) {
+      if (dominated_by(orig, k)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FilterPropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace hipo::pdcs

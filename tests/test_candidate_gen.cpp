@@ -1,0 +1,152 @@
+#include "src/pdcs/candidate_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::pdcs {
+namespace {
+
+using geom::Vec2;
+
+TEST(RingRadii, StartsAtDminEndsAtDmax) {
+  const auto s = test::simple_scenario();
+  const auto radii = ring_radii(s, 0, 0);
+  ASSERT_GE(radii.size(), 2u);
+  EXPECT_DOUBLE_EQ(radii.front(), 1.0);
+  EXPECT_DOUBLE_EQ(radii.back(), 5.0);
+  EXPECT_TRUE(std::is_sorted(radii.begin(), radii.end()));
+}
+
+TEST(PairPositions, AllFeasibleAndInRange) {
+  const auto s = test::simple_scenario();
+  const ExtractOptions opt;
+  const auto positions = pair_candidate_positions(s, 0, 0, 1, opt);
+  EXPECT_FALSE(positions.empty());
+  const double d_max = s.charger_type(0).d_max;
+  for (const Vec2& p : positions) {
+    EXPECT_TRUE(s.position_feasible(p));
+    const double d0 = geom::distance(p, s.device(0).pos);
+    const double d1 = geom::distance(p, s.device(1).pos);
+    EXPECT_TRUE(d0 <= d_max + 1e-6 || d1 <= d_max + 1e-6);
+  }
+}
+
+TEST(PairPositions, Deduplicated) {
+  const auto s = test::simple_scenario();
+  const ExtractOptions opt;
+  const auto positions = pair_candidate_positions(s, 0, 0, 1, opt);
+  std::set<std::pair<long long, long long>> seen;
+  for (const Vec2& p : positions) {
+    const auto key = std::make_pair(llround(p.x * 1e6), llround(p.y * 1e6));
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate at " << p;
+  }
+}
+
+TEST(PairPositions, AblationFlagsReduceCount) {
+  const auto s = test::simple_scenario();
+  ExtractOptions all;
+  ExtractOptions none;
+  none.use_pair_line = false;
+  none.use_pair_arcs = false;
+  none.use_ring_ring = false;
+  none.use_obstacle_ring = false;
+  const auto with_all = pair_candidate_positions(s, 0, 0, 1, all);
+  const auto with_none = pair_candidate_positions(s, 0, 0, 1, none);
+  EXPECT_GT(with_all.size(), with_none.size());
+  EXPECT_TRUE(with_none.empty());
+}
+
+TEST(PairPositions, RingRingPointsLieOnCircles) {
+  const auto s = test::simple_scenario();
+  ExtractOptions opt;
+  opt.use_pair_line = false;
+  opt.use_pair_arcs = false;
+  opt.use_obstacle_ring = false;
+  const auto positions = pair_candidate_positions(s, 0, 0, 1, opt);
+  const auto ri = ring_radii(s, 0, 0);
+  const auto rj = ring_radii(s, 0, 1);
+  for (const Vec2& p : positions) {
+    const double d0 = geom::distance(p, s.device(0).pos);
+    const double d1 = geom::distance(p, s.device(1).pos);
+    const auto on_some = [](double d, const std::vector<double>& radii) {
+      for (double r : radii)
+        if (std::abs(d - r) < 1e-6) return true;
+      return false;
+    };
+    EXPECT_TRUE(on_some(d0, ri));
+    EXPECT_TRUE(on_some(d1, rj));
+  }
+}
+
+TEST(SingletonPositions, OnOwnRings) {
+  const auto s = test::simple_scenario();
+  const auto positions = singleton_candidate_positions(s, 0, 0, pdcs::ExtractOptions{});
+  EXPECT_FALSE(positions.empty());
+  const auto radii = ring_radii(s, 0, 0);
+  for (const Vec2& p : positions) {
+    EXPECT_TRUE(s.position_feasible(p));
+    const double d = geom::distance(p, s.device(0).pos);
+    bool on_ring = false;
+    for (double r : radii)
+      if (std::abs(d - r) < 1e-6) on_ring = true;
+    EXPECT_TRUE(on_ring);
+  }
+}
+
+TEST(ObstacleRingPositions, GeneratedNearObstacle) {
+  const auto s = test::blocked_scenario();
+  ExtractOptions opt;
+  opt.use_pair_line = false;
+  opt.use_pair_arcs = false;
+  opt.use_ring_ring = false;
+  opt.use_singleton = false;
+  // Single device scenario: pair generation needs two devices, so probe the
+  // singleton path indirectly via obstacle-ring on a two-device variant.
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(14, 10)};
+  cfg.obstacles = {geom::make_rect({11.0, 9.5}, {12.0, 10.5})};
+  const model::Scenario s2(std::move(cfg));
+  const auto positions = pair_candidate_positions(s2, 0, 0, 1, opt);
+  EXPECT_FALSE(positions.empty());
+}
+
+TEST(ExtractDeviceTask, SoundCandidates) {
+  const auto s = test::simple_scenario();
+  std::vector<Vec2> pts;
+  for (std::size_t j = 0; j < s.num_devices(); ++j)
+    pts.push_back(s.device(j).pos);
+  const spatial::GridIndex index(s.region(), pts);
+  const auto cands = extract_device_task(s, index, 0, ExtractOptions{});
+  EXPECT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_TRUE(s.position_feasible(c.strategy.pos));
+    for (std::size_t k = 0; k < c.covered.size(); ++k) {
+      EXPECT_NEAR(c.powers[k], s.approx_power(c.strategy, c.covered[k]),
+                  1e-12);
+      EXPECT_GT(c.powers[k], 0.0);
+    }
+    EXPECT_TRUE(std::is_sorted(c.covered.begin(), c.covered.end()));
+  }
+}
+
+TEST(ExtractDeviceTask, RespectsIndexOrdering) {
+  // Task for the highest-index device only pairs with larger indices (none),
+  // so it should contain only singleton-derived candidates — still nonempty.
+  const auto s = test::simple_scenario();
+  std::vector<Vec2> pts;
+  for (std::size_t j = 0; j < s.num_devices(); ++j)
+    pts.push_back(s.device(j).pos);
+  const spatial::GridIndex index(s.region(), pts);
+  const auto last = extract_device_task(s, index, s.num_devices() - 1,
+                                        ExtractOptions{});
+  EXPECT_FALSE(last.empty());
+}
+
+}  // namespace
+}  // namespace hipo::pdcs

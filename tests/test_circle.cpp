@@ -1,0 +1,154 @@
+#include "src/geometry/circle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::geom {
+namespace {
+
+TEST(CircleCircle, TwoPoints) {
+  const auto pts = circle_circle_intersections({{0, 0}, 1.0}, {{1, 0}, 1.0});
+  ASSERT_EQ(pts.size(), 2u);
+  for (const Vec2& p : pts) {
+    EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(distance(p, {1, 0}), 1.0, 1e-12);
+  }
+}
+
+TEST(CircleCircle, ExternallyTangent) {
+  const auto pts = circle_circle_intersections({{0, 0}, 1.0}, {{2, 0}, 1.0});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 1.0, 1e-9);
+  EXPECT_NEAR(pts[0].y, 0.0, 1e-9);
+}
+
+TEST(CircleCircle, Separate) {
+  EXPECT_TRUE(
+      circle_circle_intersections({{0, 0}, 1.0}, {{5, 0}, 1.0}).empty());
+}
+
+TEST(CircleCircle, Contained) {
+  EXPECT_TRUE(
+      circle_circle_intersections({{0, 0}, 3.0}, {{0.5, 0}, 1.0}).empty());
+}
+
+TEST(CircleCircle, Concentric) {
+  EXPECT_TRUE(
+      circle_circle_intersections({{0, 0}, 1.0}, {{0, 0}, 2.0}).empty());
+  EXPECT_TRUE(
+      circle_circle_intersections({{0, 0}, 1.0}, {{0, 0}, 1.0}).empty());
+}
+
+TEST(CircleLine, SecantThroughCenter) {
+  const auto pts = circle_line_intersections({{0, 0}, 2.0}, {-5, 0}, {1, 0});
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_NEAR(std::abs(pts[0].x), 2.0, 1e-12);
+  EXPECT_NEAR(std::abs(pts[1].x), 2.0, 1e-12);
+}
+
+TEST(CircleLine, Tangent) {
+  const auto pts = circle_line_intersections({{0, 0}, 1.0}, {-5, 1}, {1, 0});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 0.0, 1e-9);
+  EXPECT_NEAR(pts[0].y, 1.0, 1e-9);
+}
+
+TEST(CircleLine, Miss) {
+  EXPECT_TRUE(
+      circle_line_intersections({{0, 0}, 1.0}, {-5, 2}, {1, 0}).empty());
+}
+
+TEST(CircleSegment, ClippedToSegment) {
+  // Line would hit twice; segment covers only one crossing.
+  const auto pts =
+      circle_segment_intersections({{0, 0}, 1.0}, {{0, 0}, {5, 0}});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 1.0, 1e-12);
+}
+
+TEST(CircleSegment, BothCrossings) {
+  const auto pts =
+      circle_segment_intersections({{0, 0}, 1.0}, {{-5, 0}, {5, 0}});
+  EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(CircleSegment, SegmentInsideMisses) {
+  EXPECT_TRUE(
+      circle_segment_intersections({{0, 0}, 2.0}, {{-1, 0}, {1, 0}}).empty());
+}
+
+TEST(InscribedAngle, RightAngleCirclesHaveChordAsDiameter) {
+  // α = π/2: the inscribed-angle circles have the chord as diameter, so
+  // both supporting circles coincide with center at the midpoint.
+  const auto circles = inscribed_angle_circles({0, 0}, {2, 0}, kPi / 2.0);
+  ASSERT_EQ(circles.size(), 2u);
+  for (const auto& c : circles) {
+    EXPECT_NEAR(c.radius, 1.0, 1e-12);
+    EXPECT_NEAR(distance(c.center, {1, 0}), 0.0, 1e-9);
+  }
+}
+
+TEST(InscribedAngle, CirclesPassThroughBothPoints) {
+  hipo::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 a{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec2 b{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    if (distance(a, b) < 0.1) continue;
+    const double alpha = rng.uniform(0.2, kPi - 0.2);
+    for (const auto& c : inscribed_angle_circles(a, b, alpha)) {
+      EXPECT_NEAR(distance(c.center, a), c.radius, 1e-9);
+      EXPECT_NEAR(distance(c.center, b), c.radius, 1e-9);
+    }
+  }
+}
+
+TEST(InscribedAngle, DegenerateChordEmpty) {
+  EXPECT_TRUE(inscribed_angle_circles({1, 1}, {1, 1}, 1.0).empty());
+}
+
+TEST(InscribedAngle, InvalidAngleThrows) {
+  EXPECT_THROW(inscribed_angle_circles({0, 0}, {1, 0}, 0.0),
+               hipo::ConfigError);
+  EXPECT_THROW(inscribed_angle_circles({0, 0}, {1, 0}, kPi),
+               hipo::ConfigError);
+}
+
+// Property: every sampled arc point sees the chord under the requested angle.
+class ArcPointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArcPointTest, SampledPointsSubtendAlpha) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const Vec2 a{rng.uniform(-3, 3), rng.uniform(-3, 3)};
+  Vec2 b{rng.uniform(-3, 3), rng.uniform(-3, 3)};
+  if (distance(a, b) < 0.5) b = a + Vec2{1.0, 0.3};
+  const double alpha = rng.uniform(0.3, 2.6);
+  const auto pts = inscribed_angle_arc_points(a, b, alpha, 4);
+  EXPECT_FALSE(pts.empty());
+  for (const Vec2& p : pts) {
+    const Vec2 pa = a - p;
+    const Vec2 pb = b - p;
+    const double ang = std::acos(
+        std::clamp(pa.dot(pb) / (pa.norm() * pb.norm()), -1.0, 1.0));
+    EXPECT_NEAR(ang, alpha, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ArcPointTest, ::testing::Range(0, 12));
+
+TEST(Circle, ContainsAndPointAt) {
+  const Circle c({1, 1}, 2.0);
+  EXPECT_TRUE(c.contains({1, 1}));
+  EXPECT_TRUE(c.contains({3, 1}));
+  EXPECT_FALSE(c.contains({3.5, 1}));
+  const Vec2 p = c.point_at(kPi / 2.0);
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hipo::geom

@@ -1,0 +1,90 @@
+#include "src/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/util/error.hpp"
+
+namespace hipo {
+namespace {
+
+Cli make_cli(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  auto cli = make_cli({"--reps", "25"});
+  EXPECT_EQ(cli.get_or("reps", 0), 25);
+  cli.finish();
+}
+
+TEST(Cli, EqualsValue) {
+  auto cli = make_cli({"--eps=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_or("eps", 0.0), 0.25);
+  cli.finish();
+}
+
+TEST(Cli, BooleanFlag) {
+  auto cli = make_cli({"--csv"});
+  EXPECT_TRUE(cli.has("csv"));
+  EXPECT_FALSE(cli.has("other"));
+  cli.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  auto cli = make_cli({});
+  EXPECT_EQ(cli.get_or("reps", 15), 15);
+  EXPECT_DOUBLE_EQ(cli.get_or("eps", 0.15), 0.15);
+  EXPECT_EQ(cli.get_or("name", std::string("x")), "x");
+  cli.finish();
+}
+
+TEST(Cli, UnknownFlagFailsFinish) {
+  auto cli = make_cli({"--oops", "1"});
+  EXPECT_THROW(cli.finish(), ConfigError);
+}
+
+TEST(Cli, ConsumedFlagPassesFinish) {
+  auto cli = make_cli({"--reps", "3"});
+  (void)cli.get("reps");
+  EXPECT_NO_THROW(cli.finish());
+}
+
+TEST(Cli, NonNumericValueThrows) {
+  auto cli = make_cli({"--reps", "abc"});
+  EXPECT_THROW(cli.get_or("reps", 1), ConfigError);
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  std::vector<const char*> args{"prog", "positional"};
+  EXPECT_THROW(Cli(2, args.data()), ConfigError);
+}
+
+TEST(Cli, TwoBooleanFlagsInARow) {
+  auto cli = make_cli({"--a", "--b"});
+  EXPECT_TRUE(cli.has("a"));
+  EXPECT_TRUE(cli.has("b"));
+  cli.finish();
+}
+
+TEST(EnvIntOr, FallbackWhenUnset) {
+  ::unsetenv("HIPO_TEST_ENV_VAR");
+  EXPECT_EQ(env_int_or("HIPO_TEST_ENV_VAR", 42), 42);
+}
+
+TEST(EnvIntOr, ParsesValue) {
+  ::setenv("HIPO_TEST_ENV_VAR", "17", 1);
+  EXPECT_EQ(env_int_or("HIPO_TEST_ENV_VAR", 42), 17);
+  ::unsetenv("HIPO_TEST_ENV_VAR");
+}
+
+TEST(EnvIntOr, GarbageFallsBack) {
+  ::setenv("HIPO_TEST_ENV_VAR", "not-a-number", 1);
+  EXPECT_EQ(env_int_or("HIPO_TEST_ENV_VAR", 42), 42);
+  ::unsetenv("HIPO_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace hipo

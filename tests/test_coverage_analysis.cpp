@@ -1,0 +1,110 @@
+#include "src/ext/coverage_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.hpp"
+#include "src/util/error.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::ext {
+namespace {
+
+TEST(CoverageAnalysis, OpenFieldDeviceIsCoverable) {
+  const auto s = test::simple_scenario();
+  const auto cov = analyze_device(s, 0);
+  EXPECT_TRUE(cov.coverable);
+  EXPECT_TRUE(cov.by_type[0]);
+  EXPECT_GT(cov.best_single_power, 0.0);
+  EXPECT_GT(cov.single_charger_utility, 0.0);
+}
+
+TEST(CoverageAnalysis, OutOfRangeIndexThrows) {
+  const auto s = test::simple_scenario();
+  EXPECT_THROW(analyze_device(s, 99), hipo::ConfigError);
+}
+
+TEST(CoverageAnalysis, ShieldedDeviceDetected) {
+  // The walled-in device from the solver test: provably unchargeable.
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(3, 3)};
+  cfg.obstacles = {
+      geom::make_rect({8.5, 8.5}, {11.5, 9.5}),
+      geom::make_rect({8.5, 10.5}, {11.5, 11.5}),
+      geom::make_rect({8.5, 9.4}, {9.5, 10.6}),
+      geom::make_rect({10.5, 9.4}, {11.5, 10.6}),
+  };
+  const model::Scenario s(std::move(cfg));
+  const auto report = analyze_coverage(s);
+  EXPECT_FALSE(report.devices[0].coverable);
+  EXPECT_TRUE(report.devices[1].coverable);
+  EXPECT_EQ(report.uncoverable, 1u);
+  EXPECT_NEAR(report.utility_upper_bound, 0.5, 1e-12);
+}
+
+TEST(CoverageAnalysis, UpperBoundDominatesAnySolve) {
+  for (std::uint64_t seed : {901, 902, 903}) {
+    const auto s = test::small_paper_scenario(seed, 2, 2);
+    const auto report = analyze_coverage(s);
+    const auto result = core::solve(s);
+    EXPECT_LE(result.utility, report.utility_upper_bound + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(CoverageAnalysis, BestSinglePowerMatchesNearestRing) {
+  // Open field, omni device: the best single-charger power is the nearest
+  // ring's power.
+  const auto s = test::simple_scenario();
+  const auto cov = analyze_device(s, 0);
+  const auto& lad = s.ladder(0, 0);
+  EXPECT_NEAR(cov.best_single_power, lad.ring_power(0), 1e-12);
+}
+
+TEST(CoverageAnalysis, WeightsShapeTheUpperBound) {
+  auto cfg = test::simple_config();
+  auto reachable = test::device_at(10, 10);
+  reachable.weight = 3.0;
+  auto walled = test::device_at(3, 3);
+  walled.weight = 1.0;
+  cfg.devices = {reachable, walled};
+  cfg.obstacles = {
+      geom::make_rect({1.5, 1.5}, {4.5, 2.5}),
+      geom::make_rect({1.5, 3.5}, {4.5, 4.5}),
+      geom::make_rect({1.5, 2.4}, {2.5, 3.6}),
+      geom::make_rect({3.5, 2.4}, {4.5, 3.6}),
+  };
+  const model::Scenario s(std::move(cfg));
+  const auto report = analyze_coverage(s);
+  ASSERT_EQ(report.uncoverable, 1u);
+  EXPECT_NEAR(report.utility_upper_bound, 3.0 / 4.0, 1e-12);
+}
+
+TEST(CoverageAnalysis, PerTypeDiscrimination) {
+  // A device reachable only from a thin corridor: the long-minimum-range
+  // type cannot reach it, the short-range type can.
+  auto cfg = test::simple_config();
+  cfg.charger_types = {
+      {geom::kPi / 2.0, 6.0, 9.0},  // far-only type
+      {geom::kPi / 2.0, 1.0, 3.0},  // near-only type
+  };
+  cfg.pair_params = {{100.0, 40.0}, {100.0, 40.0}};
+  cfg.charger_counts = {1, 1};
+  cfg.devices = {test::device_at(10, 10)};
+  // Closed ring of walls whose interior corner distance (~4.95 m) is below
+  // the far type's 6 m minimum: positions 6-9 m out lose line of sight,
+  // positions 1-3 m (inside the ring) keep it.
+  cfg.obstacles = {
+      geom::make_rect({6.0, 6.0}, {14.0, 6.5}),
+      geom::make_rect({6.0, 13.5}, {14.0, 14.0}),
+      geom::make_rect({6.0, 6.4}, {6.5, 13.6}),
+      geom::make_rect({13.5, 6.4}, {14.0, 13.6}),
+  };
+  const model::Scenario s(std::move(cfg));
+  const auto cov = analyze_device(s, 0);
+  EXPECT_FALSE(cov.by_type[0]);  // far ring fully blocked
+  EXPECT_TRUE(cov.by_type[1]);   // near ring inside the walls
+  EXPECT_TRUE(cov.coverable);
+}
+
+}  // namespace
+}  // namespace hipo::ext

@@ -1,0 +1,52 @@
+// The scenario files shipped in data/ must parse, validate, solve, and
+// round-trip — they are the CLI's advertised entry point.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/solver.hpp"
+#include "src/model/io.hpp"
+
+#ifndef HIPO_DATA_DIR
+#error "HIPO_DATA_DIR must be defined by the build"
+#endif
+
+namespace hipo {
+namespace {
+
+class DataFileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DataFileTest, ParsesAndValidates) {
+  const std::string path = std::string(HIPO_DATA_DIR) + "/" + GetParam();
+  const auto scenario = model::read_scenario_file(path);
+  EXPECT_GT(scenario.num_devices(), 0u);
+  EXPECT_GT(scenario.num_chargers(), 0u);
+  EXPECT_GT(scenario.num_obstacles(), 0u);
+}
+
+TEST_P(DataFileTest, SolvesWithPositiveUtility) {
+  const std::string path = std::string(HIPO_DATA_DIR) + "/" + GetParam();
+  const auto scenario = model::read_scenario_file(path);
+  const auto result = core::solve(scenario);
+  scenario.validate_placement(result.placement);
+  EXPECT_GT(result.utility, 0.3) << path;
+}
+
+TEST_P(DataFileTest, RoundTripsExactly) {
+  const std::string path = std::string(HIPO_DATA_DIR) + "/" + GetParam();
+  const auto scenario = model::read_scenario_file(path);
+  std::stringstream buffer;
+  model::write_scenario(buffer, scenario);
+  const auto restored = model::read_scenario(buffer);
+  ASSERT_EQ(restored.num_devices(), scenario.num_devices());
+  for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+    EXPECT_EQ(restored.device(j).pos, scenario.device(j).pos);
+    EXPECT_EQ(restored.device(j).weight, scenario.device(j).weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, DataFileTest,
+                         ::testing::Values("office.hipo", "courtyard.hipo"));
+
+}  // namespace
+}  // namespace hipo

@@ -1,0 +1,114 @@
+#include "src/opt/exhaustive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/pdcs/extract.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::opt {
+namespace {
+
+std::vector<pdcs::Candidate> synthetic_candidates(
+    const model::Scenario& s, hipo::Rng& rng, std::size_t count) {
+  std::vector<pdcs::Candidate> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    pdcs::Candidate c;
+    c.strategy.type = rng.below(s.num_charger_types());
+    c.strategy.pos = {rng.uniform(1, 19), rng.uniform(1, 19)};
+    for (std::size_t j = 0; j < s.num_devices(); ++j) {
+      if (rng.uniform() < 0.4) {
+        c.covered.push_back(j);
+        c.powers.push_back(rng.uniform(0.004, 0.05));
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Plain mask enumeration (oracle).
+double mask_optimum(const model::Scenario& s,
+                    std::span<const pdcs::Candidate> cands) {
+  const ChargingObjective f(s, cands);
+  const PartitionMatroid matroid = placement_matroid(s, cands);
+  double best = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << cands.size());
+       ++mask) {
+    std::vector<std::size_t> set;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) set.push_back(i);
+    }
+    if (!matroid.independent(set)) continue;
+    best = std::max(best, f.value(set));
+  }
+  return best;
+}
+
+TEST(ExactSelect, MatchesMaskEnumeration) {
+  const auto s = test::simple_scenario();
+  for (int trial = 0; trial < 10; ++trial) {
+    hipo::Rng rng(static_cast<std::uint64_t>(trial) * 67 + 5);
+    const auto cands = synthetic_candidates(s, rng, 14);
+    const auto exact = exact_select(s, cands);
+    EXPECT_NEAR(exact.result.approx_utility, mask_optimum(s, cands), 1e-12)
+        << "trial " << trial;
+    // Selection actually evaluates to the reported value.
+    const ChargingObjective f(s, cands);
+    EXPECT_NEAR(f.value(exact.result.selected), exact.result.approx_utility,
+                1e-12);
+  }
+}
+
+TEST(ExactSelect, AtLeastGreedy) {
+  const auto s = test::small_paper_scenario(301, 1, 1);
+  auto extraction = pdcs::extract_all(s);
+  if (extraction.candidates.size() > 24) extraction.candidates.resize(24);
+  const auto greedy = select_strategies(s, extraction.candidates,
+                                        GreedyMode::kLazyGlobal);
+  const auto exact = exact_select(s, extraction.candidates);
+  EXPECT_GE(exact.result.approx_utility, greedy.approx_utility - 1e-12);
+  // Theorem 4.2 sanity on a real extraction.
+  EXPECT_GE(greedy.approx_utility, 0.5 * exact.result.approx_utility - 1e-9);
+}
+
+TEST(ExactSelect, EmptyCandidates) {
+  const auto s = test::simple_scenario();
+  const std::vector<pdcs::Candidate> none;
+  const auto exact = exact_select(s, none);
+  EXPECT_TRUE(exact.result.selected.empty());
+  EXPECT_DOUBLE_EQ(exact.result.approx_utility, 0.0);
+}
+
+TEST(ExactSelect, RespectsBudget) {
+  const auto s = test::simple_scenario();  // budget 2 of type 0
+  hipo::Rng rng(9);
+  const auto cands = synthetic_candidates(s, rng, 12);
+  const auto exact = exact_select(s, cands);
+  EXPECT_LE(exact.result.selected.size(), 2u);
+  s.validate_placement(exact.result.placement);
+}
+
+TEST(ExactSelect, NodeCapThrows) {
+  const auto s = test::simple_scenario();
+  hipo::Rng rng(10);
+  const auto cands = synthetic_candidates(s, rng, 18);
+  ExactOptions opt;
+  opt.max_nodes = 3;
+  EXPECT_THROW(exact_select(s, cands, opt), hipo::ConfigError);
+}
+
+TEST(ExactSelect, PrunesAggressively) {
+  // Branch-and-bound must explore far fewer nodes than 2^n.
+  const auto s = test::simple_scenario();
+  hipo::Rng rng(11);
+  const auto cands = synthetic_candidates(s, rng, 20);
+  const auto exact = exact_select(s, cands);
+  EXPECT_LT(exact.nodes_explored, std::size_t{1} << 20);
+}
+
+}  // namespace
+}  // namespace hipo::opt

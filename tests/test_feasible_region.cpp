@@ -1,0 +1,134 @@
+#include "src/discretize/feasible_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::discretize {
+namespace {
+
+using geom::kPi;
+using geom::kTwoPi;
+using geom::Vec2;
+
+TEST(FeasibleRegion, ValidatesArguments) {
+  const auto s = test::simple_scenario();
+  const ShadowMap sm(s.device(0).pos, s.obstacles(), 5.0);
+  EXPECT_THROW(FeasibleRegion(s, 99, 0, sm), hipo::ConfigError);
+  EXPECT_THROW(FeasibleRegion(s, 0, 9, sm), hipo::ConfigError);
+  const ShadowMap small(s.device(0).pos, s.obstacles(), 1.0);
+  EXPECT_THROW(FeasibleRegion(s, 0, 0, small), hipo::ConfigError);
+}
+
+TEST(FeasibleRegion, RingDistancesGateFeasibility) {
+  const auto s = test::simple_scenario();  // device 0 at (10,10), d∈[1,5]
+  const ShadowMap sm(s.device(0).pos, s.obstacles(), 5.0);
+  const FeasibleRegion fr(s, 0, 0, sm);
+  EXPECT_FALSE(fr.feasible({10.5, 10.0}));  // d = 0.5 < 1
+  EXPECT_TRUE(fr.feasible({13.0, 10.0}));   // d = 3
+  EXPECT_FALSE(fr.feasible({16.0, 10.0}));  // d = 6 > 5
+}
+
+TEST(FeasibleRegion, ReceivingSectorGates) {
+  auto cfg = test::simple_config();
+  cfg.device_types = {{kPi / 2.0}};
+  cfg.devices = {test::device_at(10, 10, 0.0)};  // faces east
+  const model::Scenario s(std::move(cfg));
+  const ShadowMap sm(s.device(0).pos, s.obstacles(), 5.0);
+  const FeasibleRegion fr(s, 0, 0, sm);
+  EXPECT_TRUE(fr.feasible({13.0, 10.0}));   // east: inside sector
+  EXPECT_FALSE(fr.feasible({7.0, 10.0}));   // west: outside
+  EXPECT_FALSE(fr.feasible({10.0, 13.0}));  // north: outside π/2 sector
+}
+
+TEST(FeasibleRegion, ObstacleShadowGates) {
+  const auto s = test::blocked_scenario();  // rect (11,9.5)-(12,10.5)
+  const ShadowMap sm(s.device(0).pos, s.obstacles(), 5.0);
+  const FeasibleRegion fr(s, 0, 0, sm);
+  EXPECT_FALSE(fr.feasible({13.0, 10.0}));  // behind the obstacle
+  EXPECT_FALSE(fr.feasible({11.5, 10.0}));  // inside the obstacle
+  EXPECT_TRUE(fr.feasible({10.0, 13.0}));   // clear direction
+}
+
+TEST(FeasibleRegion, RingPowerMatchesLadder) {
+  const auto s = test::simple_scenario();
+  const ShadowMap sm(s.device(0).pos, s.obstacles(), 5.0);
+  const FeasibleRegion fr(s, 0, 0, sm);
+  const auto ring = fr.ring_of({13.0, 10.0});
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_NEAR(fr.ring_power(*ring), s.ladder(0, 0).approx_power(3.0), 1e-12);
+}
+
+TEST(FeasibleRegion, CellsHaveFeasibleRepresentatives) {
+  const auto s = test::blocked_scenario();
+  const ShadowMap sm(s.device(0).pos, s.obstacles(), 5.0);
+  const FeasibleRegion fr(s, 0, 0, sm);
+  const auto cells = fr.enumerate_cells();
+  EXPECT_FALSE(cells.empty());
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(fr.feasible(cell.representative));
+    EXPECT_EQ(fr.ring_of(cell.representative).value(), cell.ring);
+    EXPECT_LT(cell.r_in, cell.r_out);
+  }
+}
+
+TEST(FeasibleRegion, CellCountGrowsWithObstacles) {
+  const auto clear = test::simple_scenario();
+  const ShadowMap sm_clear(clear.device(0).pos, clear.obstacles(), 5.0);
+  const auto cells_clear =
+      FeasibleRegion(clear, 0, 0, sm_clear).enumerate_cells();
+
+  const auto blocked = test::blocked_scenario();
+  const ShadowMap sm_blocked(blocked.device(0).pos, blocked.obstacles(), 5.0);
+  const auto cells_blocked =
+      FeasibleRegion(blocked, 0, 0, sm_blocked).enumerate_cells();
+
+  EXPECT_GT(cells_blocked.size(), cells_clear.size());
+}
+
+// Property: feasible(p) ⟺ the four Section 4.1.2 conditions hold, probed
+// at random points on random paper scenarios.
+class FeasibilityOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeasibilityOracleTest, MatchesManualConditions) {
+  const auto s = test::small_paper_scenario(
+      static_cast<std::uint64_t>(GetParam()) + 500, 2, 1);
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+  const std::size_t j = rng.below(s.num_devices());
+  const std::size_t q = rng.below(s.num_charger_types());
+  const auto& ct = s.charger_type(q);
+  const ShadowMap sm(s.device(j).pos, s.obstacles(), ct.d_max);
+  const FeasibleRegion fr(s, j, q, sm);
+  const auto& dev = s.device(j);
+  const double alpha_o = s.device_type(dev.type).angle;
+
+  for (int probe = 0; probe < 500; ++probe) {
+    // Sample in the annulus with margin so probes avoid boundaries.
+    const double r = rng.uniform(0.0, ct.d_max * 1.3);
+    const Vec2 p = dev.pos + geom::unit_vector(rng.angle()) * r;
+    if (std::abs(r - ct.d_min) < 1e-3 || std::abs(r - ct.d_max) < 1e-3)
+      continue;
+    const double bearing = (p - dev.pos).angle();
+    const double dev_angle = geom::angle_distance(bearing, dev.orientation);
+    if (alpha_o < kTwoPi && std::abs(dev_angle - alpha_o / 2.0) < 1e-3)
+      continue;
+
+    const bool in_ring = r >= ct.d_min && r <= ct.d_max && r > 1e-9;
+    const bool in_sector = alpha_o >= kTwoPi || dev_angle <= alpha_o / 2.0;
+    const bool placeable = s.position_feasible(p);
+    const bool los = s.line_of_sight(p, dev.pos);
+    EXPECT_EQ(fr.feasible(p), in_ring && in_sector && placeable && los)
+        << "device " << j << " type " << q << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FeasibilityOracleTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hipo::discretize

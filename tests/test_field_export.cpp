@@ -1,0 +1,142 @@
+#include "src/viz/field_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::viz {
+namespace {
+
+model::Placement east_charger() {
+  // Charger at (13,10) facing west covers the area around (10,10).
+  return {{{13.0, 10.0}, geom::kPi, 0}};
+}
+
+TEST(FieldGrid, DimensionsAndIndexing) {
+  const auto s = test::simple_scenario();
+  const auto grid = sample_power_field(s, east_charger(), 0, 8, 6);
+  EXPECT_EQ(grid.nx, 8u);
+  EXPECT_EQ(grid.ny, 6u);
+  EXPECT_EQ(grid.values.size(), 48u);
+  const auto c = grid.cell_center(0, 0);
+  EXPECT_GT(c.x, s.region().lo.x);
+  EXPECT_LT(c.x, s.region().hi.x);
+}
+
+TEST(FieldGrid, ValidatesArguments) {
+  const auto s = test::simple_scenario();
+  EXPECT_THROW(sample_power_field(s, {}, 0, 0, 4), hipo::ConfigError);
+  EXPECT_THROW(sample_power_field(s, {}, 9, 4, 4), hipo::ConfigError);
+}
+
+TEST(FieldGrid, PowerConcentratedInChargingSector) {
+  const auto s = test::simple_scenario();
+  const auto grid = sample_power_field(s, east_charger(), 0, 40, 40);
+  // A point ~3 m west of the charger (inside the sector) is powered.
+  double powered = 0.0, behind = 0.0;
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      const auto c = grid.cell_center(ix, iy);
+      if (std::abs(c.y - 10.0) < 1.0 && c.x > 9.0 && c.x < 11.5) {
+        powered = std::max(powered, grid.at(ix, iy));
+      }
+      if (std::abs(c.y - 10.0) < 1.0 && c.x > 15.0 && c.x < 17.0) {
+        behind = std::max(behind, grid.at(ix, iy));
+      }
+    }
+  }
+  EXPECT_GT(powered, 0.0);
+  EXPECT_DOUBLE_EQ(behind, 0.0);  // behind the charger: outside its sector
+}
+
+TEST(FieldGrid, ObstaclesShadowTheField) {
+  const auto s = test::blocked_scenario();  // rect (11,9.5)-(12,10.5)
+  // Charger west of the obstacle, facing east.
+  const model::Placement placement{{{9.0, 10.0}, 0.0, 0}};
+  const auto grid = sample_power_field(s, placement, 0, 80, 80);
+  double in_shadow = 0.0;
+  double clear = 0.0;
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      const auto c = grid.cell_center(ix, iy);
+      if (std::abs(c.y - 10.0) < 0.2 && c.x > 12.2 && c.x < 13.5) {
+        in_shadow = std::max(in_shadow, grid.at(ix, iy));
+      }
+      if (std::abs(c.y - 10.0) < 0.2 && c.x > 10.0 && c.x < 10.8) {
+        clear = std::max(clear, grid.at(ix, iy));
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(in_shadow, 0.0);
+  EXPECT_GT(clear, 0.0);
+}
+
+TEST(FieldGrid, CellsInsideObstacleAreZero) {
+  const auto s = test::blocked_scenario();
+  const model::Placement placement{{{9.0, 10.0}, 0.0, 0}};
+  const auto grid = sample_power_field(s, placement, 0, 80, 80);
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      const auto c = grid.cell_center(ix, iy);
+      if (s.obstacles()[0].contains_interior(c)) {
+        EXPECT_DOUBLE_EQ(grid.at(ix, iy), 0.0);
+      }
+    }
+  }
+}
+
+TEST(FieldExport, CsvFormat) {
+  const auto s = test::simple_scenario();
+  const auto grid = sample_power_field(s, east_charger(), 0, 4, 4);
+  const std::string path = testing::TempDir() + "hipo_field.csv";
+  write_field_csv(path, grid);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,y,value");
+  int rows = 0;
+  std::string line;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 16);
+}
+
+TEST(FieldExport, PgmFormat) {
+  const auto s = test::simple_scenario();
+  const auto grid = sample_power_field(s, east_charger(), 0, 6, 5);
+  const std::string path = testing::TempDir() + "hipo_field.pgm";
+  write_field_pgm(path, grid);
+  std::ifstream in(path);
+  std::string magic;
+  std::size_t w, h;
+  int maxval;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P2");
+  EXPECT_EQ(w, 6u);
+  EXPECT_EQ(h, 5u);
+  EXPECT_EQ(maxval, 255);
+  int count = 0, level, peak = 0;
+  while (in >> level) {
+    EXPECT_GE(level, 0);
+    EXPECT_LE(level, 255);
+    peak = std::max(peak, level);
+    ++count;
+  }
+  EXPECT_EQ(count, 30);
+  EXPECT_EQ(peak, 255);  // max scaled to full white
+}
+
+TEST(FieldExport, BadPathThrows) {
+  const auto s = test::simple_scenario();
+  const auto grid = sample_power_field(s, {}, 0, 2, 2);
+  EXPECT_THROW(write_field_csv("/nonexistent/f.csv", grid),
+               hipo::ConfigError);
+  EXPECT_THROW(write_field_pgm("/nonexistent/f.pgm", grid),
+               hipo::ConfigError);
+}
+
+}  // namespace
+}  // namespace hipo::viz

@@ -1,0 +1,182 @@
+// Degenerate and near-degenerate geometry: tangencies, collinearity,
+// grazing contacts, tiny features, large coordinates. These are the inputs
+// that break naive epsilon handling; the kernel must stay consistent (no
+// crashes, predicates agree with constructions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/discretize/shadow_map.hpp"
+#include "src/geometry/circle.hpp"
+#include "src/geometry/polygon.hpp"
+#include "src/geometry/sector_ring.hpp"
+#include "src/geometry/segment.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::geom {
+namespace {
+
+TEST(Robustness, NearTangentCircles) {
+  // Circles whose gap is within/just outside tolerance.
+  for (double gap : {-1e-12, 0.0, 1e-12, 1e-6, 1e-3}) {
+    const Circle a({0, 0}, 1.0);
+    const Circle b({2.0 + gap, 0}, 1.0);
+    const auto pts = circle_circle_intersections(a, b);
+    if (gap <= 1e-9) {
+      ASSERT_GE(pts.size(), 1u) << "gap " << gap;
+      for (const auto& p : pts) {
+        EXPECT_NEAR(distance(p, a.center), 1.0, 1e-4);
+        EXPECT_NEAR(distance(p, b.center), 1.0, 1e-4);
+      }
+    } else if (gap >= 1e-3) {
+      EXPECT_TRUE(pts.empty());
+    }
+  }
+}
+
+TEST(Robustness, AlmostConcentricCircles) {
+  const Circle a({0, 0}, 1.0);
+  const Circle b({1e-12, 0}, 1.0);
+  // Nearly identical circles: either no isolated points or points on both.
+  for (const auto& p : circle_circle_intersections(a, b)) {
+    EXPECT_NEAR(p.norm(), 1.0, 1e-6);
+  }
+}
+
+TEST(Robustness, SegmentsSharingEndpointExactly) {
+  const Segment s1({0, 0}, {1, 0});
+  const Segment s2({1, 0}, {1, 1});
+  EXPECT_TRUE(segments_intersect(s1, s2));
+  const auto p = segment_intersection_point(s1, s2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-9);
+  EXPECT_NEAR(p->y, 0.0, 1e-9);
+}
+
+TEST(Robustness, NearlyParallelSegments) {
+  // Crossing at a very shallow angle far from endpoints.
+  const Segment s1({0, 0}, {100, 1e-5});
+  const Segment s2({0, 1e-6}, {100, 0});
+  const auto p = segment_intersection_point(s1, s2);
+  if (p) {
+    EXPECT_LE(point_segment_distance(*p, s1), 1e-3);
+    EXPECT_LE(point_segment_distance(*p, s2), 1e-3);
+  }
+}
+
+TEST(Robustness, TinyPolygonContainment) {
+  // The construction floor rejects polygons below ~kEps area; just above
+  // it, containment must still work.
+  EXPECT_THROW(make_rect({0, 0}, {1e-6, 1e-6}), hipo::ConfigError);
+  const auto tiny = make_rect({0, 0}, {1e-3, 1e-3});
+  EXPECT_TRUE(tiny.contains({5e-4, 5e-4}));
+  EXPECT_FALSE(tiny.contains_interior({2e-3, 5e-4}));
+}
+
+TEST(Robustness, LargeCoordinatePolygon) {
+  const auto big = make_rect({1e6, 1e6}, {1e6 + 10, 1e6 + 10});
+  EXPECT_TRUE(big.contains_interior({1e6 + 5, 1e6 + 5}));
+  EXPECT_FALSE(big.contains_interior({1e6 - 1, 1e6 + 5}));
+  EXPECT_TRUE(big.blocks_segment({{1e6 - 5, 1e6 + 5}, {1e6 + 15, 1e6 + 5}}));
+}
+
+TEST(Robustness, RayThroughPolygonVertexExactly) {
+  // Horizontal ray passing exactly through two vertices of a diamond.
+  const Polygon diamond({{2, 0}, {3, 1}, {4, 0}, {3, -1}});
+  const Ray ray{{0, 0}, {1, 0}};
+  int hits = 0;
+  for (std::size_t e = 0; e < diamond.size(); ++e) {
+    if (ray_segment_hit(ray, diamond.edge(e))) ++hits;
+  }
+  EXPECT_GE(hits, 2);  // touches at both vertices (each shared by 2 edges)
+  // The segment through the diamond's waist is blocked.
+  EXPECT_TRUE(diamond.blocks_segment({{0, 0}, {6, 0}}));
+}
+
+TEST(Robustness, SectorRingPointExactlyOnBoundaries) {
+  const SectorRing ring({0, 0}, 0.0, kPi / 2.0, 1.0, 2.0);
+  // Exactly on the angular boundary at exactly r_min and r_max.
+  for (double r : {1.0, 2.0}) {
+    for (double sign : {-1.0, 1.0}) {
+      const Vec2 p = unit_vector(sign * kPi / 4.0) * r;
+      EXPECT_TRUE(ring.contains(p)) << "r=" << r << " sign=" << sign;
+    }
+  }
+}
+
+TEST(Robustness, InscribedAnglesNearDegenerate) {
+  // Almost-straight inscribed angle: huge circles, still through both
+  // points.
+  const auto circles = inscribed_angle_circles({0, 0}, {1, 0}, kPi - 1e-4);
+  ASSERT_EQ(circles.size(), 2u);
+  for (const auto& c : circles) {
+    EXPECT_NEAR(distance(c.center, {0, 0}), c.radius, 1e-6 * c.radius + 1e-9);
+  }
+  // Tiny inscribed angle: radius ~ chord/(2·sin α) explodes but stays
+  // finite and consistent.
+  const auto wide = inscribed_angle_circles({0, 0}, {1, 0}, 1e-4);
+  ASSERT_EQ(wide.size(), 2u);
+  EXPECT_GT(wide[0].radius, 1000.0);
+}
+
+TEST(Robustness, AngleIntervalHairlineWidths) {
+  const AngleInterval hair(1.0, 1e-14);
+  EXPECT_TRUE(hair.contains(1.0, 1e-12));
+  EXPECT_FALSE(hair.contains(1.1));
+  AngleIntervalSet set;
+  set.insert(hair);
+  set.insert(AngleInterval(3.0, 1e-14));
+  EXPECT_LE(set.measure(), 1e-12);
+  EXPECT_TRUE(set.complement().is_full() ||
+              set.complement().measure() > kTwoPi - 1e-9);
+}
+
+TEST(Robustness, PolygonWithNearlyCollinearVertex) {
+  // A vertex 1e-9 off the line between its neighbors must not flip
+  // containment logic.
+  const Polygon p({{0, 0}, {5, 1e-9}, {10, 0}, {10, 5}, {0, 5}});
+  EXPECT_TRUE(p.contains_interior({5, 2.5}));
+  EXPECT_FALSE(p.contains_interior({5, -0.5}));
+  EXPECT_TRUE(p.blocks_segment({{5, -1}, {5, 6}}));
+}
+
+TEST(Robustness, ShadowOfSliverObstacle) {
+  // A very thin obstacle still blocks exactly its own angular sliver.
+  const std::vector<Polygon> slivers{
+      Polygon({{2.0, -0.001}, {3.0, -0.001}, {3.0, 0.001}, {2.0, 0.001}})};
+  const discretize::ShadowMap sm({0, 0}, slivers, 10.0);
+  EXPECT_FALSE(sm.visible({5, 0}));
+  EXPECT_TRUE(sm.visible({5, 0.5}));
+  EXPECT_TRUE(sm.visible({5, -0.5}));
+}
+
+TEST(Robustness, FuzzNoCrashesOnRandomDegenerates) {
+  // Throw random near-degenerate inputs at every kernel routine; the only
+  // requirement here is consistency guarded inside the calls (no throws
+  // other than documented ones, no NaNs in outputs).
+  hipo::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const double scale = std::pow(10.0, rng.uniform(-6.0, 4.0));
+    const Vec2 a{rng.uniform(-1, 1) * scale, rng.uniform(-1, 1) * scale};
+    const Vec2 b = a + Vec2{rng.uniform(-1e-9, 1e-9),
+                            rng.uniform(-1e-9, 1e-9)};
+    const Segment s1{a, b};  // near-degenerate segment
+    const Segment s2{{rng.uniform(-1, 1) * scale, rng.uniform(-1, 1) * scale},
+                     {rng.uniform(-1, 1) * scale, rng.uniform(-1, 1) * scale}};
+    (void)segments_intersect(s1, s2);
+    if (auto p = segment_intersection_point(s1, s2)) {
+      EXPECT_FALSE(std::isnan(p->x));
+      EXPECT_FALSE(std::isnan(p->y));
+    }
+    const Circle c{{rng.uniform(-1, 1) * scale, rng.uniform(-1, 1) * scale},
+                   rng.uniform(0.0, 1.0) * scale + 1e-12};
+    for (const auto& p : circle_segment_intersections(c, s2)) {
+      EXPECT_FALSE(std::isnan(p.x));
+      EXPECT_FALSE(std::isnan(p.y));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hipo::geom

@@ -1,0 +1,116 @@
+#include "src/ext/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::ext {
+namespace {
+
+/// Brute-force min-cost assignment by permutation scan (rows <= cols <= 8).
+double brute_force_assignment(const std::vector<double>& cost,
+                              std::size_t rows, std::size_t cols) {
+  std::vector<std::size_t> perm(cols);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  double best = 1e30;
+  do {
+    double total = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) total += cost[r * cols + perm[r]];
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Hungarian, Validates) {
+  EXPECT_THROW(hungarian({1.0}, 0, 1), hipo::ConfigError);
+  EXPECT_THROW(hungarian({1.0, 2.0}, 2, 1), hipo::ConfigError);
+  EXPECT_THROW(hungarian({1.0}, 1, 2), hipo::ConfigError);
+}
+
+TEST(Hungarian, OneByOne) {
+  const auto r = hungarian({3.5}, 1, 1);
+  EXPECT_EQ(r.col_of[0], 0u);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.5);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(Hungarian, IdentityIsOptimal) {
+  // Diagonal zeros, off-diagonal ones.
+  const std::vector<double> cost{0, 1, 1, 1, 0, 1, 1, 1, 0};
+  const auto r = hungarian(cost, 3, 3);
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+  EXPECT_EQ(r.col_of, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Hungarian, ClassicExample) {
+  // Well-known 3×3 instance: optimum is 5 (1+3+1? verify: rows pick
+  // distinct cols minimizing sum).
+  const std::vector<double> cost{4, 1, 3, 2, 0, 5, 3, 2, 2};
+  const auto r = hungarian(cost, 3, 3);
+  EXPECT_DOUBLE_EQ(r.total_cost, brute_force_assignment(cost, 3, 3));
+}
+
+TEST(Hungarian, RectangularAssignsAllRows) {
+  const std::vector<double> cost{5, 1, 9, 9, 9, 1};  // 2 rows × 3 cols
+  const auto r = hungarian(cost, 2, 3);
+  EXPECT_DOUBLE_EQ(r.total_cost, 2.0);
+  std::set<std::size_t> cols(r.col_of.begin(), r.col_of.end());
+  EXPECT_EQ(cols.size(), 2u);  // distinct columns
+}
+
+TEST(Hungarian, ForbiddenEdgesReportInfeasible) {
+  const std::vector<double> cost{kForbidden, kForbidden, 1.0, kForbidden};
+  const auto r = hungarian(cost, 2, 2);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Hungarian, ForbiddenAvoidedWhenPossible) {
+  const std::vector<double> cost{kForbidden, 2.0, 3.0, kForbidden};
+  const auto r = hungarian(cost, 2, 2);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.total_cost, 5.0);
+  EXPECT_EQ(r.col_of, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(Hungarian, NegativeCostsSupported) {
+  const std::vector<double> cost{-5, 0, 0, -5};
+  const auto r = hungarian(cost, 2, 2);
+  EXPECT_DOUBLE_EQ(r.total_cost, -10.0);
+}
+
+// Property: matches brute force on random square and rectangular matrices.
+class HungarianOracleTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(HungarianOracleTest, MatchesBruteForce) {
+  const auto [rows, cols] = GetParam();
+  hipo::Rng rng(rows * 1000 + cols * 13 + 7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> cost(rows * cols);
+    for (double& c : cost) c = rng.uniform(0.0, 10.0);
+    const auto r = hungarian(cost, rows, cols);
+    EXPECT_NEAR(r.total_cost, brute_force_assignment(cost, rows, cols), 1e-9);
+    // Assignment validity: distinct columns.
+    std::set<std::size_t> used(r.col_of.begin(), r.col_of.end());
+    EXPECT_EQ(used.size(), rows);
+    for (std::size_t c : r.col_of) EXPECT_LT(c, cols);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HungarianOracleTest,
+    ::testing::Values(std::make_pair(std::size_t{2}, std::size_t{2}),
+                      std::make_pair(std::size_t{3}, std::size_t{3}),
+                      std::make_pair(std::size_t{5}, std::size_t{5}),
+                      std::make_pair(std::size_t{7}, std::size_t{7}),
+                      std::make_pair(std::size_t{3}, std::size_t{6}),
+                      std::make_pair(std::size_t{5}, std::size_t{8})));
+
+}  // namespace
+}  // namespace hipo::ext

@@ -1,0 +1,136 @@
+#include "src/model/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/model/scenario_gen.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::model {
+namespace {
+
+TEST(ScenarioIo, RoundTripSimpleScenario) {
+  const auto original = test::blocked_scenario();
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const auto restored = read_scenario(buffer);
+
+  ASSERT_EQ(restored.num_devices(), original.num_devices());
+  ASSERT_EQ(restored.num_charger_types(), original.num_charger_types());
+  ASSERT_EQ(restored.num_obstacles(), original.num_obstacles());
+  EXPECT_DOUBLE_EQ(restored.eps1(), original.eps1());
+  for (std::size_t j = 0; j < original.num_devices(); ++j) {
+    EXPECT_EQ(restored.device(j).pos, original.device(j).pos);
+    EXPECT_EQ(restored.device(j).orientation, original.device(j).orientation);
+    EXPECT_EQ(restored.device(j).type, original.device(j).type);
+    EXPECT_EQ(restored.device(j).p_th, original.device(j).p_th);
+  }
+  for (std::size_t q = 0; q < original.num_charger_types(); ++q) {
+    EXPECT_EQ(restored.charger_count(q), original.charger_count(q));
+    EXPECT_EQ(restored.charger_type(q).angle, original.charger_type(q).angle);
+  }
+}
+
+TEST(ScenarioIo, RoundTripPreservesPhysics) {
+  // Power evaluations must be bit-identical after a round trip (precision 17
+  // serialization).
+  const auto original = test::small_paper_scenario(44, 2, 1);
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const auto restored = read_scenario(buffer);
+
+  hipo::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const Strategy s{{rng.uniform(0, 40), rng.uniform(0, 40)},
+                     rng.angle(),
+                     rng.below(original.num_charger_types())};
+    for (std::size_t j = 0; j < original.num_devices(); ++j) {
+      EXPECT_EQ(original.exact_power(s, j), restored.exact_power(s, j));
+    }
+  }
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
+  const auto original = test::simple_scenario();
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  std::string text = "# a comment\n\n" + buffer.str() + "\n# trailing\n";
+  std::stringstream patched(text);
+  EXPECT_NO_THROW(read_scenario(patched));
+}
+
+TEST(ScenarioIo, MissingHeaderThrows) {
+  std::stringstream buffer("region 0 0 1 1\n");
+  EXPECT_THROW(read_scenario(buffer), hipo::ConfigError);
+}
+
+TEST(ScenarioIo, UnknownKeywordThrows) {
+  std::stringstream buffer("hipo-scenario v1\nbanana 1 2 3\n");
+  EXPECT_THROW(read_scenario(buffer), hipo::ConfigError);
+}
+
+TEST(ScenarioIo, MissingPairEntryThrows) {
+  std::stringstream buffer(
+      "hipo-scenario v1\n"
+      "region 0 0 10 10\n"
+      "eps1 0.3\n"
+      "charger_type 1.0 1.0 5.0 2\n"
+      "device_type 3.0\n");
+  EXPECT_THROW(read_scenario(buffer), hipo::ConfigError);
+}
+
+TEST(ScenarioIo, TruncatedObstacleThrows) {
+  std::stringstream buffer(
+      "hipo-scenario v1\n"
+      "region 0 0 10 10\n"
+      "charger_type 1.0 1.0 5.0 2\n"
+      "device_type 3.0\n"
+      "pair 0 0 100 40\n"
+      "obstacle 3 1 1 2 1\n");  // only 2 of 3 vertices
+  EXPECT_THROW(read_scenario(buffer), hipo::ConfigError);
+}
+
+TEST(ScenarioIo, FileRoundTrip) {
+  const auto original = test::simple_scenario();
+  const std::string path = testing::TempDir() + "hipo_io_test.scenario";
+  write_scenario_file(path, original);
+  const auto restored = read_scenario_file(path);
+  EXPECT_EQ(restored.num_devices(), original.num_devices());
+}
+
+TEST(ScenarioIo, MissingFileThrows) {
+  EXPECT_THROW(read_scenario_file("/nonexistent/x.hipo"), hipo::ConfigError);
+}
+
+TEST(PlacementIo, RoundTrip) {
+  Placement placement{
+      {{1.25, 3.5}, 0.75, 0},
+      {{9.0, 2.0}, 5.5, 2},
+  };
+  std::stringstream buffer;
+  write_placement(buffer, placement);
+  const auto restored = read_placement(buffer);
+  ASSERT_EQ(restored.size(), placement.size());
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    EXPECT_EQ(restored[i].pos, placement[i].pos);
+    EXPECT_EQ(restored[i].orientation, placement[i].orientation);
+    EXPECT_EQ(restored[i].type, placement[i].type);
+  }
+}
+
+TEST(PlacementIo, EmptyPlacement) {
+  std::stringstream buffer;
+  write_placement(buffer, {});
+  EXPECT_TRUE(read_placement(buffer).empty());
+}
+
+TEST(PlacementIo, BadKeywordThrows) {
+  std::stringstream buffer("hipo-placement v1\ncharger 1 2 3 0\n");
+  EXPECT_THROW(read_placement(buffer), hipo::ConfigError);
+}
+
+}  // namespace
+}  // namespace hipo::model

@@ -1,0 +1,98 @@
+// Lemma 4.4: the number of feasible geometric areas is bounded — per
+// device and charger type, the receiving area splits into O(ε₁⁻¹) rings ×
+// O(1 + N_h·c) angular pieces. FeasibleRegion::enumerate_cells realizes
+// exactly that decomposition; these tests pin its count to the analytic
+// ingredients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/discretize/feasible_region.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::discretize {
+namespace {
+
+std::size_t count_cells(const model::Scenario& s, std::size_t j,
+                        std::size_t q) {
+  const ShadowMap shadow(s.device(j).pos, s.obstacles(),
+                         s.charger_type(q).d_max);
+  const FeasibleRegion region(s, j, q, shadow);
+  return region.enumerate_cells().size();
+}
+
+/// The analytic ceiling for one (device, type) pair: angular events are the
+/// 2 receiving boundaries + (obstacle vertices in range), radial events are
+/// the ladder rungs + 1 shadow split per angular piece.
+std::size_t analytic_bound(const model::Scenario& s, std::size_t j,
+                           std::size_t q) {
+  std::size_t vertex_events = 0;
+  for (const auto& h : s.obstacles()) vertex_events += h.size();
+  const std::size_t angular = 2 + vertex_events + 1;
+  const std::size_t radial =
+      s.ladder_for_device(q, j).num_rings() + 2;  // rungs + shadow split
+  return angular * radial;
+}
+
+class Lemma44Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma44Test, CellCountWithinAnalyticBound) {
+  const auto s = test::small_paper_scenario(
+      static_cast<std::uint64_t>(GetParam()) + 1300, 2, 1);
+  for (std::size_t j = 0; j < s.num_devices(); j += 5) {
+    for (std::size_t q = 0; q < s.num_charger_types(); ++q) {
+      EXPECT_LE(count_cells(s, j, q), analytic_bound(s, j, q))
+          << "device " << j << " type " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Lemma44Test, ::testing::Range(0, 6));
+
+TEST(Lemma44, CellCountGrowsAsEpsShrinks) {
+  // O(ε₁⁻¹) radial dependence: halving ε roughly doubles the rungs.
+  auto make = [](double eps) {
+    model::GenOptions opt;
+    opt.device_multiplier = 1;
+    opt.eps = eps;
+    Rng rng(77);
+    return model::make_paper_scenario(opt, rng);
+  };
+  const auto coarse = make(0.30);
+  const auto fine = make(0.04);
+  std::size_t coarse_cells = 0, fine_cells = 0;
+  for (std::size_t j = 0; j < coarse.num_devices(); ++j) {
+    coarse_cells += count_cells(coarse, j, 2);
+    fine_cells += count_cells(fine, j, 2);
+  }
+  EXPECT_GT(fine_cells, 2 * coarse_cells);
+}
+
+TEST(Lemma44, ObstacleFreeHasNoAngularSplits) {
+  model::GenOptions opt;
+  opt.num_obstacles = 0;
+  opt.device_multiplier = 1;
+  Rng rng(78);
+  const auto s = model::make_paper_scenario(opt, rng);
+  for (std::size_t j = 0; j < s.num_devices(); ++j) {
+    const auto& dev = s.device(j);
+    const double alpha = s.device_type(dev.type).angle;
+    for (std::size_t q = 0; q < s.num_charger_types(); ++q) {
+      // Without obstacles, cells = rings × (1 angular piece), except that
+      // full-circle receivers have no boundary events at all.
+      const std::size_t cells = count_cells(s, j, q);
+      const std::size_t rings = s.ladder_for_device(q, j).num_rings();
+      if (alpha < geom::kTwoPi) {
+        // Some ring cells may be clipped by the region border; never more
+        // than rings.
+        EXPECT_LE(cells, rings);
+      } else {
+        EXPECT_LE(cells, rings);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hipo::discretize

@@ -1,0 +1,135 @@
+#include "src/opt/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/solver.hpp"
+#include "src/pdcs/extract.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::opt {
+namespace {
+
+struct Setup {
+  std::unique_ptr<model::Scenario> scenario;
+  pdcs::ExtractionResult extraction;
+  GreedyResult greedy;
+};
+
+Setup make_setup(std::uint64_t seed) {
+  Setup s;
+  s.scenario = std::make_unique<model::Scenario>(
+      test::small_paper_scenario(seed, 1, 1));
+  s.extraction = pdcs::extract_all(*s.scenario);
+  s.greedy = select_strategies(*s.scenario, s.extraction.candidates,
+                               GreedyMode::kPerType);
+  return s;
+}
+
+TEST(LocalSearch, NeverWorseThanStart) {
+  for (std::uint64_t seed : {201, 202, 203, 204}) {
+    const auto s = make_setup(seed);
+    const auto improved = local_search_improve(
+        *s.scenario, s.extraction.candidates, s.greedy);
+    EXPECT_GE(improved.result.approx_utility,
+              s.greedy.approx_utility - 1e-12);
+    s.scenario->validate_placement(improved.result.placement);
+    EXPECT_EQ(improved.result.selected.size(), s.greedy.selected.size());
+  }
+}
+
+TEST(LocalSearch, ConvergesToSwapLocalOptimum) {
+  const auto s = make_setup(205);
+  const auto improved = local_search_improve(
+      *s.scenario, s.extraction.candidates, s.greedy);
+  // Re-running from the improved solution finds nothing further.
+  const auto again = local_search_improve(
+      *s.scenario, s.extraction.candidates, improved.result);
+  EXPECT_EQ(again.swaps, 0);
+  EXPECT_NEAR(again.result.approx_utility, improved.result.approx_utility,
+              1e-12);
+}
+
+TEST(LocalSearch, ImprovesDeliberatelyBadStart) {
+  const auto s = make_setup(206);
+  // Start from the *worst* feasible selection: the last candidates of each
+  // type instead of greedy picks.
+  GreedyResult bad;
+  std::vector<int> left(s.scenario->num_charger_types());
+  for (std::size_t q = 0; q < left.size(); ++q) {
+    left[q] = s.scenario->charger_count(q);
+  }
+  for (std::size_t i = s.extraction.candidates.size(); i-- > 0;) {
+    const auto q = s.extraction.candidates[i].strategy.type;
+    if (left[q] > 0) {
+      --left[q];
+      bad.selected.push_back(i);
+    }
+  }
+  const ChargingObjective f(*s.scenario, s.extraction.candidates);
+  bad.approx_utility = f.value(bad.selected);
+
+  const auto improved = local_search_improve(
+      *s.scenario, s.extraction.candidates, bad);
+  EXPECT_GT(improved.swaps, 0);
+  EXPECT_GT(improved.result.approx_utility, bad.approx_utility);
+}
+
+TEST(LocalSearch, RespectsMaxRounds) {
+  const auto s = make_setup(207);
+  GreedyResult empty_start;  // no selections → nothing to swap
+  LocalSearchOptions opt;
+  opt.max_rounds = 0;
+  const auto r = local_search_improve(*s.scenario, s.extraction.candidates,
+                                      s.greedy, ObjectiveKind::kUtility, opt);
+  EXPECT_EQ(r.swaps, 0);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(LocalSearch, EmptyStartIsNoop) {
+  const auto s = make_setup(208);
+  GreedyResult empty_start;
+  const auto r = local_search_improve(*s.scenario, s.extraction.candidates,
+                                      empty_start);
+  EXPECT_EQ(r.swaps, 0);
+  EXPECT_TRUE(r.result.placement.empty());
+}
+
+TEST(LocalSearch, OutOfRangeSelectionThrows) {
+  const auto s = make_setup(209);
+  GreedyResult bad;
+  bad.selected = {s.extraction.candidates.size() + 5};
+  EXPECT_THROW(local_search_improve(*s.scenario, s.extraction.candidates,
+                                    bad),
+               hipo::ConfigError);
+}
+
+TEST(LocalSearch, SolverFlagNeverHurts) {
+  for (std::uint64_t seed : {210, 211}) {
+    const auto scenario = test::small_paper_scenario(seed, 2, 1);
+    core::SolveOptions plain;
+    core::SolveOptions with_ls;
+    with_ls.local_search = true;
+    const double base = core::solve(scenario, plain).approx_utility;
+    const double improved = core::solve(scenario, with_ls).approx_utility;
+    EXPECT_GE(improved, base - 1e-12);
+  }
+}
+
+TEST(LocalSearch, LogUtilityKindSupported) {
+  const auto s = make_setup(212);
+  const auto greedy_log = select_strategies(
+      *s.scenario, s.extraction.candidates, GreedyMode::kPerType,
+      ObjectiveKind::kLogUtility);
+  const auto improved = local_search_improve(
+      *s.scenario, s.extraction.candidates, greedy_log,
+      ObjectiveKind::kLogUtility);
+  EXPECT_GE(improved.result.approx_utility,
+            greedy_log.approx_utility - 1e-12);
+}
+
+}  // namespace
+}  // namespace hipo::opt

@@ -1,0 +1,119 @@
+#include "src/parallel/lpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::parallel {
+namespace {
+
+/// Exact minimum makespan by exhaustive assignment (small instances).
+double brute_force_makespan(const std::vector<double>& tasks,
+                            std::size_t machines) {
+  double best = 1e18;
+  std::vector<std::size_t> assign(tasks.size(), 0);
+  const auto total = static_cast<std::size_t>(
+      std::pow(static_cast<double>(machines), static_cast<double>(tasks.size())));
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    std::vector<double> loads(machines, 0.0);
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      loads[c % machines] += tasks[i];
+      c /= machines;
+    }
+    best = std::min(best, *std::max_element(loads.begin(), loads.end()));
+  }
+  return best;
+}
+
+TEST(Lpt, RequiresMachines) {
+  EXPECT_THROW(lpt_schedule({1.0}, 0), hipo::ConfigError);
+  EXPECT_THROW(round_robin_schedule({1.0}, 0), hipo::ConfigError);
+}
+
+TEST(Lpt, EmptyTasks) {
+  const auto s = lpt_schedule({}, 3);
+  EXPECT_EQ(s.makespan, 0.0);
+  EXPECT_TRUE(s.machine_of.empty());
+}
+
+TEST(Lpt, SingleMachineSumsAll) {
+  const auto s = lpt_schedule({1.0, 2.0, 3.0}, 1);
+  EXPECT_DOUBLE_EQ(s.makespan, 6.0);
+  for (std::size_t m : s.machine_of) EXPECT_EQ(m, 0u);
+}
+
+TEST(Lpt, LoadsConsistentWithAssignment) {
+  hipo::Rng rng(1);
+  std::vector<double> tasks;
+  for (int i = 0; i < 30; ++i) tasks.push_back(rng.uniform(0.1, 5.0));
+  const auto s = lpt_schedule(tasks, 4);
+  std::vector<double> loads(4, 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    ASSERT_LT(s.machine_of[i], 4u);
+    loads[s.machine_of[i]] += tasks[i];
+  }
+  for (std::size_t m = 0; m < 4; ++m) EXPECT_NEAR(loads[m], s.loads[m], 1e-9);
+  EXPECT_NEAR(s.makespan, *std::max_element(loads.begin(), loads.end()),
+              1e-9);
+}
+
+TEST(Lpt, ClassicWorstCaseStaysWithinGrahamBound) {
+  // Graham's tight example for m=2: tasks {3,3,2,2,2}; OPT=6, LPT=7.
+  const std::vector<double> tasks{3, 3, 2, 2, 2};
+  const auto s = lpt_schedule(tasks, 2);
+  EXPECT_DOUBLE_EQ(s.makespan, 7.0);
+  const double opt = brute_force_makespan(tasks, 2);
+  EXPECT_DOUBLE_EQ(opt, 6.0);
+  EXPECT_LE(s.makespan, (4.0 / 3.0 - 1.0 / 6.0) * opt + 1e-9);
+}
+
+TEST(Lpt, MoreMachinesThanTasks) {
+  const auto s = lpt_schedule({5.0, 1.0}, 10);
+  EXPECT_DOUBLE_EQ(s.makespan, 5.0);
+}
+
+TEST(Lpt, DeterministicTieBreaking) {
+  const std::vector<double> tasks{1.0, 1.0, 1.0, 1.0};
+  const auto s1 = lpt_schedule(tasks, 2);
+  const auto s2 = lpt_schedule(tasks, 2);
+  EXPECT_EQ(s1.machine_of, s2.machine_of);
+}
+
+TEST(RoundRobin, CyclesMachines) {
+  const auto s = round_robin_schedule({1, 1, 1, 1, 1}, 2);
+  EXPECT_EQ(s.machine_of, (std::vector<std::size_t>{0, 1, 0, 1, 0}));
+  EXPECT_DOUBLE_EQ(s.makespan, 3.0);
+}
+
+// Graham's 4/3 − 1/(3m) approximation guarantee, verified against the
+// brute-force optimum across random small instances and machine counts.
+class GrahamBoundTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GrahamBoundTest, WithinFourThirds) {
+  const std::size_t machines = GetParam();
+  hipo::Rng rng(machines * 97 + 5);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> tasks;
+    const int n = 2 + static_cast<int>(rng.below(7));  // keep brute force fast
+    for (int i = 0; i < n; ++i) tasks.push_back(rng.uniform(0.1, 4.0));
+    const double opt = brute_force_makespan(tasks, machines);
+    const auto s = lpt_schedule(tasks, machines);
+    const double bound =
+        (4.0 / 3.0 - 1.0 / (3.0 * static_cast<double>(machines))) * opt;
+    EXPECT_LE(s.makespan, bound + 1e-9)
+        << "n=" << n << " machines=" << machines;
+    EXPECT_GE(s.makespan, opt - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, GrahamBoundTest,
+                         ::testing::Values(2u, 3u, 4u));
+
+}  // namespace
+}  // namespace hipo::parallel

@@ -1,0 +1,112 @@
+#include "src/ext/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::ext {
+namespace {
+
+/// Brute-force maximum matching via recursion (small graphs).
+std::size_t brute_force_matching(
+    const std::vector<std::vector<std::size_t>>& adj, std::size_t right) {
+  const std::size_t n = adj.size();
+  std::vector<bool> used_r(right, false);
+  std::size_t best = 0;
+  // Recursive exploration over left vertices.
+  std::function<void(std::size_t, std::size_t)> go = [&](std::size_t l,
+                                                         std::size_t count) {
+    best = std::max(best, count);
+    if (l == n) return;
+    go(l + 1, count);  // skip l
+    for (std::size_t r : adj[l]) {
+      if (!used_r[r]) {
+        used_r[r] = true;
+        go(l + 1, count + 1);
+        used_r[r] = false;
+      }
+    }
+  };
+  go(0, 0);
+  return best;
+}
+
+TEST(BipartiteGraph, EdgeValidation) {
+  BipartiteGraph g(2, 2);
+  EXPECT_THROW(g.add_edge(2, 0), hipo::ConfigError);
+  EXPECT_THROW(g.add_edge(0, 2), hipo::ConfigError);
+}
+
+TEST(BipartiteGraph, EmptyGraphZeroMatching) {
+  BipartiteGraph g(3, 3);
+  EXPECT_EQ(g.max_matching(), 0u);
+  EXPECT_FALSE(g.has_perfect_matching());
+}
+
+TEST(BipartiteGraph, PerfectMatchingOnIdentity) {
+  BipartiteGraph g(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) g.add_edge(i, i);
+  EXPECT_EQ(g.max_matching(), 3u);
+  EXPECT_TRUE(g.has_perfect_matching());
+}
+
+TEST(BipartiteGraph, AugmentingPathNeeded) {
+  // l0-{r0}, l1-{r0,r1}: greedy l1→r0 would block l0; matching must be 2.
+  BipartiteGraph g(2, 2);
+  g.add_edge(1, 0);
+  g.add_edge(1, 1);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.max_matching(), 2u);
+}
+
+TEST(BipartiteGraph, HallViolationDetected) {
+  // Two left vertices both only connect to r0.
+  BipartiteGraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.max_matching(), 1u);
+  EXPECT_FALSE(g.has_perfect_matching());
+}
+
+TEST(BipartiteGraph, ZeroLeftVerticesTriviallyPerfect) {
+  BipartiteGraph g(0, 3);
+  EXPECT_TRUE(g.has_perfect_matching());
+}
+
+TEST(BipartiteGraph, ParallelEdgesHarmless) {
+  BipartiteGraph g(1, 1);
+  g.add_edge(0, 0);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.max_matching(), 1u);
+}
+
+// Property: Hopcroft–Karp matches the brute-force optimum on random graphs.
+class MatchingOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatchingOracleTest, MatchesBruteForce) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t left = 1 + rng.below(7);
+    const std::size_t right = 1 + rng.below(7);
+    BipartiteGraph g(left, right);
+    std::vector<std::vector<std::size_t>> adj(left);
+    for (std::size_t l = 0; l < left; ++l) {
+      for (std::size_t r = 0; r < right; ++r) {
+        if (rng.uniform() < 0.35) {
+          g.add_edge(l, r);
+          adj[l].push_back(r);
+        }
+      }
+    }
+    EXPECT_EQ(g.max_matching(), brute_force_matching(adj, right));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MatchingOracleTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace hipo::ext

@@ -1,0 +1,150 @@
+#include "src/opt/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::opt {
+namespace {
+
+// Synthetic candidates over a scenario with known thresholds.
+std::vector<pdcs::Candidate> synthetic_candidates(std::size_t num_devices,
+                                                  hipo::Rng& rng,
+                                                  std::size_t count) {
+  std::vector<pdcs::Candidate> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    pdcs::Candidate c;
+    c.strategy.type = 0;
+    c.strategy.pos = {1.0 + static_cast<double>(i), 1.0};
+    for (std::size_t j = 0; j < num_devices; ++j) {
+      if (rng.uniform() < 0.4) {
+        c.covered.push_back(j);
+        c.powers.push_back(rng.uniform(0.005, 0.06));
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(Objective, EmptySetIsZero) {
+  const auto s = test::simple_scenario();
+  hipo::Rng rng(1);
+  const auto cands = synthetic_candidates(s.num_devices(), rng, 5);
+  const ChargingObjective f(s, cands);
+  EXPECT_DOUBLE_EQ(f.value({}), 0.0);
+}
+
+TEST(Objective, SingleCandidateValue) {
+  const auto s = test::simple_scenario();  // 3 devices, p_th = 0.05
+  std::vector<pdcs::Candidate> cands(1);
+  cands[0].strategy.type = 0;
+  cands[0].covered = {0, 2};
+  cands[0].powers = {0.025, 0.1};  // utility 0.5 and 1 (saturated)
+  const ChargingObjective f(s, cands);
+  const std::vector<std::size_t> sel{0};
+  EXPECT_NEAR(f.value(sel), (0.5 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(Objective, StateMatchesBatchValue) {
+  const auto s = test::simple_scenario();
+  hipo::Rng rng(2);
+  const auto cands = synthetic_candidates(s.num_devices(), rng, 8);
+  const ChargingObjective f(s, cands);
+  ChargingObjective::State state(f);
+  std::vector<std::size_t> selected;
+  for (std::size_t i = 0; i < cands.size(); i += 2) {
+    state.add(i);
+    selected.push_back(i);
+    EXPECT_NEAR(state.value(), f.value(selected), 1e-12);
+  }
+}
+
+TEST(Objective, GainIsValueDifference) {
+  const auto s = test::simple_scenario();
+  hipo::Rng rng(3);
+  const auto cands = synthetic_candidates(s.num_devices(), rng, 6);
+  const ChargingObjective f(s, cands);
+  ChargingObjective::State state(f);
+  state.add(0);
+  const double before = state.value();
+  const double g = state.gain(3);
+  state.add(3);
+  EXPECT_NEAR(state.value() - before, g, 1e-12);
+}
+
+TEST(Objective, SaturationCapsGain) {
+  const auto s = test::simple_scenario();
+  std::vector<pdcs::Candidate> cands(2);
+  for (auto& c : cands) {
+    c.strategy.type = 0;
+    c.covered = {0};
+    c.powers = {0.05};  // exactly saturates p_th
+  }
+  const ChargingObjective f(s, cands);
+  ChargingObjective::State state(f);
+  EXPECT_GT(state.gain(0), 0.0);
+  state.add(0);
+  EXPECT_DOUBLE_EQ(state.gain(1), 0.0);  // already saturated
+}
+
+// Properties on random instances: normalized, monotone, submodular — the
+// three conditions of Definition 4.5 / Lemma 4.6, for both objective kinds.
+class SubmodularityTest
+    : public ::testing::TestWithParam<std::tuple<int, ObjectiveKind>> {};
+
+TEST_P(SubmodularityTest, MonotoneAndSubmodular) {
+  const auto [seed, kind] = GetParam();
+  const auto s = test::simple_scenario();
+  hipo::Rng rng(static_cast<std::uint64_t>(seed) * 211 + 3);
+  const auto cands = synthetic_candidates(s.num_devices(), rng, 10);
+  const ChargingObjective f(s, cands, kind);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    // Random chain A ⊆ B and element e ∉ B.
+    std::vector<std::size_t> a, b;
+    const std::size_t e = rng.below(cands.size());
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (i == e) continue;
+      const double u = rng.uniform();
+      if (u < 0.3) {
+        a.push_back(i);
+        b.push_back(i);
+      } else if (u < 0.6) {
+        b.push_back(i);
+      }
+    }
+    ChargingObjective::State sa(f), sb(f);
+    for (std::size_t i : a) sa.add(i);
+    for (std::size_t i : b) sb.add(i);
+    const double gain_a = sa.gain(e);
+    const double gain_b = sb.gain(e);
+    EXPECT_GE(gain_a, -1e-12);                 // monotone
+    EXPECT_GE(gain_a, gain_b - 1e-12);         // submodular
+    EXPECT_GE(sb.value(), sa.value() - 1e-12); // monotone in sets
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBothKinds, SubmodularityTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(ObjectiveKind::kUtility,
+                                         ObjectiveKind::kLogUtility)));
+
+TEST(Objective, LogUtilityLowerThanLinear) {
+  const auto s = test::simple_scenario();
+  hipo::Rng rng(9);
+  const auto cands = synthetic_candidates(s.num_devices(), rng, 6);
+  const ChargingObjective lin(s, cands, ObjectiveKind::kUtility);
+  const ChargingObjective log_f(s, cands, ObjectiveKind::kLogUtility);
+  std::vector<std::size_t> all;
+  for (std::size_t i = 0; i < cands.size(); ++i) all.push_back(i);
+  // log(1+u) <= u for u >= 0.
+  EXPECT_LE(log_f.value(all), lin.value(all) + 1e-12);
+}
+
+}  // namespace
+}  // namespace hipo::opt

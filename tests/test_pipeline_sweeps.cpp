@@ -1,0 +1,112 @@
+// Cross-parameter pipeline sweeps: every GenOptions knob the benchmark
+// harness exercises must produce valid, bounded, deterministic solves at
+// small scale — the fast CI version of the Fig. 11 sweeps.
+#include <gtest/gtest.h>
+
+#include "src/core/solver.hpp"
+#include "src/model/scenario_gen.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo {
+namespace {
+
+struct Knob {
+  const char* name;
+  model::GenOptions options;
+};
+
+std::vector<Knob> knob_grid() {
+  std::vector<Knob> knobs;
+  const auto base = [] {
+    model::GenOptions o;
+    o.device_multiplier = 1;
+    o.charger_multiplier = 1;
+    return o;
+  };
+  {
+    auto o = base();
+    knobs.push_back({"default", o});
+  }
+  for (double scale : {0.6, 2.0}) {
+    auto o = base();
+    o.charge_angle_scale = scale;
+    knobs.push_back({"charge_angle", o});
+  }
+  for (double scale : {0.6, 2.0}) {
+    auto o = base();
+    o.recv_angle_scale = scale;
+    knobs.push_back({"recv_angle", o});
+  }
+  for (double scale : {0.0, 1.4}) {
+    auto o = base();
+    o.d_min_scale = scale;
+    knobs.push_back({"d_min", o});
+  }
+  for (double scale : {0.6, 2.0}) {
+    auto o = base();
+    o.d_max_scale = scale;
+    knobs.push_back({"d_max", o});
+  }
+  for (double pth : {0.02, 0.09}) {
+    auto o = base();
+    o.p_th = pth;
+    knobs.push_back({"p_th", o});
+  }
+  for (double eps : {0.05, 0.45}) {
+    auto o = base();
+    o.eps = eps;
+    knobs.push_back({"eps", o});
+  }
+  for (int nh : {0, 4}) {
+    auto o = base();
+    o.num_obstacles = nh;
+    knobs.push_back({"obstacles", o});
+  }
+  {
+    auto o = base();
+    o.uniform_device_counts = true;
+    o.p_th_type_offset = 0.01;
+    knobs.push_back({"pth_offset", o});
+  }
+  return knobs;
+}
+
+class SweepKnobTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SweepKnobTest, SolvesValidlyAcrossSeeds) {
+  const auto knob = knob_grid()[GetParam()];
+  for (std::uint64_t seed : {1, 2}) {
+    Rng rng(seed * 1009 + GetParam());
+    const auto scenario = model::make_paper_scenario(knob.options, rng);
+    const auto result = core::solve(scenario);
+    scenario.validate_placement(result.placement);
+    EXPECT_GE(result.utility, 0.0) << knob.name;
+    EXPECT_LE(result.utility, 1.0 + 1e-12) << knob.name;
+    EXPECT_LE(result.approx_utility, result.utility + 1e-9) << knob.name;
+    EXPECT_LE(result.placement.size(), scenario.num_chargers()) << knob.name;
+    // Every claimed candidate count is consistent.
+    std::size_t per_type_total = 0;
+    for (std::size_t c : result.extraction.per_type_counts)
+      per_type_total += c;
+    EXPECT_EQ(per_type_total, result.extraction.candidates.size())
+        << knob.name;
+  }
+}
+
+TEST_P(SweepKnobTest, DeterministicAcrossIdenticalRuns) {
+  const auto knob = knob_grid()[GetParam()];
+  Rng rng_a(77 + GetParam());
+  Rng rng_b(77 + GetParam());
+  const auto s1 = model::make_paper_scenario(knob.options, rng_a);
+  const auto s2 = model::make_paper_scenario(knob.options, rng_b);
+  const auto r1 = core::solve(s1);
+  const auto r2 = core::solve(s2);
+  EXPECT_DOUBLE_EQ(r1.utility, r2.utility) << knob.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, SweepKnobTest,
+                         ::testing::Range(std::size_t{0},
+                                          knob_grid().size()));
+
+}  // namespace
+}  // namespace hipo

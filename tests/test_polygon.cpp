@@ -1,0 +1,185 @@
+#include "src/geometry/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::geom {
+namespace {
+
+Polygon unit_square() { return make_rect({0, 0}, {1, 1}); }
+
+TEST(Polygon, RejectsDegenerate) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 0}}), hipo::ConfigError);
+  EXPECT_THROW(Polygon({{0, 0}, {1, 0}, {2, 0}}), hipo::ConfigError);
+}
+
+TEST(Polygon, NormalizesWindingToCcw) {
+  const Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_GT(cw.area(), 0.0);
+}
+
+TEST(Polygon, AreaAndCentroid) {
+  const auto sq = unit_square();
+  EXPECT_NEAR(sq.area(), 1.0, 1e-12);
+  EXPECT_NEAR(sq.centroid().x, 0.5, 1e-12);
+  EXPECT_NEAR(sq.centroid().y, 0.5, 1e-12);
+}
+
+TEST(Polygon, RegularPolygonArea) {
+  // Area of regular n-gon with circumradius r: (1/2) n r² sin(2π/n).
+  const auto hex = make_regular_polygon({0, 0}, 2.0, 6);
+  EXPECT_NEAR(hex.area(), 0.5 * 6 * 4.0 * std::sin(kTwoPi / 6), 1e-9);
+  EXPECT_TRUE(hex.is_convex());
+}
+
+TEST(Polygon, ContainsInteriorBoundaryOutside) {
+  const auto sq = unit_square();
+  EXPECT_TRUE(sq.contains_interior({0.5, 0.5}));
+  EXPECT_FALSE(sq.contains_interior({0.0, 0.5}));  // boundary
+  EXPECT_FALSE(sq.contains_interior({1.5, 0.5}));
+  EXPECT_TRUE(sq.contains({0.0, 0.5}));  // boundary inclusive
+  EXPECT_TRUE(sq.on_boundary({1.0, 1.0}));
+  EXPECT_FALSE(sq.on_boundary({0.5, 0.5}));
+}
+
+TEST(Polygon, NonConvexContainment) {
+  // L-shape.
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(l.is_convex());
+  EXPECT_TRUE(l.contains_interior({0.5, 1.5}));
+  EXPECT_TRUE(l.contains_interior({1.5, 0.5}));
+  EXPECT_FALSE(l.contains_interior({1.5, 1.5}));  // notch
+}
+
+TEST(Polygon, BlocksSegmentCrossing) {
+  const auto sq = unit_square();
+  EXPECT_TRUE(sq.blocks_segment({{-1, 0.5}, {2, 0.5}}));
+}
+
+TEST(Polygon, DoesNotBlockDisjointSegment) {
+  const auto sq = unit_square();
+  EXPECT_FALSE(sq.blocks_segment({{-1, 2}, {2, 2}}));
+}
+
+TEST(Polygon, DoesNotBlockGrazingVertex) {
+  const auto sq = unit_square();
+  // Diagonal line through corner (1,1) that never enters the interior.
+  EXPECT_FALSE(sq.blocks_segment({{0.0, 2.0}, {2.0, 0.0}}));
+}
+
+TEST(Polygon, DoesNotBlockSegmentAlongEdge) {
+  const auto sq = unit_square();
+  EXPECT_FALSE(sq.blocks_segment({{-1, 0}, {2, 0}}));
+}
+
+TEST(Polygon, BlocksSegmentEndingInside) {
+  const auto sq = unit_square();
+  EXPECT_TRUE(sq.blocks_segment({{-1, 0.5}, {0.5, 0.5}}));
+}
+
+TEST(Polygon, BlocksSegmentFullyInside) {
+  const auto sq = unit_square();
+  EXPECT_TRUE(sq.blocks_segment({{0.2, 0.2}, {0.8, 0.8}}));
+}
+
+TEST(Polygon, NonConvexNotchDoesNotBlock) {
+  const Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  // Segment passing through the notch area only.
+  EXPECT_FALSE(l.blocks_segment({{1.2, 1.2}, {1.8, 1.8}}));
+  EXPECT_TRUE(l.blocks_segment({{-0.5, 0.5}, {2.5, 0.5}}));
+}
+
+TEST(Polygon, BoundaryIntersections) {
+  const auto sq = unit_square();
+  const auto pts = sq.boundary_intersections({{-1, 0.5}, {2, 0.5}});
+  EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(Polygon, EdgeIndexing) {
+  const auto sq = unit_square();
+  EXPECT_EQ(sq.size(), 4u);
+  const Segment e = sq.edge(3);
+  // Last edge closes the polygon back to the first vertex.
+  EXPECT_TRUE(approx_equal(e.b, sq.vertices().front()));
+}
+
+TEST(MakeRect, Validates) {
+  EXPECT_THROW(make_rect({1, 1}, {0, 0}), hipo::ConfigError);
+}
+
+TEST(MakeRegularPolygon, Validates) {
+  EXPECT_THROW(make_regular_polygon({0, 0}, 1.0, 2), hipo::ConfigError);
+  EXPECT_THROW(make_regular_polygon({0, 0}, -1.0, 5), hipo::ConfigError);
+}
+
+TEST(StarConvexPolygon, VerticesWithinRadius) {
+  hipo::Rng rng(5);
+  std::vector<double> radii, angles;
+  for (int i = 0; i < 7; ++i) {
+    radii.push_back(rng.uniform());
+    angles.push_back(rng.angle());
+  }
+  const auto poly = make_star_convex_polygon({3, 3}, 2.0, radii, angles);
+  EXPECT_EQ(poly.size(), 7u);
+  for (const Vec2& v : poly.vertices()) {
+    EXPECT_LE(distance(v, {3, 3}), 2.0 + 1e-9);
+    EXPECT_GE(distance(v, {3, 3}), 1.0 - 1e-9);
+  }
+}
+
+// Property: blocks_segment agrees with a dense-sampling interior oracle.
+class BlockOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockOracleTest, AgreesWithSamplingOracle) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 11);
+  const auto poly = make_regular_polygon(
+      {rng.uniform(-1, 1), rng.uniform(-1, 1)}, rng.uniform(0.5, 1.5),
+      3 + static_cast<int>(rng.below(6)), rng.angle());
+  for (int i = 0; i < 120; ++i) {
+    const Segment seg({rng.uniform(-4, 4), rng.uniform(-4, 4)},
+                      {rng.uniform(-4, 4), rng.uniform(-4, 4)});
+    bool oracle = false;
+    double oracle_margin = 0.0;
+    for (int k = 1; k < 400; ++k) {
+      const Vec2 p = seg.point_at(k / 400.0);
+      if (poly.contains_interior(p)) {
+        oracle = true;
+        // Margin: how deep the witness is (distance to nearest edge).
+        double depth = 1e9;
+        for (std::size_t e = 0; e < poly.size(); ++e) {
+          depth = std::min(depth, point_segment_distance(p, poly.edge(e)));
+        }
+        oracle_margin = std::max(oracle_margin, depth);
+      }
+    }
+    const bool got = poly.blocks_segment(seg);
+    if (oracle && oracle_margin > 1e-3) {
+      EXPECT_TRUE(got) << "segment clearly enters interior";
+    }
+    if (!oracle) {
+      // blocks_segment may only report true if some midpoint is interior —
+      // verify via its own sub-segment logic by checking it agrees when the
+      // segment is far from the polygon.
+      double min_d = 1e9;
+      for (int k = 0; k <= 10; ++k) {
+        const Vec2 p = seg.point_at(k / 10.0);
+        for (std::size_t e = 0; e < poly.size(); ++e) {
+          min_d = std::min(min_d, point_segment_distance(p, poly.edge(e)));
+        }
+      }
+      if (min_d > 1e-3 && !poly.contains({seg.a.x, seg.a.y})) {
+        EXPECT_FALSE(got) << "segment clearly avoids polygon";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BlockOracleTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hipo::geom

@@ -1,0 +1,169 @@
+#include "src/ext/redeploy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::ext {
+namespace {
+
+using model::Placement;
+using model::Strategy;
+
+Strategy strat(double x, double y, double phi, std::size_t type) {
+  return Strategy{{x, y}, phi, type};
+}
+
+/// Brute force over per-type permutations: min total and min max costs.
+void brute_force(const Placement& from, const Placement& to,
+                 std::size_t num_types, const SwitchCostModel& model,
+                 double& best_total, double& best_minimax,
+                 double& best_total_at_minimax) {
+  best_total = 1e30;
+  best_minimax = 1e30;
+  best_total_at_minimax = 1e30;
+  // Group per type.
+  std::vector<std::vector<std::size_t>> f(num_types), t(num_types);
+  for (std::size_t i = 0; i < from.size(); ++i) f[from[i].type].push_back(i);
+  for (std::size_t i = 0; i < to.size(); ++i) t[to[i].type].push_back(i);
+
+  // Enumerate the cross product of per-type permutations recursively.
+  std::vector<std::vector<std::size_t>> perms(num_types);
+  std::function<void(std::size_t, double, double)> go =
+      [&](std::size_t q, double total, double worst) {
+        if (q == num_types) {
+          best_total = std::min(best_total, total);
+          if (worst < best_minimax - 1e-12) {
+            best_minimax = worst;
+            best_total_at_minimax = total;
+          } else if (std::abs(worst - best_minimax) <= 1e-12) {
+            best_total_at_minimax = std::min(best_total_at_minimax, total);
+          }
+          return;
+        }
+        std::vector<std::size_t> perm(t[q].size());
+        std::iota(perm.begin(), perm.end(), std::size_t{0});
+        do {
+          double tot = total, wst = worst;
+          for (std::size_t i = 0; i < f[q].size(); ++i) {
+            const double c = model.cost(from[f[q][i]], to[t[q][perm[i]]]);
+            tot += c;
+            wst = std::max(wst, c);
+          }
+          go(q + 1, tot, wst);
+        } while (std::next_permutation(perm.begin(), perm.end()));
+      };
+  go(0, 0.0, 0.0);
+}
+
+TEST(SwitchCost, CombinesMoveAndRotate) {
+  SwitchCostModel m;
+  m.w_move = 2.0;
+  m.w_rotate = 1.0;
+  const auto a = strat(0, 0, 0.0, 0);
+  const auto b = strat(3, 4, geom::kPi / 2.0, 0);
+  EXPECT_NEAR(m.cost(a, b), 2.0 * 5.0 + geom::kPi / 2.0, 1e-12);
+}
+
+TEST(SwitchCost, RotationUsesShortestArc) {
+  SwitchCostModel m;
+  m.w_move = 0.0;
+  m.w_rotate = 1.0;
+  const auto a = strat(0, 0, 0.1, 0);
+  const auto b = strat(0, 0, geom::kTwoPi - 0.1, 0);
+  EXPECT_NEAR(m.cost(a, b), 0.2, 1e-12);
+}
+
+TEST(RedeployMinTotal, MismatchedCountsThrow) {
+  const Placement from{strat(0, 0, 0, 0)};
+  const Placement to{strat(1, 1, 0, 0), strat(2, 2, 0, 0)};
+  EXPECT_THROW(redeploy_min_total(from, to, 1), hipo::ConfigError);
+}
+
+TEST(RedeployMinTotal, TypesNeverMixed) {
+  const Placement from{strat(0, 0, 0, 0), strat(10, 10, 0, 1)};
+  // The type-1 target is NEXT to the type-0 source; must still pair by type.
+  const Placement to{strat(10, 10, 0, 0), strat(0, 0, 0, 1)};
+  const auto plan = redeploy_min_total(from, to, 2);
+  EXPECT_EQ(plan.to_of[0], 0u);  // type 0 → type 0 slot
+  EXPECT_EQ(plan.to_of[1], 1u);
+}
+
+TEST(RedeployMinTotal, PicksCheaperAssignment) {
+  const Placement from{strat(0, 0, 0, 0), strat(10, 0, 0, 0)};
+  const Placement to{strat(1, 0, 0, 0), strat(11, 0, 0, 0)};
+  const auto plan = redeploy_min_total(from, to, 1);
+  EXPECT_NEAR(plan.total_cost, 2.0, 1e-9);  // 1 + 1, not 11 + 9
+  EXPECT_EQ(plan.to_of[0], 0u);
+  EXPECT_EQ(plan.to_of[1], 1u);
+}
+
+TEST(RedeployMinMax, TradesTotalForMax) {
+  // Cost matrix: [[0, 5], [5, √90]]. Identity matching: total √90,
+  // max √90 ≈ 9.49 — the min-total choice. Swap: total 10, max 5 — the
+  // min-max choice.
+  const Placement from{strat(0, 0, 0, 0), strat(3, 4, 0, 0)};
+  const Placement to{strat(0, 0, 0, 0), strat(0, -5, 0, 0)};
+  SwitchCostModel m;
+  m.w_rotate = 0.0;
+  const double rt90 = std::sqrt(90.0);
+  const auto total_plan = redeploy_min_total(from, to, 1, m);
+  const auto minimax_plan = redeploy_min_max(from, to, 1, m);
+  EXPECT_NEAR(total_plan.total_cost, rt90, 1e-9);
+  EXPECT_NEAR(total_plan.max_cost, rt90, 1e-9);
+  EXPECT_NEAR(minimax_plan.max_cost, 5.0, 1e-9);
+  EXPECT_NEAR(minimax_plan.total_cost, 10.0, 1e-9);
+}
+
+TEST(RedeployEmpty, NoChargers) {
+  const auto plan = redeploy_min_max({}, {}, 2);
+  EXPECT_EQ(plan.total_cost, 0.0);
+  EXPECT_EQ(plan.max_cost, 0.0);
+}
+
+// Property: both objectives match brute force on random instances with
+// heterogeneous types.
+class RedeployOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RedeployOracleTest, MatchesBruteForce) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 149 + 3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t num_types = 1 + rng.below(2);
+    Placement from, to;
+    for (std::size_t q = 0; q < num_types; ++q) {
+      const int n = 1 + static_cast<int>(rng.below(4));
+      for (int i = 0; i < n; ++i) {
+        from.push_back(strat(rng.uniform(0, 20), rng.uniform(0, 20),
+                             rng.angle(), q));
+        to.push_back(strat(rng.uniform(0, 20), rng.uniform(0, 20),
+                           rng.angle(), q));
+      }
+    }
+    const SwitchCostModel m;
+    double bf_total, bf_minimax, bf_total_at_minimax;
+    brute_force(from, to, num_types, m, bf_total, bf_minimax,
+                bf_total_at_minimax);
+
+    const auto total_plan = redeploy_min_total(from, to, num_types, m);
+    EXPECT_NEAR(total_plan.total_cost, bf_total, 1e-9);
+
+    const auto minimax_plan = redeploy_min_max(from, to, num_types, m);
+    EXPECT_NEAR(minimax_plan.max_cost, bf_minimax, 1e-9);
+    EXPECT_NEAR(minimax_plan.total_cost, bf_total_at_minimax, 1e-9);
+
+    // Sanity: every assignment pairs matching types.
+    for (std::size_t i = 0; i < from.size(); ++i) {
+      EXPECT_EQ(from[i].type, to[total_plan.to_of[i]].type);
+      EXPECT_EQ(from[i].type, to[minimax_plan.to_of[i]].type);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RedeployOracleTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hipo::ext

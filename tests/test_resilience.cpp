@@ -1,0 +1,120 @@
+#include "src/ext/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/solver.hpp"
+#include "src/util/error.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::ext {
+namespace {
+
+model::Placement two_charger_placement() {
+  // Chargers east and north of the single device in simple_scenario-like
+  // geometry.
+  return {{{13.0, 10.0}, geom::kPi, 0}, {{10.0, 13.0}, -geom::kPi / 2.0, 0}};
+}
+
+TEST(WorstCase, ZeroFailuresIsIntact) {
+  const auto s = test::simple_scenario();
+  const auto placement = two_charger_placement();
+  const auto impact = worst_case_failure(s, placement, 0);
+  EXPECT_TRUE(impact.failed.empty());
+  EXPECT_DOUBLE_EQ(impact.drop, 0.0);
+  EXPECT_DOUBLE_EQ(impact.utility, s.placement_utility(placement));
+}
+
+TEST(WorstCase, AllFailuresIsZeroUtility) {
+  const auto s = test::simple_scenario();
+  const auto placement = two_charger_placement();
+  const auto impact = worst_case_failure(s, placement, placement.size());
+  EXPECT_DOUBLE_EQ(impact.utility, 0.0);
+}
+
+TEST(WorstCase, TooManyFailuresThrows) {
+  const auto s = test::simple_scenario();
+  EXPECT_THROW(worst_case_failure(s, two_charger_placement(), 3),
+               hipo::ConfigError);
+}
+
+TEST(WorstCase, PicksTheMostDamagingCharger) {
+  // One charger saturates two devices, the other only one: the adversary
+  // must kill the former.
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(12, 10),
+                 test::device_at(10, 16)};
+  const model::Scenario s(std::move(cfg));
+  const model::Placement placement{
+      {{14.5, 10.0}, geom::kPi, 0},          // covers devices 0 and 1
+      {{10.0, 13.0}, geom::kPi / 2.0, 0},    // covers device 2
+  };
+  const auto impact = worst_case_failure(s, placement, 1);
+  ASSERT_EQ(impact.failed.size(), 1u);
+  EXPECT_EQ(impact.failed[0], 0u);
+  EXPECT_GT(impact.drop, 0.0);
+}
+
+TEST(WorstCase, MonotoneInK) {
+  const auto s = test::small_paper_scenario(401, 1, 1);
+  const auto placement = core::solve(s).placement;
+  double prev = s.placement_utility(placement) + 1e-12;
+  for (std::size_t k = 0; k <= std::min<std::size_t>(3, placement.size());
+       ++k) {
+    const auto impact = worst_case_failure(s, placement, k);
+    EXPECT_LE(impact.utility, prev + 1e-12);
+    prev = impact.utility;
+  }
+}
+
+TEST(WorstCase, GreedyAdversaryUpperBoundsExact) {
+  // With a low enumeration limit the greedy adversary runs; its damage is a
+  // lower bound on (i.e. its utility upper-bounds) the exact worst case.
+  const auto s = test::small_paper_scenario(402, 1, 1);
+  const auto placement = core::solve(s).placement;
+  if (placement.size() < 3) GTEST_SKIP();
+  const auto exact = worst_case_failure(s, placement, 2);
+  const auto greedy = worst_case_failure(s, placement, 2, /*limit=*/1);
+  EXPECT_GE(greedy.utility, exact.utility - 1e-9);
+}
+
+TEST(ExpectedFailure, ZeroProbabilityIsIntact) {
+  const auto s = test::simple_scenario();
+  const auto placement = two_charger_placement();
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(expected_failure_utility(s, placement, 0.0, rng),
+                   s.placement_utility(placement));
+}
+
+TEST(ExpectedFailure, CertainFailureIsZero) {
+  const auto s = test::simple_scenario();
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(
+      expected_failure_utility(s, two_charger_placement(), 1.0, rng), 0.0);
+}
+
+TEST(ExpectedFailure, MonotoneInProbability) {
+  const auto s = test::small_paper_scenario(403, 1, 1);
+  const auto placement = core::solve(s).placement;
+  double prev = 2.0;
+  for (double p : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    Rng rng(7);  // same seed: coupled samples make monotonicity near-exact
+    const double u =
+        expected_failure_utility(s, placement, p, rng, /*samples=*/400);
+    EXPECT_LE(u, prev + 0.05) << "p=" << p;
+    prev = u;
+  }
+}
+
+TEST(ExpectedFailure, ValidatesArguments) {
+  const auto s = test::simple_scenario();
+  Rng rng(3);
+  EXPECT_THROW(
+      expected_failure_utility(s, two_charger_placement(), -0.1, rng),
+      hipo::ConfigError);
+  EXPECT_THROW(
+      expected_failure_utility(s, two_charger_placement(), 0.5, rng, 0),
+      hipo::ConfigError);
+}
+
+}  // namespace
+}  // namespace hipo::ext

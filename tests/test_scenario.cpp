@@ -1,0 +1,207 @@
+#include "src/model/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::model {
+namespace {
+
+using geom::kPi;
+using geom::kTwoPi;
+using geom::Vec2;
+
+TEST(ScenarioConfig, ValidatesTables) {
+  auto cfg = test::simple_config();
+  cfg.pair_params.clear();
+  EXPECT_THROW(Scenario(std::move(cfg)), hipo::ConfigError);
+
+  cfg = test::simple_config();
+  cfg.charger_counts = {1, 2};
+  EXPECT_THROW(Scenario(std::move(cfg)), hipo::ConfigError);
+
+  cfg = test::simple_config();
+  cfg.charger_types[0].d_min = 7.0;  // > d_max
+  EXPECT_THROW(Scenario(std::move(cfg)), hipo::ConfigError);
+}
+
+TEST(ScenarioConfig, RejectsDeviceInsideObstacle) {
+  auto cfg = test::simple_config();
+  cfg.obstacles = {geom::make_rect({9, 9}, {11, 11})};
+  cfg.devices = {test::device_at(10, 10)};
+  EXPECT_THROW(Scenario(std::move(cfg)), hipo::ConfigError);
+}
+
+TEST(ScenarioConfig, RejectsDeviceOutsideRegion) {
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(25, 10)};
+  EXPECT_THROW(Scenario(std::move(cfg)), hipo::ConfigError);
+}
+
+TEST(Scenario, NumChargers) {
+  const auto s = test::simple_scenario();
+  EXPECT_EQ(s.num_chargers(), 2u);
+  EXPECT_EQ(s.num_charger_types(), 1u);
+  EXPECT_EQ(s.num_devices(), 3u);
+}
+
+TEST(Scenario, PowerDistanceGates) {
+  const auto s = test::simple_scenario();
+  // Device 0 at (10,10); charger type: d ∈ [1, 5], α = π/2.
+  const Strategy too_close{{10.5, 10.0}, kPi, 0};  // d = 0.5 < 1
+  EXPECT_DOUBLE_EQ(s.exact_power(too_close, 0), 0.0);
+  const Strategy too_far{{16.0, 10.0}, kPi, 0};  // d = 6 > 5
+  EXPECT_DOUBLE_EQ(s.exact_power(too_far, 0), 0.0);
+  const Strategy in_range{{13.0, 10.0}, kPi, 0};  // d = 3, facing device
+  EXPECT_NEAR(s.exact_power(in_range, 0), 100.0 / (43.0 * 43.0), 1e-12);
+}
+
+TEST(Scenario, PowerChargerAngleGate) {
+  const auto s = test::simple_scenario();
+  // Charger east of device, facing AWAY (east): device outside sector.
+  const Strategy facing_away{{13.0, 10.0}, 0.0, 0};
+  EXPECT_DOUBLE_EQ(s.exact_power(facing_away, 0), 0.0);
+  // Facing at the sector half-angle boundary (π ± π/4): still covered.
+  const Strategy boundary{{13.0, 10.0}, kPi - kPi / 4.0 + 1e-9, 0};
+  EXPECT_GT(s.exact_power(boundary, 0), 0.0);
+}
+
+TEST(Scenario, PowerDeviceAngleGate) {
+  auto cfg = test::simple_config();
+  cfg.device_types = {{kPi / 2.0}};  // narrow receiver
+  cfg.devices = {test::device_at(10, 10, /*orientation=*/0.0)};
+  const Scenario s(std::move(cfg));
+  // Charger east of device (within receiving sector pointing east): covered.
+  const Strategy east{{13.0, 10.0}, kPi, 0};
+  EXPECT_GT(s.exact_power(east, 0), 0.0);
+  // Charger west of device: outside the π/2 receiving sector.
+  const Strategy west{{7.0, 10.0}, 0.0, 0};
+  EXPECT_DOUBLE_EQ(s.exact_power(west, 0), 0.0);
+}
+
+TEST(Scenario, PowerBlockedByObstacle) {
+  const auto s = test::blocked_scenario();
+  // Charger east of the obstacle: line of sight crosses the rect.
+  const Strategy blocked{{13.0, 10.0}, kPi, 0};
+  EXPECT_DOUBLE_EQ(s.exact_power(blocked, 0), 0.0);
+  EXPECT_FALSE(s.covers(blocked, 0));
+  // Charger north: clear.
+  const Strategy clear{{10.0, 13.0}, -kPi / 2.0, 0};
+  EXPECT_GT(s.exact_power(clear, 0), 0.0);
+}
+
+TEST(Scenario, LineOfSight) {
+  const auto s = test::blocked_scenario();
+  EXPECT_FALSE(s.line_of_sight({10, 10}, {13, 10}));
+  EXPECT_TRUE(s.line_of_sight({10, 10}, {10, 13}));
+}
+
+TEST(Scenario, PositionFeasible) {
+  const auto s = test::blocked_scenario();
+  EXPECT_TRUE(s.position_feasible({5, 5}));
+  EXPECT_FALSE(s.position_feasible({11.5, 10.0}));  // inside obstacle
+  EXPECT_FALSE(s.position_feasible({11.0, 10.0}));  // on obstacle boundary
+  EXPECT_FALSE(s.position_feasible({25, 5}));       // outside region
+}
+
+TEST(Scenario, AdditivePower) {
+  const auto s = test::simple_scenario();
+  const Strategy a{{13.0, 10.0}, kPi, 0};
+  const Strategy b{{7.0, 10.0}, 0.0, 0};
+  const Placement both{a, b};
+  EXPECT_NEAR(s.total_exact_power(both, 0),
+              s.exact_power(a, 0) + s.exact_power(b, 0), 1e-12);
+}
+
+TEST(Scenario, UtilitySaturation) {
+  const auto s = test::simple_scenario();
+  EXPECT_DOUBLE_EQ(s.utility(0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.utility(0, 0.025), 0.5);
+  EXPECT_DOUBLE_EQ(s.utility(0, 0.05), 1.0);
+  EXPECT_DOUBLE_EQ(s.utility(0, 0.5), 1.0);
+}
+
+TEST(Scenario, PlacementUtilityNormalized) {
+  const auto s = test::simple_scenario();
+  const Placement p{Strategy{{13.0, 10.0}, kPi, 0}};
+  const auto per_dev = s.per_device_utility(p);
+  ASSERT_EQ(per_dev.size(), 3u);
+  double sum = 0.0;
+  for (double u : per_dev) sum += u;
+  EXPECT_NEAR(s.placement_utility(p), sum / 3.0, 1e-12);
+}
+
+TEST(Scenario, ApproxPowerMatchesRingGating) {
+  const auto s = test::simple_scenario();
+  const Strategy strat{{13.0, 10.0}, kPi, 0};
+  const auto& lad = s.ladder(0, 0);
+  EXPECT_NEAR(s.approx_power(strat, 0), lad.approx_power(3.0), 1e-12);
+  // Blocked / out-of-range strategies approximate to zero too.
+  const Strategy far{{16.0, 10.0}, kPi, 0};
+  EXPECT_DOUBLE_EQ(s.approx_power(far, 0), 0.0);
+}
+
+// Lemma 4.2 property: 1 <= P/P̃ <= 1+ε₁ whenever P > 0, for random
+// strategies on a random scenario.
+class Lemma42Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma42Test, ApproxRatioWithinEps1) {
+  const auto s = test::small_paper_scenario(
+      static_cast<std::uint64_t>(GetParam()) + 100);
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  int checked = 0;
+  for (int i = 0; i < 3000 && checked < 200; ++i) {
+    const Strategy strat{
+        {rng.uniform(0, 40), rng.uniform(0, 40)},
+        rng.angle(),
+        rng.below(s.num_charger_types())};
+    for (std::size_t j = 0; j < s.num_devices(); ++j) {
+      const double exact = s.exact_power(strat, j);
+      const double approx = s.approx_power(strat, j);
+      if (exact <= 0.0) {
+        EXPECT_DOUBLE_EQ(approx, 0.0);
+        continue;
+      }
+      ++checked;
+      ASSERT_GT(approx, 0.0);
+      const double ratio = exact / approx;
+      EXPECT_GE(ratio, 1.0 - 1e-6);
+      EXPECT_LE(ratio, 1.0 + s.eps1() + 1e-6);
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Lemma42Test, ::testing::Range(0, 8));
+
+TEST(Scenario, ValidatePlacementBudget) {
+  const auto s = test::simple_scenario();
+  Placement ok{Strategy{{5, 5}, 0.0, 0}, Strategy{{6, 6}, 0.0, 0}};
+  EXPECT_NO_THROW(s.validate_placement(ok));
+  Placement over{Strategy{{5, 5}, 0.0, 0}, Strategy{{6, 6}, 0.0, 0},
+                 Strategy{{7, 7}, 0.0, 0}};
+  EXPECT_THROW(s.validate_placement(over), hipo::ConfigError);
+}
+
+TEST(Scenario, ValidatePlacementPosition) {
+  const auto s = test::blocked_scenario();
+  Placement bad{Strategy{{11.5, 10.0}, 0.0, 0}};
+  EXPECT_THROW(s.validate_placement(bad), hipo::ConfigError);
+}
+
+TEST(Scenario, CoincidentChargerDeviceNotCovered) {
+  auto cfg = test::simple_config();
+  cfg.charger_types[0].d_min = 0.0;
+  cfg.devices = {test::device_at(10, 10)};
+  const Scenario s(std::move(cfg));
+  const Strategy on_top{{10.0, 10.0}, 0.0, 0};
+  EXPECT_DOUBLE_EQ(s.exact_power(on_top, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hipo::model

@@ -1,0 +1,174 @@
+#include "src/model/scenario_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::model {
+namespace {
+
+using geom::kPi;
+
+TEST(Eps1Mapping, Theorem42Formula) {
+  EXPECT_NEAR(eps1_from_eps(0.15), 0.3 / 0.7, 1e-12);
+  EXPECT_THROW(eps1_from_eps(0.0), hipo::ConfigError);
+  EXPECT_THROW(eps1_from_eps(0.5), hipo::ConfigError);
+}
+
+TEST(PaperTables, Table2ChargerTypes) {
+  const auto cfg = paper_tables(GenOptions{});
+  ASSERT_EQ(cfg.charger_types.size(), 3u);
+  EXPECT_NEAR(cfg.charger_types[0].angle, kPi / 6.0, 1e-12);
+  EXPECT_NEAR(cfg.charger_types[1].angle, kPi / 3.0, 1e-12);
+  EXPECT_NEAR(cfg.charger_types[2].angle, kPi / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cfg.charger_types[0].d_min, 5.0);
+  EXPECT_DOUBLE_EQ(cfg.charger_types[0].d_max, 10.0);
+  EXPECT_DOUBLE_EQ(cfg.charger_types[1].d_min, 3.0);
+  EXPECT_DOUBLE_EQ(cfg.charger_types[1].d_max, 8.0);
+  EXPECT_DOUBLE_EQ(cfg.charger_types[2].d_min, 2.0);
+  EXPECT_DOUBLE_EQ(cfg.charger_types[2].d_max, 6.0);
+}
+
+TEST(PaperTables, Table3DeviceTypes) {
+  const auto cfg = paper_tables(GenOptions{});
+  ASSERT_EQ(cfg.device_types.size(), 4u);
+  EXPECT_NEAR(cfg.device_types[0].angle, kPi / 2.0, 1e-12);
+  EXPECT_NEAR(cfg.device_types[1].angle, 2.0 * kPi / 3.0, 1e-12);
+  EXPECT_NEAR(cfg.device_types[2].angle, 3.0 * kPi / 4.0, 1e-12);
+  EXPECT_NEAR(cfg.device_types[3].angle, kPi, 1e-12);
+}
+
+TEST(PaperTables, Table4PairParams) {
+  const auto cfg = paper_tables(GenOptions{});
+  ASSERT_EQ(cfg.pair_params.size(), 12u);
+  // Spot checks against Table 4 (row-major charger × device).
+  EXPECT_DOUBLE_EQ(cfg.pair_params[0].a, 100.0);   // C1 × D1
+  EXPECT_DOUBLE_EQ(cfg.pair_params[0].b, 40.0);
+  EXPECT_DOUBLE_EQ(cfg.pair_params[3].a, 190.0);   // C1 × D4
+  EXPECT_DOUBLE_EQ(cfg.pair_params[3].b, 76.0);
+  EXPECT_DOUBLE_EQ(cfg.pair_params[4].a, 110.0);   // C2 × D1
+  EXPECT_DOUBLE_EQ(cfg.pair_params[4].b, 44.0);
+  EXPECT_DOUBLE_EQ(cfg.pair_params[11].a, 210.0);  // C3 × D4
+  EXPECT_DOUBLE_EQ(cfg.pair_params[11].b, 84.0);
+}
+
+TEST(PaperTables, ChargerBudgetScales) {
+  GenOptions opt;
+  opt.charger_multiplier = 3;  // the default setting of Section 6
+  const auto cfg = paper_tables(opt);
+  EXPECT_EQ(cfg.charger_counts, (std::vector<int>{3, 6, 9}));
+}
+
+TEST(PaperTables, AngleScaleClampsAtTwoPi) {
+  GenOptions opt;
+  opt.recv_angle_scale = 3.0;  // 3π > 2π for device type 4
+  const auto cfg = paper_tables(opt);
+  EXPECT_LE(cfg.device_types[3].angle, geom::kTwoPi + 1e-12);
+}
+
+TEST(PaperTables, DminScaleKeepsOrdering) {
+  GenOptions opt;
+  opt.d_min_scale = 1.4;
+  const auto cfg = paper_tables(opt);
+  for (const auto& ct : cfg.charger_types) {
+    EXPECT_LT(ct.d_min, ct.d_max);
+  }
+}
+
+TEST(MakePaperScenario, DefaultCounts) {
+  hipo::Rng rng(1);
+  GenOptions opt;  // device multiplier 4 → 4·(4+3+2+1) = 40
+  const auto s = make_paper_scenario(opt, rng);
+  EXPECT_EQ(s.num_devices(), 40u);
+  EXPECT_EQ(s.num_chargers(), 18u);  // 3·(1+2+3)
+  EXPECT_EQ(s.num_obstacles(), 2u);
+}
+
+TEST(MakePaperScenario, DevicesAvoidObstacles) {
+  hipo::Rng rng(2);
+  GenOptions opt;
+  opt.device_multiplier = 8;
+  const auto s = make_paper_scenario(opt, rng);
+  for (std::size_t j = 0; j < s.num_devices(); ++j) {
+    for (const auto& h : s.obstacles()) {
+      EXPECT_FALSE(h.contains_interior(s.device(j).pos));
+    }
+  }
+}
+
+TEST(MakePaperScenario, UniformDeviceCounts) {
+  hipo::Rng rng(3);
+  GenOptions opt;
+  opt.uniform_device_counts = true;
+  opt.uniform_device_base = 2;
+  opt.device_multiplier = 1;
+  const auto s = make_paper_scenario(opt, rng);
+  EXPECT_EQ(s.num_devices(), 8u);  // 2 per each of 4 types
+}
+
+TEST(MakePaperScenario, PthOffsetsKeepType2Fixed) {
+  hipo::Rng rng(4);
+  GenOptions opt;
+  opt.p_th_type_offset = 0.01;
+  const auto s = make_paper_scenario(opt, rng);
+  bool found[4] = {false, false, false, false};
+  for (std::size_t j = 0; j < s.num_devices(); ++j) {
+    const auto& d = s.device(j);
+    found[d.type] = true;
+    // p_th(t) = 0.05 + (t − 1)·0.01, so type index 1 stays at 0.05 and
+    // higher types get larger thresholds.
+    EXPECT_NEAR(d.p_th, 0.05 + (static_cast<double>(d.type) - 1.0) * 0.01,
+                1e-12);
+  }
+  for (bool f : found) EXPECT_TRUE(f);
+}
+
+TEST(MakePaperScenario, DeterministicGivenSeed) {
+  GenOptions opt;
+  hipo::Rng a(7), b(7);
+  const auto s1 = make_paper_scenario(opt, a);
+  const auto s2 = make_paper_scenario(opt, b);
+  ASSERT_EQ(s1.num_devices(), s2.num_devices());
+  for (std::size_t j = 0; j < s1.num_devices(); ++j) {
+    EXPECT_EQ(s1.device(j).pos, s2.device(j).pos);
+    EXPECT_EQ(s1.device(j).orientation, s2.device(j).orientation);
+  }
+}
+
+TEST(MakePaperScenario, ZeroObstacles) {
+  hipo::Rng rng(8);
+  GenOptions opt;
+  opt.num_obstacles = 0;
+  const auto s = make_paper_scenario(opt, rng);
+  EXPECT_EQ(s.num_obstacles(), 0u);
+}
+
+TEST(FieldScenario, MatchesSection7Layout) {
+  const auto s = make_field_scenario();
+  EXPECT_EQ(s.num_devices(), 10u);
+  EXPECT_EQ(s.num_chargers(), 6u);  // 1 + 2 + 3
+  EXPECT_EQ(s.num_charger_types(), 3u);
+  EXPECT_EQ(s.num_device_types(), 2u);
+  EXPECT_EQ(s.num_obstacles(), 3u);
+  // First sensor: (20 cm, 15 cm) @ 200°.
+  EXPECT_NEAR(s.device(0).pos.x, 0.20, 1e-12);
+  EXPECT_NEAR(s.device(0).pos.y, 0.15, 1e-12);
+  EXPECT_NEAR(s.device(0).orientation, 200.0 * kPi / 180.0, 1e-12);
+  // TX91501 near cutoff: 17 cm.
+  EXPECT_NEAR(s.charger_type(2).d_min, 0.17, 1e-12);
+  // Region is the 120 cm dotted square.
+  EXPECT_NEAR(s.region().hi.x, 1.20, 1e-12);
+}
+
+TEST(FieldScenario, SensorsOutsideObstacles) {
+  const auto s = make_field_scenario();
+  for (std::size_t j = 0; j < s.num_devices(); ++j) {
+    for (const auto& h : s.obstacles()) {
+      EXPECT_FALSE(h.contains_interior(s.device(j).pos));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hipo::model

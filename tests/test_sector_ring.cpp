@@ -1,0 +1,91 @@
+#include "src/geometry/sector_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::geom {
+namespace {
+
+TEST(SectorRing, ValidatesParameters) {
+  EXPECT_THROW(SectorRing({0, 0}, 0.0, 0.0, 1.0, 2.0), hipo::ConfigError);
+  EXPECT_THROW(SectorRing({0, 0}, 0.0, 1.0, 2.0, 1.0), hipo::ConfigError);
+  EXPECT_THROW(SectorRing({0, 0}, 0.0, 1.0, -1.0, 1.0), hipo::ConfigError);
+}
+
+TEST(SectorRing, ContainsRespectsRadii) {
+  const SectorRing ring({0, 0}, 0.0, kPi, 1.0, 2.0);
+  EXPECT_FALSE(ring.contains({0.5, 0.0}));  // too close
+  EXPECT_TRUE(ring.contains({1.5, 0.0}));
+  EXPECT_FALSE(ring.contains({2.5, 0.0}));  // too far
+  EXPECT_TRUE(ring.contains({1.0, 0.0}));   // inner boundary inclusive
+  EXPECT_TRUE(ring.contains({2.0, 0.0}));   // outer boundary inclusive
+}
+
+TEST(SectorRing, ContainsRespectsAngle) {
+  const SectorRing ring({0, 0}, 0.0, kPi / 2.0, 0.5, 2.0);
+  EXPECT_TRUE(ring.contains({1.0, 0.0}));
+  EXPECT_TRUE(ring.contains(unit_vector(kPi / 4.0) * 1.0));    // boundary ray
+  EXPECT_FALSE(ring.contains(unit_vector(kPi / 3.0) * 1.0));   // beyond
+  EXPECT_FALSE(ring.contains({-1.0, 0.0}));                    // behind
+}
+
+TEST(SectorRing, FullCircleIgnoresOrientation) {
+  const SectorRing ring({0, 0}, 1.234, kTwoPi, 1.0, 2.0);
+  for (double a = 0.0; a < kTwoPi; a += 0.37) {
+    EXPECT_TRUE(ring.contains(unit_vector(a) * 1.5));
+  }
+}
+
+TEST(SectorRing, Area) {
+  const SectorRing ring({0, 0}, 0.0, kPi, 1.0, 2.0);
+  EXPECT_NEAR(ring.area(), 0.5 * kPi * (4.0 - 1.0), 1e-12);
+  const SectorRing disk({0, 0}, 0.0, kTwoPi, 0.0, 1.0);
+  EXPECT_NEAR(disk.area(), kPi, 1e-9);
+}
+
+TEST(SectorRing, CoveringOrientationsWidthEqualsAngle) {
+  const SectorRing ring({0, 0}, 0.0, kPi / 3.0, 1.0, 5.0);
+  const auto iv = ring.covering_orientations({2.0, 0.0});
+  EXPECT_NEAR(iv.width, kPi / 3.0, 1e-12);
+  EXPECT_TRUE(iv.contains(0.0));
+}
+
+// Property: for points within ring distance,
+//   contains(p) under orientation φ  ⟺  covering_orientations(p) ∋ φ.
+class CoveringDualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoveringDualityTest, ContainsIffOrientationCovered) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 311 + 1);
+  for (int i = 0; i < 400; ++i) {
+    const Vec2 apex{rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const double alpha = rng.uniform(0.2, kTwoPi - 0.1);
+    const double r_min = rng.uniform(0.1, 1.0);
+    const double r_max = r_min + rng.uniform(0.5, 2.0);
+    const double phi = rng.angle();
+    const SectorRing ring(apex, phi, alpha, r_min, r_max);
+
+    const double r = rng.uniform(r_min + 1e-3, r_max - 1e-3);
+    const Vec2 p = apex + unit_vector(rng.angle()) * r;
+    const auto iv = ring.covering_orientations(p);
+    // Skip boundary-ambiguous probes.
+    const double bearing = (p - apex).angle();
+    const double dev = angle_distance(bearing, phi);
+    if (std::abs(dev - alpha / 2.0) < 1e-6) continue;
+    EXPECT_EQ(ring.contains(p), iv.contains(phi))
+        << "apex=" << apex << " p=" << p << " alpha=" << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CoveringDualityTest, ::testing::Range(0, 12));
+
+TEST(SectorRing, ApexNotContainedUnlessZeroRMin) {
+  const SectorRing ring({1, 1}, 0.0, kPi, 0.5, 2.0);
+  EXPECT_FALSE(ring.contains({1, 1}));
+}
+
+}  // namespace
+}  // namespace hipo::geom

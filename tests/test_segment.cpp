@@ -1,0 +1,193 @@
+#include "src/geometry/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/geometry/vec2.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::geom {
+namespace {
+
+TEST(Vec2, BasicAlgebra) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+}
+
+TEST(Vec2, NormAndNormalized) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, PerpAndRotation) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_EQ(v.perp(), Vec2(0.0, 1.0));
+  const Vec2 r = v.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+}
+
+TEST(Vec2, AngleRoundTrip) {
+  hipo::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(-kPi, kPi);
+    EXPECT_NEAR(unit_vector(a).angle(), a, 1e-12);
+  }
+}
+
+TEST(Orientation, SignsAndCollinear) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(orientation({0, 0}, {0, 1}, {1, 0}), -1);
+  EXPECT_EQ(orientation({0, 0}, {1, 1}, {2, 2}), 0);
+}
+
+TEST(Orientation, ScaleInvariantTolerance) {
+  // Large coordinates should still classify a clearly-CCW triple.
+  EXPECT_EQ(orientation({1e6, 1e6}, {2e6, 1e6}, {1e6, 2e6}), 1);
+}
+
+TEST(OnSegment, EndpointsAndMidpoint) {
+  const Segment s({0, 0}, {2, 0});
+  EXPECT_TRUE(on_segment({0, 0}, s));
+  EXPECT_TRUE(on_segment({2, 0}, s));
+  EXPECT_TRUE(on_segment({1, 0}, s));
+  EXPECT_FALSE(on_segment({3, 0}, s));
+  EXPECT_FALSE(on_segment({1, 0.1}, s));
+}
+
+TEST(PointSegmentDistance, Cases) {
+  const Segment s({0, 0}, {2, 0});
+  EXPECT_DOUBLE_EQ(point_segment_distance({1, 1}, s), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({-1, 0}, s), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({3, 0}, s), 1.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({1, 0}, s), 0.0);
+}
+
+TEST(PointSegmentDistance, DegenerateSegment) {
+  const Segment s({1, 1}, {1, 1});
+  EXPECT_NEAR(point_segment_distance({4, 5}, s), 5.0, 1e-12);
+}
+
+TEST(SegmentsIntersect, ProperCross) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+}
+
+TEST(SegmentsIntersect, Disjoint) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+}
+
+TEST(SegmentsIntersect, TouchingEndpoint) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 0}}, {{1, 0}, {2, 1}}));
+}
+
+TEST(SegmentsIntersect, TShape) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 1}}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+}
+
+TEST(SegmentsIntersect, CollinearDisjoint) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentIntersectionPoint, ProperCrossExact) {
+  const auto p =
+      segment_intersection_point({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersectionPoint, NoneForParallel) {
+  EXPECT_FALSE(
+      segment_intersection_point({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}).has_value());
+}
+
+TEST(RaySegmentHit, ForwardHit) {
+  const auto t = ray_segment_hit({{0, 0}, {1, 0}}, {{2, -1}, {2, 1}});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.0, 1e-12);
+}
+
+TEST(RaySegmentHit, BehindRayMisses) {
+  EXPECT_FALSE(ray_segment_hit({{0, 0}, {1, 0}}, {{-2, -1}, {-2, 1}}).has_value());
+}
+
+TEST(RaySegmentHit, ParallelOffsetMisses) {
+  EXPECT_FALSE(ray_segment_hit({{0, 0}, {1, 0}}, {{0, 1}, {5, 1}}).has_value());
+}
+
+TEST(RaySegmentHit, CollinearHitsNearestPoint) {
+  const auto t = ray_segment_hit({{0, 0}, {1, 0}}, {{3, 0}, {5, 0}});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 3.0, 1e-9);
+}
+
+TEST(LineSegmentIntersections, CrossesOnce) {
+  const auto pts =
+      line_segment_intersections({0, 0}, {1, 0}, {{3, -1}, {3, 1}});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, 3.0, 1e-12);
+  EXPECT_NEAR(pts[0].y, 0.0, 1e-12);
+}
+
+TEST(LineSegmentIntersections, LineExtendsBothWays) {
+  // Intersection behind the direction vector still counts (it is a line).
+  const auto pts =
+      line_segment_intersections({0, 0}, {1, 0}, {{-3, -1}, {-3, 1}});
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].x, -3.0, 1e-12);
+}
+
+// Property: for random segment pairs, intersection point (when reported)
+// lies on both segments.
+class SegmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentPropertyTest, IntersectionPointLiesOnBoth) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  for (int i = 0; i < 300; ++i) {
+    const Segment s1({rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                     {rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    const Segment s2({rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                     {rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    const auto p = segment_intersection_point(s1, s2);
+    if (p) {
+      EXPECT_LE(point_segment_distance(*p, s1), 1e-6);
+      EXPECT_LE(point_segment_distance(*p, s2), 1e-6);
+      EXPECT_TRUE(segments_intersect(s1, s2, 1e-6));
+    }
+  }
+}
+
+TEST_P(SegmentPropertyTest, BooleanAgreesWithConstruction) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  for (int i = 0; i < 300; ++i) {
+    const Segment s1({rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                     {rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    const Segment s2({rng.uniform(-5, 5), rng.uniform(-5, 5)},
+                     {rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    if (segments_intersect(s1, s2, 1e-12)) {
+      // A reported crossing must produce a witness point (tolerances differ
+      // slightly; allow the looser construction epsilon).
+      EXPECT_TRUE(segment_intersection_point(s1, s2, 1e-9).has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SegmentPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace hipo::geom

@@ -1,0 +1,133 @@
+#include "src/discretize/shadow_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::discretize {
+namespace {
+
+using geom::kPi;
+using geom::make_rect;
+using geom::Polygon;
+using geom::Segment;
+using geom::Vec2;
+
+TEST(ShadowMap, NoObstaclesAllVisible) {
+  const std::vector<Polygon> none;
+  const ShadowMap sm({0, 0}, none, 10.0);
+  EXPECT_TRUE(sm.visible({5, 5}));
+  EXPECT_EQ(sm.first_block_distance(1.0), ShadowMap::kUnblocked);
+  EXPECT_TRUE(sm.blocked_directions().empty());
+  EXPECT_TRUE(sm.event_angles().empty());
+}
+
+TEST(ShadowMap, ObstacleOutOfRangeIgnored) {
+  const std::vector<Polygon> far{make_rect({100, 100}, {101, 101})};
+  const ShadowMap sm({0, 0}, far, 10.0);
+  EXPECT_TRUE(sm.relevant_obstacles().empty());
+  EXPECT_TRUE(sm.visible({5, 5}));
+}
+
+TEST(ShadowMap, PointBehindObstacleHidden) {
+  // Square from (2,-1) to (3,1); origin looks along +x.
+  const std::vector<Polygon> obs{make_rect({2, -1}, {3, 1})};
+  const ShadowMap sm({0, 0}, obs, 20.0);
+  EXPECT_FALSE(sm.visible({5, 0}));
+  EXPECT_TRUE(sm.visible({0, 5}));
+  EXPECT_TRUE(sm.visible({1, 0}));  // in front of the obstacle
+}
+
+TEST(ShadowMap, FirstBlockDistanceAtFrontFace) {
+  const std::vector<Polygon> obs{make_rect({2, -1}, {3, 1})};
+  const ShadowMap sm({0, 0}, obs, 20.0);
+  EXPECT_NEAR(sm.first_block_distance(0.0), 2.0, 1e-9);
+  EXPECT_EQ(sm.first_block_distance(kPi), ShadowMap::kUnblocked);
+  EXPECT_EQ(sm.first_block_distance(kPi / 2.0), ShadowMap::kUnblocked);
+}
+
+TEST(ShadowMap, BlockedDirectionsCoverObstacleCone) {
+  const std::vector<Polygon> obs{make_rect({2, -1}, {3, 1})};
+  const ShadowMap sm({0, 0}, obs, 20.0);
+  // The cone toward the square spans atan2(±1, 2).
+  EXPECT_TRUE(sm.blocked_directions().contains(0.0));
+  EXPECT_TRUE(sm.blocked_directions().contains(std::atan2(0.9, 2.1)));
+  EXPECT_FALSE(sm.blocked_directions().contains(kPi));
+}
+
+TEST(ShadowMap, EventAnglesAreVertexDirections) {
+  const std::vector<Polygon> obs{make_rect({2, -1}, {3, 1})};
+  const ShadowMap sm({0, 0}, obs, 20.0);
+  EXPECT_EQ(sm.event_angles().size(), 4u);
+  bool found = false;
+  for (double a : sm.event_angles()) {
+    if (std::abs(a - geom::norm_angle(std::atan2(1.0, 2.0))) < 1e-12)
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShadowMap, RequiresPositiveRange) {
+  const std::vector<Polygon> none;
+  EXPECT_THROW(ShadowMap({0, 0}, none, 0.0), hipo::ConfigError);
+}
+
+TEST(ShadowMap, GrazingVertexVisible) {
+  // Looking exactly along the top edge level of the square: a ray that
+  // grazes the corner without entering the interior stays visible.
+  const std::vector<Polygon> obs{make_rect({2, -1}, {3, 1})};
+  const ShadowMap sm({0, 1}, obs, 20.0);  // origin level with the top edge
+  EXPECT_TRUE(sm.visible({5, 1}));
+}
+
+// Property: visible(p) agrees with the direct segment-blockage oracle, and
+// first_block_distance is consistent with visibility along the ray.
+class ShadowOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShadowOracleTest, AgreesWithSegmentOracle) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 53 + 29);
+  std::vector<Polygon> obstacles;
+  const int n_obs = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < n_obs; ++i) {
+    const Vec2 c{rng.uniform(-6, 6), rng.uniform(-6, 6)};
+    if (c.norm() < 1.0) continue;  // keep origin outside obstacles
+    obstacles.push_back(geom::make_regular_polygon(
+        c, rng.uniform(0.5, 1.5), 3 + static_cast<int>(rng.below(5)),
+        rng.angle()));
+  }
+  const ShadowMap sm({0, 0}, obstacles, 12.0);
+
+  for (int probe = 0; probe < 300; ++probe) {
+    const Vec2 p{rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    bool oracle = true;
+    for (const auto& h : obstacles) {
+      if (h.blocks_segment(Segment({0, 0}, p))) oracle = false;
+    }
+    EXPECT_EQ(sm.visible(p), oracle) << "p=" << p;
+  }
+
+  for (int probe = 0; probe < 100; ++probe) {
+    const double theta = rng.angle();
+    const double block = sm.first_block_distance(theta);
+    if (block == ShadowMap::kUnblocked) {
+      // A point well within range along this ray must be visible.
+      const Vec2 p = geom::unit_vector(theta) * 11.0;
+      EXPECT_TRUE(sm.visible(p)) << "theta=" << theta;
+    } else {
+      // Just before the block: visible; just after: hidden.
+      const Vec2 before = geom::unit_vector(theta) * (block - 1e-4);
+      const Vec2 after = geom::unit_vector(theta) * (block + 1e-3);
+      EXPECT_TRUE(sm.visible(before)) << "theta=" << theta << " d=" << block;
+      EXPECT_FALSE(sm.visible(after)) << "theta=" << theta << " d=" << block;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ShadowOracleTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace hipo::discretize

@@ -1,0 +1,134 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  Rng rng(3);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5.0, 9.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double m = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  const double var = ss / static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), m, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(RunningStats, MinMaxTracked) {
+  RunningStats s;
+  for (double x : {3.0, -1.0, 7.0, 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(4);
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.normal());
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Stats, MeanAndStddevFreeFunctions) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 73.0), 42.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50.0), ConfigError);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1.0), ConfigError);
+  EXPECT_THROW(percentile(xs, 101.0), ConfigError);
+}
+
+TEST(Ecdf, StepsThroughSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ts{0.5, 1.0, 2.5, 4.0, 9.0};
+  const auto cdf = ecdf(xs, ts);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(Ecdf, EmptySampleGivesZeros) {
+  const std::vector<double> ts{1.0, 2.0};
+  const auto cdf = ecdf({}, ts);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.0);
+}
+
+TEST(Linspace, EndpointsExact) {
+  const auto v = linspace(0.1, 0.9, 9);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.1);
+  EXPECT_DOUBLE_EQ(v.back(), 0.9);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i] - v[i - 1], 0.1, 1e-12);
+  }
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = linspace(3.0, 5.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(Linspace, ZeroThrows) { EXPECT_THROW(linspace(0, 1, 0), ConfigError); }
+
+}  // namespace
+}  // namespace hipo

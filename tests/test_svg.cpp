@@ -1,0 +1,108 @@
+#include "src/viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/core/solver.hpp"
+#include "src/util/error.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::viz {
+namespace {
+
+TEST(Svg, WellFormedDocument) {
+  const auto s = test::blocked_scenario();
+  const std::string svg = render_svg(s);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(Svg, ContainsObstaclesAndDevices) {
+  const auto s = test::blocked_scenario();  // 1 device, 1 obstacle
+  const std::string svg = render_svg(s);
+  // One polygon for the obstacle.
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  // Device dot.
+  EXPECT_NE(svg.find("#3c6ec8"), std::string::npos);
+}
+
+TEST(Svg, PlacementAddsChargerMarks) {
+  const auto s = test::simple_scenario();
+  const model::Placement placement{{{13.0, 10.0}, geom::kPi, 0}};
+  const std::string without = render_svg(s);
+  const std::string with = render_svg(s, placement);
+  EXPECT_GT(with.size(), without.size());
+  EXPECT_NE(with.find("#e07b39"), std::string::npos);  // charger color
+  EXPECT_NE(with.find("<path"), std::string::npos);    // sector-ring wedge
+}
+
+TEST(Svg, FullCircleReceiverRendersCircles) {
+  // simple_scenario devices are omnidirectional: receiving areas render as
+  // concentric circles rather than wedge paths.
+  const auto s = test::simple_scenario();
+  const std::string svg = render_svg(s);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+}
+
+TEST(Svg, OptionsDisableAreas) {
+  const auto s = test::simple_scenario();
+  const model::Placement placement{{{13.0, 10.0}, geom::kPi, 0}};
+  SvgOptions opt;
+  opt.draw_receiving_areas = false;
+  opt.draw_charging_areas = false;
+  const std::string lean = render_svg(s, placement, opt);
+  const std::string full = render_svg(s, placement);
+  EXPECT_LT(lean.size(), full.size());
+}
+
+TEST(Svg, InvalidScaleThrows) {
+  const auto s = test::simple_scenario();
+  SvgOptions opt;
+  opt.scale = 0.0;
+  EXPECT_THROW(render_svg(s, {}, opt), hipo::ConfigError);
+}
+
+TEST(Svg, WriteFile) {
+  const auto s = test::simple_scenario();
+  const std::string path = testing::TempDir() + "hipo_svg_test.svg";
+  write_svg_file(path, s, core::solve(s).placement);
+  // Re-read to confirm it landed.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line.rfind("<svg", 0), 0u);
+}
+
+TEST(Svg, WriteFileBadPathThrows) {
+  const auto s = test::simple_scenario();
+  EXPECT_THROW(write_svg_file("/nonexistent/x.svg", s), hipo::ConfigError);
+}
+
+TEST(Svg, CoordinatesStayInViewBox) {
+  // All emitted circle centers must lie within the document bounds.
+  const auto s = test::small_paper_scenario(60, 1, 1);
+  SvgOptions opt;
+  const std::string svg = render_svg(s, {}, opt);
+  const double width = s.region().extent().x * opt.scale + 2 * opt.margin;
+  const double height = s.region().extent().y * opt.scale + 2 * opt.margin;
+  std::size_t pos = 0;
+  while ((pos = svg.find("cx=\"", pos)) != std::string::npos) {
+    pos += 4;
+    const double cx = std::stod(svg.substr(pos));
+    EXPECT_GE(cx, -1.0);
+    EXPECT_LE(cx, width + 1.0);
+  }
+  pos = 0;
+  while ((pos = svg.find("cy=\"", pos)) != std::string::npos) {
+    pos += 4;
+    const double cy = std::stod(svg.substr(pos));
+    EXPECT_GE(cy, -1.0);
+    EXPECT_LE(cy, height + 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hipo::viz

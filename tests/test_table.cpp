@@ -1,0 +1,82 @@
+#include "src/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace hipo {
+namespace {
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), ConfigError);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.add("x"), InvariantError);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"a", "b"});
+  t.row().add("1").add("2");
+  EXPECT_THROW(t.add("3"), InvariantError);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.row().add("x").add(1.5, 2);
+  t.row().add("longer").add(10.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.row().add("plain").add(2LL);
+  t.row().add("with,comma").add("with\"quote");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "a,b\nplain,2\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Table, NumericFormatting) {
+  EXPECT_EQ(format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(format_double(2.0, 1), "2.0");
+  Table t({"x"});
+  t.row().add(0.5, 4);
+  EXPECT_EQ(t.rows()[0][0], "0.5000");
+}
+
+TEST(Table, IntegerOverloads) {
+  Table t({"a", "b", "c"});
+  t.row().add(7).add(std::size_t{8}).add(-3LL);
+  EXPECT_EQ(t.rows()[0][0], "7");
+  EXPECT_EQ(t.rows()[0][1], "8");
+  EXPECT_EQ(t.rows()[0][2], "-3");
+}
+
+TEST(Table, WriteCsvFileBadPathThrows) {
+  Table t({"a"});
+  t.row().add("1");
+  EXPECT_THROW(t.write_csv_file("/nonexistent-dir/x.csv"), ConfigError);
+}
+
+TEST(Table, NumRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add("1");
+  t.row().add("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace hipo

@@ -1,0 +1,145 @@
+#include "src/ext/tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::ext {
+namespace {
+
+using geom::Vec2;
+
+double order_length(Vec2 depot, const std::vector<Vec2>& stops,
+                    const std::vector<std::size_t>& order) {
+  if (order.empty()) return 0.0;
+  double len = geom::distance(depot, stops[order.front()]);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    len += geom::distance(stops[order[i]], stops[order[i + 1]]);
+  }
+  return len + geom::distance(stops[order.back()], depot);
+}
+
+/// Brute-force optimum for tiny instances.
+double brute_force_tsp(Vec2 depot, const std::vector<Vec2>& stops) {
+  std::vector<std::size_t> perm(stops.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, order_length(depot, stops, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(Tour, EmptyStops) {
+  const auto t = plan_tour({0, 0}, {});
+  EXPECT_TRUE(t.order.empty());
+  EXPECT_DOUBLE_EQ(t.length, 0.0);
+}
+
+TEST(Tour, SingleStopRoundTrip) {
+  const auto t = plan_tour({0, 0}, {{3, 4}});
+  ASSERT_EQ(t.order.size(), 1u);
+  EXPECT_NEAR(t.length, 10.0, 1e-12);
+}
+
+TEST(Tour, VisitsEveryStopOnce) {
+  hipo::Rng rng(1);
+  std::vector<Vec2> stops;
+  for (int i = 0; i < 20; ++i) {
+    stops.push_back({rng.uniform(0, 40), rng.uniform(0, 40)});
+  }
+  const auto t = plan_tour({0, 0}, stops);
+  std::set<std::size_t> visited(t.order.begin(), t.order.end());
+  EXPECT_EQ(visited.size(), stops.size());
+  EXPECT_NEAR(t.length, order_length({0, 0}, stops, t.order), 1e-9);
+}
+
+TEST(Tour, TwoOptBeatsNaiveOrderOnCrossing) {
+  // Square visited in a deliberately crossing order must be fixed by 2-opt.
+  const std::vector<Vec2> stops{{0, 10}, {10, 0}, {10, 10}, {0, 0}};
+  const auto t = plan_tour({0, 0}, stops);
+  // Optimal loop over a 10×10 square from the corner is 40.
+  EXPECT_NEAR(t.length, 40.0, 1e-9);
+}
+
+TEST(OptimalTour, MatchesBruteForce) {
+  hipo::Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<Vec2> stops;
+    const int n = 1 + static_cast<int>(rng.below(7));
+    for (int i = 0; i < n; ++i) {
+      stops.push_back({rng.uniform(-5, 5), rng.uniform(-5, 5)});
+    }
+    const Vec2 depot{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const auto exact = optimal_tour(depot, stops);
+    EXPECT_NEAR(exact.length, brute_force_tsp(depot, stops), 1e-9);
+    EXPECT_NEAR(exact.length, order_length(depot, stops, exact.order), 1e-9);
+  }
+}
+
+TEST(OptimalTour, RejectsOversize) {
+  std::vector<Vec2> stops(17, Vec2{0, 0});
+  EXPECT_THROW(optimal_tour({0, 0}, stops), hipo::ConfigError);
+}
+
+TEST(PlanTour, WithinFactorOfOptimal) {
+  hipo::Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<Vec2> stops;
+    for (int i = 0; i < 10; ++i) {
+      stops.push_back({rng.uniform(0, 20), rng.uniform(0, 20)});
+    }
+    const auto heur = plan_tour({0, 0}, stops);
+    const auto exact = optimal_tour({0, 0}, stops);
+    EXPECT_GE(heur.length, exact.length - 1e-9);
+    EXPECT_LE(heur.length, 1.25 * exact.length)  // 2-opt is near-optimal here
+        << "trial " << trial;
+  }
+}
+
+TEST(MultiTour, RequiresDepot) {
+  EXPECT_THROW(plan_multi_tour({}, {{1, 1}}), hipo::ConfigError);
+}
+
+TEST(MultiTour, AssignsToNearestDepot) {
+  const std::vector<Vec2> depots{{0, 0}, {100, 0}};
+  const std::vector<Vec2> stops{{1, 1}, {99, 1}, {2, 0}, {98, 0}};
+  const auto mt = plan_multi_tour(depots, stops);
+  EXPECT_EQ(mt.depot_of[0], 0u);
+  EXPECT_EQ(mt.depot_of[1], 1u);
+  EXPECT_EQ(mt.depot_of[2], 0u);
+  EXPECT_EQ(mt.depot_of[3], 1u);
+  EXPECT_NEAR(mt.total_length, mt.tours[0].length + mt.tours[1].length,
+              1e-12);
+  EXPECT_GE(mt.max_length, mt.total_length / 2.0 - 1e-9);
+}
+
+TEST(MultiTour, MoreDepotsNeverWorseTotal) {
+  hipo::Rng rng(4);
+  std::vector<Vec2> stops;
+  for (int i = 0; i < 16; ++i) {
+    stops.push_back({rng.uniform(0, 40), rng.uniform(0, 40)});
+  }
+  const auto one = plan_multi_tour({{0, 0}}, stops);
+  const auto two = plan_multi_tour({{0, 0}, {40, 40}}, stops);
+  // The bottleneck (fleet makespan) cannot get worse with a second depot
+  // under nearest-depot assignment of this stop set.
+  EXPECT_LE(two.max_length, one.max_length + 1e-9);
+}
+
+TEST(DeploymentRoute, UsesPlacementPositions) {
+  model::Placement placement{
+      {{5, 0}, 0.0, 0},
+      {{10, 0}, 0.0, 0},
+  };
+  const auto t = plan_deployment_route({0, 0}, placement);
+  EXPECT_NEAR(t.length, 20.0, 1e-12);  // out and back along the x-axis
+}
+
+}  // namespace
+}  // namespace hipo::ext

@@ -1,0 +1,151 @@
+// Per-device weights: the generalization of the paper's uniform 1/N_o
+// normalization to Σ w_j·U_j / Σ w_j.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/solver.hpp"
+#include "src/model/io.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/pdcs/extract.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo {
+namespace {
+
+TEST(Weights, UniformWeightsMatchPaperObjective) {
+  // weight = 1 everywhere reduces to (1/N_o)·Σ U_j.
+  const auto s = test::simple_scenario();
+  const model::Placement p{{{13.0, 10.0}, geom::kPi, 0}};
+  const auto per_dev = s.per_device_utility(p);
+  double sum = 0.0;
+  for (double u : per_dev) sum += u;
+  EXPECT_NEAR(s.placement_utility(p), sum / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 3.0);
+}
+
+TEST(Weights, RejectsNonPositive) {
+  auto cfg = test::simple_config();
+  auto d = test::device_at(10, 10);
+  d.weight = 0.0;
+  cfg.devices = {d};
+  EXPECT_THROW(model::Scenario(std::move(cfg)), ConfigError);
+}
+
+TEST(Weights, WeightedObjectiveFormula) {
+  auto cfg = test::simple_config();
+  auto heavy = test::device_at(10, 10);
+  heavy.weight = 3.0;
+  auto light = test::device_at(10, 16);  // out of reach of the placement
+  cfg.devices = {heavy, light};
+  const model::Scenario s(std::move(cfg));
+  const model::Placement p{{{13.0, 10.0}, geom::kPi, 0}};
+  const auto per_dev = s.per_device_utility(p);
+  EXPECT_NEAR(s.placement_utility(p),
+              (3.0 * per_dev[0] + 1.0 * per_dev[1]) / 4.0, 1e-12);
+}
+
+TEST(Weights, GreedyPrefersHeavyDevice) {
+  // One charger, two devices too far apart to share it: the greedy must
+  // serve whichever carries more weight.
+  auto make = [](double w_left, double w_right) {
+    auto cfg = test::simple_config();
+    cfg.charger_counts = {1};
+    auto left = test::device_at(5, 10);
+    left.weight = w_left;
+    auto right = test::device_at(15, 10);
+    right.weight = w_right;
+    cfg.devices = {left, right};
+    return model::Scenario(std::move(cfg));
+  };
+
+  const auto favor_left = make(5.0, 1.0);
+  const auto r1 = core::solve(favor_left);
+  const auto u1 = favor_left.per_device_utility(r1.placement);
+  EXPECT_GT(u1[0], 0.0);
+  EXPECT_DOUBLE_EQ(u1[1], 0.0);
+
+  const auto favor_right = make(1.0, 5.0);
+  const auto r2 = core::solve(favor_right);
+  const auto u2 = favor_right.per_device_utility(r2.placement);
+  EXPECT_DOUBLE_EQ(u2[0], 0.0);
+  EXPECT_GT(u2[1], 0.0);
+}
+
+TEST(Weights, ScalingAllWeightsIsInvariant) {
+  // Multiplying every weight by a constant must not change the objective
+  // or the greedy selection.
+  auto make = [](double scale) {
+    auto cfg = test::simple_config();
+    for (auto pos : {std::pair{10.0, 10.0}, {12.0, 10.0}, {10.0, 13.0}}) {
+      auto d = test::device_at(pos.first, pos.second);
+      d.weight = scale * (1.0 + pos.first / 10.0);
+      cfg.devices.push_back(d);
+    }
+    return model::Scenario(std::move(cfg));
+  };
+  const auto a = make(1.0);
+  const auto b = make(7.5);
+  const auto ra = core::solve(a);
+  const auto rb = core::solve(b);
+  EXPECT_NEAR(ra.utility, rb.utility, 1e-9);
+  ASSERT_EQ(ra.placement.size(), rb.placement.size());
+  for (std::size_t i = 0; i < ra.placement.size(); ++i) {
+    EXPECT_EQ(ra.placement[i].pos, rb.placement[i].pos);
+  }
+}
+
+TEST(Weights, SubmodularityPreserved) {
+  auto cfg = test::simple_config();
+  // Spread the devices so no single strategy dominates everything.
+  int i = 0;
+  for (auto pos : {std::pair{4.0, 4.0}, {16.0, 4.0}, {4.0, 16.0},
+                   {16.0, 16.0}, {10.0, 10.0}}) {
+    auto d = test::device_at(pos.first, pos.second);
+    d.weight = 1.0 + i++;
+    cfg.devices.push_back(d);
+  }
+  const model::Scenario s(std::move(cfg));
+  const auto extraction = pdcs::extract_all(s);
+  ASSERT_GE(extraction.candidates.size(), 2u);
+  const opt::ChargingObjective f(s, extraction.candidates);
+  // Diminishing returns: the gain of candidate 0 cannot grow after adding
+  // candidate 1 (checked for every pair to be thorough).
+  for (std::size_t a = 0; a < extraction.candidates.size(); ++a) {
+    for (std::size_t b = 0; b < extraction.candidates.size(); ++b) {
+      if (a == b) continue;
+      opt::ChargingObjective::State small(f), big(f);
+      big.add(b);
+      EXPECT_GE(small.gain(a), big.gain(a) - 1e-12);
+    }
+  }
+}
+
+TEST(Weights, IoRoundTripPreservesWeights) {
+  auto cfg = test::simple_config();
+  auto d = test::device_at(10, 10);
+  d.weight = 2.75;
+  cfg.devices = {d};
+  const model::Scenario original(std::move(cfg));
+  std::stringstream buffer;
+  model::write_scenario(buffer, original);
+  const auto restored = model::read_scenario(buffer);
+  EXPECT_DOUBLE_EQ(restored.device(0).weight, 2.75);
+}
+
+TEST(Weights, IoDefaultsMissingWeightToOne) {
+  // Files written before the weight field default to 1.
+  std::stringstream buffer(
+      "hipo-scenario v1\n"
+      "region 0 0 20 20\n"
+      "eps1 0.3\n"
+      "charger_type 1.5 1 5 2\n"
+      "device_type 6.28\n"
+      "pair 0 0 100 40\n"
+      "device 10 10 0 0 0.05\n");
+  const auto s = model::read_scenario(buffer);
+  EXPECT_DOUBLE_EQ(s.device(0).weight, 1.0);
+}
+
+}  // namespace
+}  // namespace hipo

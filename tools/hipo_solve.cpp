@@ -1,0 +1,118 @@
+// hipo_solve — command-line front end of the library: read a scenario file,
+// run the HIPO pipeline (or a baseline), write the placement, a report, and
+// an optional SVG rendering.
+//
+//   hipo_solve --scenario field.hipo [--out placement.hipo] [--svg out.svg]
+//              [--algorithm hipo|gppdcs|gpad|gpar|rpad|rpar]
+//              [--grid square|triangle] [--local-search] [--seed N]
+//              [--demo paper|field]   (generate a built-in scenario instead)
+#include <iostream>
+
+#include "src/hipo.hpp"
+
+using namespace hipo;
+
+namespace {
+
+model::Scenario load_scenario(Cli& cli) {
+  if (const auto demo = cli.get("demo")) {
+    if (*demo == "field") return model::make_field_scenario();
+    if (*demo == "paper") {
+      Rng rng(static_cast<std::uint64_t>(cli.get_or("seed", 1)));
+      return model::make_paper_scenario(model::GenOptions{}, rng);
+    }
+    throw ConfigError("--demo expects 'paper' or 'field'");
+  }
+  const auto path = cli.get("scenario");
+  HIPO_REQUIRE(path.has_value(), "pass --scenario <file> or --demo paper|field");
+  return model::read_scenario_file(*path);
+}
+
+model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
+  const std::string name = cli.get_or("algorithm", std::string("hipo"));
+  const std::string grid_name = cli.get_or("grid", std::string("triangle"));
+  const auto grid = grid_name == "square" ? baselines::GridKind::kSquare
+                                          : baselines::GridKind::kTriangle;
+  HIPO_REQUIRE(grid_name == "square" || grid_name == "triangle",
+               "--grid expects 'square' or 'triangle'");
+  Rng rng(static_cast<std::uint64_t>(cli.get_or("seed", 1)) ^
+          0x9e3779b97f4a7c15ULL);
+
+  if (name == "hipo") {
+    core::SolveOptions opts;
+    opts.local_search = cli.has("local-search");
+    return core::solve(scenario, opts).placement;
+  }
+  if (name == "gppdcs") return baselines::place_gppdcs(scenario, grid, rng);
+  if (name == "gpad") return baselines::place_gpad(scenario, grid, rng);
+  if (name == "gpar") return baselines::place_gpar(scenario, grid, rng);
+  if (name == "rpad") return baselines::place_rpad(scenario, rng);
+  if (name == "rpar") return baselines::place_rpar(scenario, rng);
+  throw ConfigError("unknown --algorithm '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv);
+    const auto scenario = load_scenario(cli);
+    const auto placement = run_algorithm(scenario, cli);
+    const auto out = cli.get("out");
+    const auto svg = cli.get("svg");
+    const bool diagnose = cli.has("diagnose");
+    cli.finish();
+
+    scenario.validate_placement(placement);
+    std::cout << "scenario: " << scenario.num_devices() << " devices, "
+              << scenario.num_chargers() << " charger budget, "
+              << scenario.num_obstacles() << " obstacles\n";
+    std::cout << "placement: " << placement.size() << " chargers, utility "
+              << format_double(scenario.placement_utility(placement), 4)
+              << "\n";
+
+    Table per_device({"device", "power", "utility"});
+    const auto powers = scenario.per_device_power(placement);
+    const auto utilities = scenario.per_device_utility(placement);
+    for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
+      per_device.row()
+          .add(std::to_string(j + 1))
+          .add(powers[j], 4)
+          .add(utilities[j], 3);
+    }
+    per_device.print(std::cout);
+
+    if (diagnose) {
+      const auto report = ext::analyze_coverage(scenario);
+      std::cout << "\ncoverage diagnosis: " << report.uncoverable
+                << " geometrically uncoverable device(s); utility upper "
+                << "bound for any placement: "
+                << format_double(report.utility_upper_bound, 4) << "\n";
+      for (std::size_t j = 0; j < report.devices.size(); ++j) {
+        if (!report.devices[j].coverable) {
+          std::cout << "  device " << (j + 1)
+                    << ": no feasible charger position of any type can "
+                    << "reach it (receiving sector blocked or out of "
+                    << "range)\n";
+        }
+      }
+    }
+
+    if (out) {
+      model::write_placement_file(*out, placement);
+      std::cout << "placement written to " << *out << "\n";
+    }
+    if (svg) {
+      viz::SvgOptions svg_opts;
+      // Render ~800 px across regardless of scenario units.
+      const auto extent = scenario.region().extent();
+      svg_opts.scale = 760.0 / std::max(extent.x, extent.y);
+      viz::write_svg_file(*svg, scenario, placement, svg_opts);
+      std::cout << "SVG written to " << *svg << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "hipo_solve: " << e.what() << "\n";
+    return 1;
+  }
+}
