@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_epsilon.dir/bench_ablation_epsilon.cpp.o"
+  "CMakeFiles/bench_ablation_epsilon.dir/bench_ablation_epsilon.cpp.o.d"
+  "bench_ablation_epsilon"
+  "bench_ablation_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arrangement.dir/bench_arrangement.cpp.o"
+  "CMakeFiles/bench_arrangement.dir/bench_arrangement.cpp.o.d"
+  "bench_arrangement"
+  "bench_arrangement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

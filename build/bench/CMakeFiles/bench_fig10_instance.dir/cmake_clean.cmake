@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_instance.dir/bench_fig10_instance.cpp.o"
+  "CMakeFiles/bench_fig10_instance.dir/bench_fig10_instance.cpp.o.d"
+  "bench_fig10_instance"
+  "bench_fig10_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

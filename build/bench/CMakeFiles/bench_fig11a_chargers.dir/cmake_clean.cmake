@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_chargers.dir/bench_fig11a_chargers.cpp.o"
+  "CMakeFiles/bench_fig11a_chargers.dir/bench_fig11a_chargers.cpp.o.d"
+  "bench_fig11a_chargers"
+  "bench_fig11a_chargers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_chargers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11d_recv_angle.dir/bench_fig11d_recv_angle.cpp.o"
+  "CMakeFiles/bench_fig11d_recv_angle.dir/bench_fig11d_recv_angle.cpp.o.d"
+  "bench_fig11d_recv_angle"
+  "bench_fig11d_recv_angle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11d_recv_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11e_pth.dir/bench_fig11e_pth.cpp.o"
+  "CMakeFiles/bench_fig11e_pth.dir/bench_fig11e_pth.cpp.o.d"
+  "bench_fig11e_pth"
+  "bench_fig11e_pth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11e_pth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

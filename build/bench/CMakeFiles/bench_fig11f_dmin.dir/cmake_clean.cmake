@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11f_dmin.dir/bench_fig11f_dmin.cpp.o"
+  "CMakeFiles/bench_fig11f_dmin.dir/bench_fig11f_dmin.cpp.o.d"
+  "bench_fig11f_dmin"
+  "bench_fig11f_dmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11f_dmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pth_hetero.dir/bench_fig13_pth_hetero.cpp.o"
+  "CMakeFiles/bench_fig13_pth_hetero.dir/bench_fig13_pth_hetero.cpp.o.d"
+  "bench_fig13_pth_hetero"
+  "bench_fig13_pth_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pth_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_dmin_dmax.dir/bench_fig14_dmin_dmax.cpp.o"
+  "CMakeFiles/bench_fig14_dmin_dmax.dir/bench_fig14_dmin_dmax.cpp.o.d"
+  "bench_fig14_dmin_dmax"
+  "bench_fig14_dmin_dmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_dmin_dmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

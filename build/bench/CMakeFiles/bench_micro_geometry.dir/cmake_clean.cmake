@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_geometry.dir/bench_micro_geometry.cpp.o"
+  "CMakeFiles/bench_micro_geometry.dir/bench_micro_geometry.cpp.o.d"
+  "bench_micro_geometry"
+  "bench_micro_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

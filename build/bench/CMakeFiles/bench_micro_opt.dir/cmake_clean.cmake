@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_opt.dir/bench_micro_opt.cpp.o"
+  "CMakeFiles/bench_micro_opt.dir/bench_micro_opt.cpp.o.d"
+  "bench_micro_opt"
+  "bench_micro_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_pdcs.dir/bench_micro_pdcs.cpp.o"
+  "CMakeFiles/bench_micro_pdcs.dir/bench_micro_pdcs.cpp.o.d"
+  "bench_micro_pdcs"
+  "bench_micro_pdcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_pdcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_radiation.dir/bench_radiation.cpp.o"
+  "CMakeFiles/bench_radiation.dir/bench_radiation.cpp.o.d"
+  "bench_radiation"
+  "bench_radiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_radiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

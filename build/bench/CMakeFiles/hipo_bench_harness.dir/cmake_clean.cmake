@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/hipo_bench_harness.dir/harness.cpp.o.d"
+  "libhipo_bench_harness.a"
+  "libhipo_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

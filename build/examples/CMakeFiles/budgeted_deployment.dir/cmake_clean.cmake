@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budgeted_deployment.dir/budgeted_deployment.cpp.o"
+  "CMakeFiles/budgeted_deployment.dir/budgeted_deployment.cpp.o.d"
+  "budgeted_deployment"
+  "budgeted_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budgeted_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

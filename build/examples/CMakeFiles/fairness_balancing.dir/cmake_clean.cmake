@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_balancing.dir/fairness_balancing.cpp.o"
+  "CMakeFiles/fairness_balancing.dir/fairness_balancing.cpp.o.d"
+  "fairness_balancing"
+  "fairness_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_safe_charging.dir/hospital_safe_charging.cpp.o"
+  "CMakeFiles/hospital_safe_charging.dir/hospital_safe_charging.cpp.o.d"
+  "hospital_safe_charging"
+  "hospital_safe_charging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_safe_charging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

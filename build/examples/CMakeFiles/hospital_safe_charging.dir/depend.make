@@ -1,0 +1,2 @@
+# Empty dependencies file for hospital_safe_charging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museum_redeployment.dir/museum_redeployment.cpp.o"
+  "CMakeFiles/museum_redeployment.dir/museum_redeployment.cpp.o.d"
+  "museum_redeployment"
+  "museum_redeployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museum_redeployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

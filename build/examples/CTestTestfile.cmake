@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(smoke_quickstart PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_warehouse_deployment "/root/repo/build/examples/warehouse_deployment")
+set_tests_properties(smoke_warehouse_deployment PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_museum_redeployment "/root/repo/build/examples/museum_redeployment")
+set_tests_properties(smoke_museum_redeployment PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_fairness_balancing "/root/repo/build/examples/fairness_balancing")
+set_tests_properties(smoke_fairness_balancing PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_budgeted_deployment "/root/repo/build/examples/budgeted_deployment")
+set_tests_properties(smoke_budgeted_deployment PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(smoke_hospital_safe_charging "/root/repo/build/examples/hospital_safe_charging")
+set_tests_properties(smoke_hospital_safe_charging PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

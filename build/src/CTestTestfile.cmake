@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geometry")
+subdirs("spatial")
+subdirs("model")
+subdirs("discretize")
+subdirs("parallel")
+subdirs("pdcs")
+subdirs("opt")
+subdirs("baselines")
+subdirs("ext")
+subdirs("viz")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/hipo_baselines.dir/baselines.cpp.o.d"
+  "libhipo_baselines.a"
+  "libhipo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

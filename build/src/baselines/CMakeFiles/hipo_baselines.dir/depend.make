@@ -1,0 +1,2 @@
+# Empty dependencies file for hipo_baselines.
+# This may be replaced when dependencies are built.

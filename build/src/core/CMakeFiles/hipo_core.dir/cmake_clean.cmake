@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_core.dir/solver.cpp.o"
+  "CMakeFiles/hipo_core.dir/solver.cpp.o.d"
+  "libhipo_core.a"
+  "libhipo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

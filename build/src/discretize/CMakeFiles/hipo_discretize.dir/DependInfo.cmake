@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discretize/feasible_region.cpp" "src/discretize/CMakeFiles/hipo_discretize.dir/feasible_region.cpp.o" "gcc" "src/discretize/CMakeFiles/hipo_discretize.dir/feasible_region.cpp.o.d"
+  "/root/repo/src/discretize/shadow_map.cpp" "src/discretize/CMakeFiles/hipo_discretize.dir/shadow_map.cpp.o" "gcc" "src/discretize/CMakeFiles/hipo_discretize.dir/shadow_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/hipo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hipo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

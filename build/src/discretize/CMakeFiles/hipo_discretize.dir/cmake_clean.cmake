@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_discretize.dir/feasible_region.cpp.o"
+  "CMakeFiles/hipo_discretize.dir/feasible_region.cpp.o.d"
+  "CMakeFiles/hipo_discretize.dir/shadow_map.cpp.o"
+  "CMakeFiles/hipo_discretize.dir/shadow_map.cpp.o.d"
+  "libhipo_discretize.a"
+  "libhipo_discretize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_discretize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ext/coverage_analysis.cpp" "src/ext/CMakeFiles/hipo_ext.dir/coverage_analysis.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/coverage_analysis.cpp.o.d"
+  "/root/repo/src/ext/deploy_cost.cpp" "src/ext/CMakeFiles/hipo_ext.dir/deploy_cost.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/deploy_cost.cpp.o.d"
+  "/root/repo/src/ext/fairness.cpp" "src/ext/CMakeFiles/hipo_ext.dir/fairness.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/fairness.cpp.o.d"
+  "/root/repo/src/ext/hungarian.cpp" "src/ext/CMakeFiles/hipo_ext.dir/hungarian.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/hungarian.cpp.o.d"
+  "/root/repo/src/ext/matching.cpp" "src/ext/CMakeFiles/hipo_ext.dir/matching.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/matching.cpp.o.d"
+  "/root/repo/src/ext/radiation.cpp" "src/ext/CMakeFiles/hipo_ext.dir/radiation.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/radiation.cpp.o.d"
+  "/root/repo/src/ext/redeploy.cpp" "src/ext/CMakeFiles/hipo_ext.dir/redeploy.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/redeploy.cpp.o.d"
+  "/root/repo/src/ext/resilience.cpp" "src/ext/CMakeFiles/hipo_ext.dir/resilience.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/resilience.cpp.o.d"
+  "/root/repo/src/ext/tour.cpp" "src/ext/CMakeFiles/hipo_ext.dir/tour.cpp.o" "gcc" "src/ext/CMakeFiles/hipo_ext.dir/tour.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/hipo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdcs/CMakeFiles/hipo_pdcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/discretize/CMakeFiles/hipo_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hipo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/hipo_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hipo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hipo_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

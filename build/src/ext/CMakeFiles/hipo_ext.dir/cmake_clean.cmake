@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_ext.dir/coverage_analysis.cpp.o"
+  "CMakeFiles/hipo_ext.dir/coverage_analysis.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/deploy_cost.cpp.o"
+  "CMakeFiles/hipo_ext.dir/deploy_cost.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/fairness.cpp.o"
+  "CMakeFiles/hipo_ext.dir/fairness.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/hungarian.cpp.o"
+  "CMakeFiles/hipo_ext.dir/hungarian.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/matching.cpp.o"
+  "CMakeFiles/hipo_ext.dir/matching.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/radiation.cpp.o"
+  "CMakeFiles/hipo_ext.dir/radiation.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/redeploy.cpp.o"
+  "CMakeFiles/hipo_ext.dir/redeploy.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/resilience.cpp.o"
+  "CMakeFiles/hipo_ext.dir/resilience.cpp.o.d"
+  "CMakeFiles/hipo_ext.dir/tour.cpp.o"
+  "CMakeFiles/hipo_ext.dir/tour.cpp.o.d"
+  "libhipo_ext.a"
+  "libhipo_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhipo_ext.a"
+)

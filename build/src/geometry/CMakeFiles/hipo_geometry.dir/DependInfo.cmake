@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/angles.cpp" "src/geometry/CMakeFiles/hipo_geometry.dir/angles.cpp.o" "gcc" "src/geometry/CMakeFiles/hipo_geometry.dir/angles.cpp.o.d"
+  "/root/repo/src/geometry/circle.cpp" "src/geometry/CMakeFiles/hipo_geometry.dir/circle.cpp.o" "gcc" "src/geometry/CMakeFiles/hipo_geometry.dir/circle.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/geometry/CMakeFiles/hipo_geometry.dir/polygon.cpp.o" "gcc" "src/geometry/CMakeFiles/hipo_geometry.dir/polygon.cpp.o.d"
+  "/root/repo/src/geometry/sector_ring.cpp" "src/geometry/CMakeFiles/hipo_geometry.dir/sector_ring.cpp.o" "gcc" "src/geometry/CMakeFiles/hipo_geometry.dir/sector_ring.cpp.o.d"
+  "/root/repo/src/geometry/segment.cpp" "src/geometry/CMakeFiles/hipo_geometry.dir/segment.cpp.o" "gcc" "src/geometry/CMakeFiles/hipo_geometry.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hipo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_geometry.dir/angles.cpp.o"
+  "CMakeFiles/hipo_geometry.dir/angles.cpp.o.d"
+  "CMakeFiles/hipo_geometry.dir/circle.cpp.o"
+  "CMakeFiles/hipo_geometry.dir/circle.cpp.o.d"
+  "CMakeFiles/hipo_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/hipo_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/hipo_geometry.dir/sector_ring.cpp.o"
+  "CMakeFiles/hipo_geometry.dir/sector_ring.cpp.o.d"
+  "CMakeFiles/hipo_geometry.dir/segment.cpp.o"
+  "CMakeFiles/hipo_geometry.dir/segment.cpp.o.d"
+  "libhipo_geometry.a"
+  "libhipo_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/io.cpp" "src/model/CMakeFiles/hipo_model.dir/io.cpp.o" "gcc" "src/model/CMakeFiles/hipo_model.dir/io.cpp.o.d"
+  "/root/repo/src/model/piecewise.cpp" "src/model/CMakeFiles/hipo_model.dir/piecewise.cpp.o" "gcc" "src/model/CMakeFiles/hipo_model.dir/piecewise.cpp.o.d"
+  "/root/repo/src/model/scenario.cpp" "src/model/CMakeFiles/hipo_model.dir/scenario.cpp.o" "gcc" "src/model/CMakeFiles/hipo_model.dir/scenario.cpp.o.d"
+  "/root/repo/src/model/scenario_gen.cpp" "src/model/CMakeFiles/hipo_model.dir/scenario_gen.cpp.o" "gcc" "src/model/CMakeFiles/hipo_model.dir/scenario_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geometry/CMakeFiles/hipo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

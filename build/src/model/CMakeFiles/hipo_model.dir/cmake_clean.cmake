@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_model.dir/io.cpp.o"
+  "CMakeFiles/hipo_model.dir/io.cpp.o.d"
+  "CMakeFiles/hipo_model.dir/piecewise.cpp.o"
+  "CMakeFiles/hipo_model.dir/piecewise.cpp.o.d"
+  "CMakeFiles/hipo_model.dir/scenario.cpp.o"
+  "CMakeFiles/hipo_model.dir/scenario.cpp.o.d"
+  "CMakeFiles/hipo_model.dir/scenario_gen.cpp.o"
+  "CMakeFiles/hipo_model.dir/scenario_gen.cpp.o.d"
+  "libhipo_model.a"
+  "libhipo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

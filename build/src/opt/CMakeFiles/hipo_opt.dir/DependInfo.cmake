@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/exhaustive.cpp" "src/opt/CMakeFiles/hipo_opt.dir/exhaustive.cpp.o" "gcc" "src/opt/CMakeFiles/hipo_opt.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/opt/greedy.cpp" "src/opt/CMakeFiles/hipo_opt.dir/greedy.cpp.o" "gcc" "src/opt/CMakeFiles/hipo_opt.dir/greedy.cpp.o.d"
+  "/root/repo/src/opt/local_search.cpp" "src/opt/CMakeFiles/hipo_opt.dir/local_search.cpp.o" "gcc" "src/opt/CMakeFiles/hipo_opt.dir/local_search.cpp.o.d"
+  "/root/repo/src/opt/matroid.cpp" "src/opt/CMakeFiles/hipo_opt.dir/matroid.cpp.o" "gcc" "src/opt/CMakeFiles/hipo_opt.dir/matroid.cpp.o.d"
+  "/root/repo/src/opt/objective.cpp" "src/opt/CMakeFiles/hipo_opt.dir/objective.cpp.o" "gcc" "src/opt/CMakeFiles/hipo_opt.dir/objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdcs/CMakeFiles/hipo_pdcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hipo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/hipo_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hipo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hipo_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

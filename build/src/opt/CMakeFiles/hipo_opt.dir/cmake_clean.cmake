@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_opt.dir/exhaustive.cpp.o"
+  "CMakeFiles/hipo_opt.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/hipo_opt.dir/greedy.cpp.o"
+  "CMakeFiles/hipo_opt.dir/greedy.cpp.o.d"
+  "CMakeFiles/hipo_opt.dir/local_search.cpp.o"
+  "CMakeFiles/hipo_opt.dir/local_search.cpp.o.d"
+  "CMakeFiles/hipo_opt.dir/matroid.cpp.o"
+  "CMakeFiles/hipo_opt.dir/matroid.cpp.o.d"
+  "CMakeFiles/hipo_opt.dir/objective.cpp.o"
+  "CMakeFiles/hipo_opt.dir/objective.cpp.o.d"
+  "libhipo_opt.a"
+  "libhipo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_parallel.dir/lpt.cpp.o"
+  "CMakeFiles/hipo_parallel.dir/lpt.cpp.o.d"
+  "CMakeFiles/hipo_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/hipo_parallel.dir/thread_pool.cpp.o.d"
+  "libhipo_parallel.a"
+  "libhipo_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_pdcs.dir/arrangement.cpp.o"
+  "CMakeFiles/hipo_pdcs.dir/arrangement.cpp.o.d"
+  "CMakeFiles/hipo_pdcs.dir/candidate.cpp.o"
+  "CMakeFiles/hipo_pdcs.dir/candidate.cpp.o.d"
+  "CMakeFiles/hipo_pdcs.dir/candidate_gen.cpp.o"
+  "CMakeFiles/hipo_pdcs.dir/candidate_gen.cpp.o.d"
+  "CMakeFiles/hipo_pdcs.dir/extract.cpp.o"
+  "CMakeFiles/hipo_pdcs.dir/extract.cpp.o.d"
+  "CMakeFiles/hipo_pdcs.dir/point_case.cpp.o"
+  "CMakeFiles/hipo_pdcs.dir/point_case.cpp.o.d"
+  "libhipo_pdcs.a"
+  "libhipo_pdcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_pdcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

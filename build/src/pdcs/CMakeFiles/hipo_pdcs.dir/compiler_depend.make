@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hipo_pdcs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hipo_pdcs.
+# This may be replaced when dependencies are built.

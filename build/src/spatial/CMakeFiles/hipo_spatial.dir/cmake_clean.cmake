@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_spatial.dir/grid_index.cpp.o"
+  "CMakeFiles/hipo_spatial.dir/grid_index.cpp.o.d"
+  "libhipo_spatial.a"
+  "libhipo_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_util.dir/cli.cpp.o"
+  "CMakeFiles/hipo_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hipo_util.dir/rng.cpp.o"
+  "CMakeFiles/hipo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hipo_util.dir/stats.cpp.o"
+  "CMakeFiles/hipo_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hipo_util.dir/table.cpp.o"
+  "CMakeFiles/hipo_util.dir/table.cpp.o.d"
+  "libhipo_util.a"
+  "libhipo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

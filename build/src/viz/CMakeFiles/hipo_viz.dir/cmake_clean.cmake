@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_viz.dir/field_export.cpp.o"
+  "CMakeFiles/hipo_viz.dir/field_export.cpp.o.d"
+  "CMakeFiles/hipo_viz.dir/svg.cpp.o"
+  "CMakeFiles/hipo_viz.dir/svg.cpp.o.d"
+  "libhipo_viz.a"
+  "libhipo_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrangement.dir/test_arrangement.cpp.o"
+  "CMakeFiles/test_arrangement.dir/test_arrangement.cpp.o.d"
+  "test_arrangement"
+  "test_arrangement.pdb"
+  "test_arrangement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrangement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

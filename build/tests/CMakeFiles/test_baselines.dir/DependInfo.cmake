@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_baselines.dir/test_baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hipo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/hipo_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hipo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/hipo_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/hipo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdcs/CMakeFiles/hipo_pdcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/discretize/CMakeFiles/hipo_discretize.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hipo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hipo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/hipo_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hipo_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hipo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circle.dir/test_circle.cpp.o"
+  "CMakeFiles/test_circle.dir/test_circle.cpp.o.d"
+  "test_circle"
+  "test_circle.pdb"
+  "test_circle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

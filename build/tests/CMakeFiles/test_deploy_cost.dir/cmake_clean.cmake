@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy_cost.dir/test_deploy_cost.cpp.o"
+  "CMakeFiles/test_deploy_cost.dir/test_deploy_cost.cpp.o.d"
+  "test_deploy_cost"
+  "test_deploy_cost.pdb"
+  "test_deploy_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feasible_region.dir/test_feasible_region.cpp.o"
+  "CMakeFiles/test_feasible_region.dir/test_feasible_region.cpp.o.d"
+  "test_feasible_region"
+  "test_feasible_region.pdb"
+  "test_feasible_region[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feasible_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field_export.dir/test_field_export.cpp.o"
+  "CMakeFiles/test_field_export.dir/test_field_export.cpp.o.d"
+  "test_field_export"
+  "test_field_export.pdb"
+  "test_field_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lemma44.dir/test_lemma44.cpp.o"
+  "CMakeFiles/test_lemma44.dir/test_lemma44.cpp.o.d"
+  "test_lemma44"
+  "test_lemma44.pdb"
+  "test_lemma44[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lemma44.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lpt.dir/test_lpt.cpp.o"
+  "CMakeFiles/test_lpt.dir/test_lpt.cpp.o.d"
+  "test_lpt"
+  "test_lpt.pdb"
+  "test_lpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matroid.dir/test_matroid.cpp.o"
+  "CMakeFiles/test_matroid.dir/test_matroid.cpp.o.d"
+  "test_matroid"
+  "test_matroid.pdb"
+  "test_matroid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

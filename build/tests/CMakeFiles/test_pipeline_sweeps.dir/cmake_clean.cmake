@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_sweeps.dir/test_pipeline_sweeps.cpp.o"
+  "CMakeFiles/test_pipeline_sweeps.dir/test_pipeline_sweeps.cpp.o.d"
+  "test_pipeline_sweeps"
+  "test_pipeline_sweeps.pdb"
+  "test_pipeline_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_point_case.dir/test_point_case.cpp.o"
+  "CMakeFiles/test_point_case.dir/test_point_case.cpp.o.d"
+  "test_point_case"
+  "test_point_case.pdb"
+  "test_point_case[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_point_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

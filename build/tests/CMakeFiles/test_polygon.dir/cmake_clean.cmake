@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polygon.dir/test_polygon.cpp.o"
+  "CMakeFiles/test_polygon.dir/test_polygon.cpp.o.d"
+  "test_polygon"
+  "test_polygon.pdb"
+  "test_polygon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polygon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redeploy.dir/test_redeploy.cpp.o"
+  "CMakeFiles/test_redeploy.dir/test_redeploy.cpp.o.d"
+  "test_redeploy"
+  "test_redeploy.pdb"
+  "test_redeploy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redeploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_gen.dir/test_scenario_gen.cpp.o"
+  "CMakeFiles/test_scenario_gen.dir/test_scenario_gen.cpp.o.d"
+  "test_scenario_gen"
+  "test_scenario_gen.pdb"
+  "test_scenario_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hipo_solve.dir/hipo_solve.cpp.o"
+  "CMakeFiles/hipo_solve.dir/hipo_solve.cpp.o.d"
+  "hipo_solve"
+  "hipo_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hipo_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

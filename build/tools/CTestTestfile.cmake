@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(smoke_hipo_solve_field "/root/repo/build/tools/hipo_solve" "--demo" "field" "--svg" "field_smoke.svg")
+set_tests_properties(smoke_hipo_solve_field PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(smoke_hipo_solve_file "/root/repo/build/tools/hipo_solve" "--scenario" "/root/repo/data/office.hipo" "--algorithm" "gppdcs" "--out" "office_smoke.hipo")
+set_tests_properties(smoke_hipo_solve_file PROPERTIES  LABELS "smoke" TIMEOUT "120" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
