@@ -1,0 +1,268 @@
+// Obstacle-query microbenchmark: line-of-sight and placement-feasibility
+// latency, brute-force polygon scan vs the SegmentIndex-backed Scenario
+// path, swept over obstacle counts; plus one end-to-end extraction+greedy
+// A/B on an obstacle-heavy instance. Emits machine-readable JSON
+// (BENCH_los.json) alongside the human-readable table.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/model/scenario_gen.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/pdcs/extract.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+using namespace hipo;
+using geom::Segment;
+using geom::Vec2;
+
+namespace {
+
+/// Rebuilds `base` with the obstacle grid disabled (one-cell index), so
+/// every query degenerates to the brute-force scan. Results are identical.
+model::Scenario without_acceleration(const model::Scenario& base) {
+  model::Scenario::Config cfg;
+  for (std::size_t q = 0; q < base.num_charger_types(); ++q) {
+    cfg.charger_types.push_back(base.charger_type(q));
+  }
+  for (std::size_t t = 0; t < base.num_device_types(); ++t) {
+    cfg.device_types.push_back(base.device_type(t));
+  }
+  for (std::size_t q = 0; q < base.num_charger_types(); ++q) {
+    for (std::size_t t = 0; t < base.num_device_types(); ++t) {
+      cfg.pair_params.push_back(base.pair_params(q, t));
+    }
+  }
+  cfg.charger_counts = base.charger_counts();
+  cfg.devices = base.devices();
+  cfg.obstacles = base.obstacles();
+  cfg.region = base.region();
+  cfg.eps1 = base.eps1();
+  cfg.accelerate_obstacles = false;
+  return model::Scenario(std::move(cfg));
+}
+
+struct QueryTiming {
+  int obstacles = 0;
+  double brute_ns = 0.0;
+  double index_ns = 0.0;
+  double speedup() const {
+    return index_ns > 0.0 ? brute_ns / index_ns : 0.0;
+  }
+};
+
+/// Charging-range-scale segments anchored inside the region — the shape of
+/// the Eq. (1) LOS workload.
+std::vector<Segment> los_workload(const model::Scenario& scenario, Rng& rng,
+                                  int iters) {
+  const geom::BBox r = scenario.region();
+  std::vector<Segment> segs;
+  segs.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const Vec2 a{rng.uniform(r.lo.x, r.hi.x), rng.uniform(r.lo.y, r.hi.y)};
+    const double ang = rng.uniform(0.0, geom::kTwoPi);
+    const double len = rng.uniform(0.0, scenario.max_charge_range());
+    segs.push_back({a, a + geom::unit_vector(ang) * len});
+  }
+  return segs;
+}
+
+QueryTiming time_los(const model::Scenario& scenario, Rng& rng, int iters) {
+  const auto segs = los_workload(scenario, rng, iters);
+  const auto& polys = scenario.obstacles();
+
+  std::size_t brute_blocked = 0;
+  Timer t;
+  for (const Segment& s : segs) {
+    bool blocked = false;
+    for (const auto& h : polys) {
+      if (h.blocks_segment(s)) {
+        blocked = true;
+        break;
+      }
+    }
+    brute_blocked += blocked ? 1 : 0;
+  }
+  const double brute_s = t.seconds();
+
+  std::size_t index_blocked = 0;
+  t.reset();
+  for (const Segment& s : segs) {
+    index_blocked += scenario.line_of_sight(s.a, s.b) ? 0 : 1;
+  }
+  const double index_s = t.seconds();
+
+  HIPO_REQUIRE(brute_blocked == index_blocked,
+               "LOS mismatch between brute force and index");
+  QueryTiming out;
+  out.obstacles = static_cast<int>(polys.size());
+  out.brute_ns = brute_s / segs.size() * 1e9;
+  out.index_ns = index_s / segs.size() * 1e9;
+  return out;
+}
+
+QueryTiming time_feasible(const model::Scenario& scenario, Rng& rng,
+                          int iters) {
+  const geom::BBox r = scenario.region();
+  std::vector<Vec2> points;
+  points.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    points.push_back(
+        {rng.uniform(r.lo.x, r.hi.x), rng.uniform(r.lo.y, r.hi.y)});
+  }
+  const auto& polys = scenario.obstacles();
+
+  std::size_t brute_feasible = 0;
+  Timer t;
+  for (const Vec2& p : points) {
+    bool inside = false;
+    for (const auto& h : polys) {
+      if (h.contains(p)) {
+        inside = true;
+        break;
+      }
+    }
+    brute_feasible += (r.contains(p, geom::kEps) && !inside) ? 1 : 0;
+  }
+  const double brute_s = t.seconds();
+
+  std::size_t index_feasible = 0;
+  t.reset();
+  for (const Vec2& p : points) {
+    index_feasible += scenario.position_feasible(p) ? 1 : 0;
+  }
+  const double index_s = t.seconds();
+
+  HIPO_REQUIRE(brute_feasible == index_feasible,
+               "feasibility mismatch between brute force and index");
+  QueryTiming out;
+  out.obstacles = static_cast<int>(polys.size());
+  out.brute_ns = brute_s / points.size() * 1e9;
+  out.index_ns = index_s / points.size() * 1e9;
+  return out;
+}
+
+struct EndToEnd {
+  int obstacles = 0;
+  std::size_t candidates = 0;
+  double accel_s = 0.0;
+  double brute_s = 0.0;
+  double accel_utility = 0.0;
+  double brute_utility = 0.0;
+  double speedup() const { return accel_s > 0.0 ? brute_s / accel_s : 0.0; }
+};
+
+EndToEnd time_end_to_end(int num_obstacles, int device_multiplier,
+                         std::uint64_t seed) {
+  model::GenOptions gen;
+  gen.num_obstacles = num_obstacles;
+  gen.device_multiplier = device_multiplier;
+  Rng rng(seed);
+  const auto fast = model::make_paper_scenario(gen, rng);
+  const auto slow = without_acceleration(fast);
+
+  EndToEnd out;
+  out.obstacles = num_obstacles;
+
+  Timer t;
+  const auto rf = pdcs::extract_all(fast);
+  const auto gf = opt::select_strategies(fast, rf.candidates);
+  out.accel_s = t.seconds();
+  out.candidates = rf.candidates.size();
+  out.accel_utility = gf.exact_utility;
+
+  t.reset();
+  const auto rs = pdcs::extract_all(slow);
+  const auto gs = opt::select_strategies(slow, rs.candidates);
+  out.brute_s = t.seconds();
+  out.brute_utility = gs.exact_utility;
+
+  HIPO_REQUIRE(rf.candidates.size() == rs.candidates.size(),
+               "candidate count mismatch between accelerated and brute runs");
+  HIPO_REQUIRE(out.accel_utility == out.brute_utility,
+               "utility mismatch between accelerated and brute runs");
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int iters = cli.get_or("iters", 200000);
+  const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", 42));
+  const int e2e_mult = cli.get_or("e2e-mult", 2);
+  const int e2e_obstacles = cli.get_or("e2e-obstacles", 16);
+  const std::string out_path = cli.get_or("out", std::string("BENCH_los.json"));
+  cli.finish();
+
+  std::vector<QueryTiming> los, feas;
+  Table table({"obstacles", "LOS brute ns", "LOS index ns", "LOS speedup",
+               "feas brute ns", "feas index ns", "feas speedup"});
+  for (int n : {0, 4, 16, 64}) {
+    model::GenOptions gen;
+    gen.num_obstacles = n;
+    Rng rng(seed_combine(seed, static_cast<std::uint64_t>(n)));
+    const auto scenario = model::make_paper_scenario(gen, rng);
+    los.push_back(time_los(scenario, rng, iters));
+    feas.push_back(time_feasible(scenario, rng, iters));
+    table.row()
+        .add(n)
+        .add(fmt(los.back().brute_ns))
+        .add(fmt(los.back().index_ns))
+        .add(fmt(los.back().speedup()))
+        .add(fmt(feas.back().brute_ns))
+        .add(fmt(feas.back().index_ns))
+        .add(fmt(feas.back().speedup()));
+  }
+  table.print(std::cout);
+
+  const EndToEnd e2e =
+      time_end_to_end(e2e_obstacles, e2e_mult, seed_combine(seed, 999));
+  std::cout << "\nend-to-end (extract_all + greedy, " << e2e.obstacles
+            << " obstacles, " << e2e.candidates
+            << " candidates): accelerated " << fmt(e2e.accel_s * 1e3)
+            << " ms vs brute " << fmt(e2e.brute_s * 1e3) << " ms ("
+            << fmt(e2e.speedup()) << "x), utilities identical: "
+            << e2e.accel_utility << "\n";
+
+  std::ofstream json(out_path);
+  HIPO_REQUIRE(json.good(), "cannot open output file " + out_path);
+  json << "{\n  \"bench\": \"micro_los\",\n  \"iters\": " << iters
+       << ",\n  \"seed\": " << seed << ",\n  \"los\": [\n";
+  for (std::size_t i = 0; i < los.size(); ++i) {
+    json << "    {\"obstacles\": " << los[i].obstacles
+         << ", \"brute_ns\": " << los[i].brute_ns
+         << ", \"index_ns\": " << los[i].index_ns
+         << ", \"speedup\": " << los[i].speedup() << "}"
+         << (i + 1 < los.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"feasible\": [\n";
+  for (std::size_t i = 0; i < feas.size(); ++i) {
+    json << "    {\"obstacles\": " << feas[i].obstacles
+         << ", \"brute_ns\": " << feas[i].brute_ns
+         << ", \"index_ns\": " << feas[i].index_ns
+         << ", \"speedup\": " << feas[i].speedup() << "}"
+         << (i + 1 < feas.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"end_to_end\": {\"obstacles\": " << e2e.obstacles
+       << ", \"device_multiplier\": " << e2e_mult
+       << ", \"candidates\": " << e2e.candidates
+       << ", \"accelerated_s\": " << e2e.accel_s
+       << ", \"brute_s\": " << e2e.brute_s
+       << ", \"speedup\": " << e2e.speedup()
+       << ", \"utilities_identical\": true}\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

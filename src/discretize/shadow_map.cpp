@@ -26,30 +26,51 @@ ShadowMap::ShadowMap(Vec2 origin, const std::vector<Polygon>& obstacles,
       nearest = std::min(nearest, geom::point_segment_distance(origin, h.edge(e)));
     }
     if (nearest > max_range) continue;
-    relevant_.push_back(&h);
-
-    // Angular span subtended by the obstacle's vertices. For a convex
-    // obstacle this is exactly the shadowed direction cone; for non-convex
-    // ones it is a superset (exactness is restored by the per-query ray
-    // walk below).
-    geom::AngleIntervalSet span;
-    const auto& verts = h.vertices();
-    for (std::size_t i = 0; i < verts.size(); ++i) {
-      const double a0 = (verts[i] - origin).angle();
-      const double a1 = (verts[(i + 1) % verts.size()] - origin).angle();
-      // Each edge subtends the shorter angular interval between its
-      // endpoint directions (an edge never spans >= π as seen from an
-      // exterior point unless the origin is inside, which cannot happen).
-      const double ccw = geom::ccw_delta(a0, a1);
-      if (ccw <= geom::kPi) {
-        span.insert_from_to(a0, a1);
-      } else {
-        span.insert_from_to(a1, a0);
-      }
-      event_angles_.push_back(geom::norm_angle(a0));
-    }
-    blocked_ = blocked_.unite(span);
+    add_obstacle(h);
   }
+  finalize();
+}
+
+ShadowMap::ShadowMap(Vec2 origin, const spatial::SegmentIndex& index,
+                     double max_range)
+    : origin_(origin), max_range_(max_range) {
+  HIPO_REQUIRE(max_range > 0.0, "max_range must be positive");
+  // polygons_near applies the same boundary-inclusive exact distance cull
+  // (nearest <= max_range) as the vector constructor, in ascending polygon
+  // order, so the participating set and its order are identical.
+  for (std::size_t pi : index.polygons_near(origin, max_range)) {
+    add_obstacle(index.polygons()[pi]);
+  }
+  finalize();
+}
+
+void ShadowMap::add_obstacle(const Polygon& h) {
+  relevant_.push_back(&h);
+
+  // Angular span subtended by the obstacle's vertices. For a convex
+  // obstacle this is exactly the shadowed direction cone; for non-convex
+  // ones it is a superset (exactness is restored by the per-query ray
+  // walk below).
+  geom::AngleIntervalSet span;
+  const auto& verts = h.vertices();
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    const double a0 = (verts[i] - origin_).angle();
+    const double a1 = (verts[(i + 1) % verts.size()] - origin_).angle();
+    // Each edge subtends the shorter angular interval between its
+    // endpoint directions (an edge never spans >= π as seen from an
+    // exterior point unless the origin is inside, which cannot happen).
+    const double ccw = geom::ccw_delta(a0, a1);
+    if (ccw <= geom::kPi) {
+      span.insert_from_to(a0, a1);
+    } else {
+      span.insert_from_to(a1, a0);
+    }
+    event_angles_.push_back(geom::norm_angle(a0));
+  }
+  blocked_ = blocked_.unite(span);
+}
+
+void ShadowMap::finalize() {
   std::sort(event_angles_.begin(), event_angles_.end());
   event_angles_.erase(
       std::unique(event_angles_.begin(), event_angles_.end()),

@@ -24,6 +24,7 @@
 #include "src/geometry/angles.hpp"
 #include "src/geometry/polygon.hpp"
 #include "src/geometry/vec2.hpp"
+#include "src/spatial/segment_index.hpp"
 
 namespace hipo::discretize {
 
@@ -33,6 +34,13 @@ class ShadowMap {
   /// Only obstacles intersecting the disk of `max_range` around `origin`
   /// participate.
   ShadowMap(geom::Vec2 origin, const std::vector<geom::Polygon>& obstacles,
+            double max_range);
+
+  /// Same map, but the range cull runs through the obstacle index
+  /// (SegmentIndex::polygons_near) instead of scanning every polygon.
+  /// The participating set and all query results are identical to the
+  /// vector constructor over `index.polygons()`.
+  ShadowMap(geom::Vec2 origin, const spatial::SegmentIndex& index,
             double max_range);
 
   geom::Vec2 origin() const { return origin_; }
@@ -61,6 +69,11 @@ class ShadowMap {
   static constexpr double kUnblocked = std::numeric_limits<double>::infinity();
 
  private:
+  /// Registers one participating obstacle (angular span + event angles).
+  void add_obstacle(const geom::Polygon& h);
+  /// Sorts/dedupes event angles; called once all obstacles are registered.
+  void finalize();
+
   geom::Vec2 origin_;
   double max_range_;
   std::vector<const geom::Polygon*> relevant_;

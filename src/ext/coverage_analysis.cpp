@@ -15,7 +15,7 @@ DeviceCoverage analyze_device(const model::Scenario& scenario,
 
   for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
     const discretize::ShadowMap shadow(scenario.device(device).pos,
-                                       scenario.obstacles(),
+                                       scenario.obstacle_index(),
                                        scenario.charger_type(q).d_max);
     const discretize::FeasibleRegion region(scenario, device, q, shadow);
     const auto cells = region.enumerate_cells();

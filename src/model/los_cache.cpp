@@ -1,0 +1,58 @@
+#include "src/model/los_cache.hpp"
+
+namespace hipo::model {
+
+bool LosCache::line_of_sight(geom::Vec2 charger_pos, std::size_t j) {
+  const Key key{std::bit_cast<std::uint64_t>(charger_pos.x),
+                std::bit_cast<std::uint64_t>(charger_pos.y),
+                static_cast<std::uint64_t>(j)};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  const bool los =
+      scenario_->line_of_sight(charger_pos, scenario_->device(j).pos);
+  cache_.emplace(key, los);
+  return los;
+}
+
+bool LosCache::covers(const Strategy& s, std::size_t j) {
+  double d;
+  return scenario_->coverage_geometry(s, j, d) && line_of_sight(s.pos, j);
+}
+
+double LosCache::exact_power(const Strategy& s, std::size_t j) {
+  double d;
+  if (!scenario_->coverage_geometry(s, j, d)) return 0.0;
+  if (!line_of_sight(s.pos, j)) return 0.0;
+  return scenario_->exact_power_from_distance(s.type, j, d);
+}
+
+double LosCache::approx_power(const Strategy& s, std::size_t j) {
+  double d;
+  if (!scenario_->coverage_geometry(s, j, d)) return 0.0;
+  if (!line_of_sight(s.pos, j)) return 0.0;
+  return scenario_->approx_power_from_distance(s.type, j, d);
+}
+
+double LosCache::total_exact_power(std::span<const Strategy> placement,
+                                   std::size_t j) {
+  double total = 0.0;
+  for (const auto& s : placement) total += exact_power(s, j);
+  return total;
+}
+
+double LosCache::placement_utility(std::span<const Strategy> placement) {
+  const std::size_t n = scenario_->num_devices();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    total += scenario_->device(j).weight *
+             scenario_->utility(j, total_exact_power(placement, j));
+  }
+  return total / scenario_->total_weight();
+}
+
+}  // namespace hipo::model

@@ -1,0 +1,78 @@
+// Per-device line-of-sight memoization for repeated power evaluations.
+//
+// The rotational sweep of Algorithm 1 re-runs the full Eq. (1) gating —
+// including the obstacle segment trace — once per (orientation, device)
+// pair, although line of sight depends only on the charger *position* and
+// the device. The same (position, device) pairs also recur across the pair
+// tasks of Algorithm 4 (a ring×ring intersection constructed for pair
+// (i, j) reappears for (i, k)) and across the strategies of a placement in
+// the exact-utility evaluation (several selected strategies often share a
+// position and differ only in orientation). LosCache memoizes the LOS
+// verdict keyed on the charger position's exact bit pattern plus the device
+// index, so every repeat is a hash lookup instead of a segment trace.
+//
+// Keys use the exact double bits (not a quantized grid): two positions that
+// differ in any bit are cached separately, so cached results are
+// bit-identical to calling Scenario directly. Candidate positions are
+// already deduplicated at ~1e-6 resolution upstream (PositionSink), which
+// keeps the cache small.
+//
+// Not thread-safe; create one per extraction task / evaluation thread.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::model {
+
+class LosCache {
+ public:
+  /// The scenario must outlive the cache.
+  explicit LosCache(const Scenario& scenario) : scenario_(&scenario) {}
+
+  const Scenario& scenario() const { return *scenario_; }
+
+  /// Memoized Scenario::line_of_sight(charger_pos, device j's position).
+  bool line_of_sight(geom::Vec2 charger_pos, std::size_t j);
+
+  /// Drop-in equivalents of the Scenario physics queries (identical
+  /// results, cached LOS).
+  bool covers(const Strategy& s, std::size_t j);
+  double exact_power(const Strategy& s, std::size_t j);
+  double approx_power(const Strategy& s, std::size_t j);
+  double total_exact_power(std::span<const Strategy> placement, std::size_t j);
+  /// Normalized exact-power objective, identical to
+  /// Scenario::placement_utility.
+  double placement_utility(std::span<const Strategy> placement);
+
+  std::size_t size() const { return cache_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  struct Key {
+    std::uint64_t x_bits;
+    std::uint64_t y_bits;
+    std::uint64_t device;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::uint64_t h = k.x_bits * 0x9e3779b97f4a7c15ULL;
+      h ^= k.y_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= k.device + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  const Scenario* scenario_;
+  std::unordered_map<Key, bool, KeyHash> cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace hipo::model

@@ -17,7 +17,6 @@ Scenario::Scenario(Config config)
       pair_params_(std::move(config.pair_params)),
       charger_counts_(std::move(config.charger_counts)),
       devices_(std::move(config.devices)),
-      obstacles_(std::move(config.obstacles)),
       region_(config.region),
       eps1_(config.eps1) {
   HIPO_REQUIRE(!charger_types_.empty(), "need at least one charger type");
@@ -48,11 +47,14 @@ Scenario::Scenario(Config config)
     HIPO_REQUIRE(d.weight > 0.0, "device weight must be positive");
     HIPO_REQUIRE(region_.contains(d.pos, geom::kEps),
                  "device outside the region");
-    for (const auto& h : obstacles_) {
+    for (const auto& h : config.obstacles) {
       HIPO_REQUIRE(!h.contains_interior(d.pos),
                    "device placed inside an obstacle");
     }
   }
+  obstacle_index_ = spatial::SegmentIndex(
+      region_, std::move(config.obstacles),
+      config.accelerate_obstacles ? 0.25 : 1e30);
 
   ladders_.reserve(pair_params_.size());
   for (std::size_t q = 0; q < charger_types_.size(); ++q) {
@@ -108,22 +110,6 @@ const RingLadder& Scenario::ladder_for_device(std::size_t q,
   return ladder(q, device(j).type);
 }
 
-bool Scenario::line_of_sight(Vec2 a, Vec2 b) const {
-  const geom::Segment seg{a, b};
-  for (const auto& h : obstacles_) {
-    if (h.blocks_segment(seg)) return false;
-  }
-  return true;
-}
-
-bool Scenario::position_feasible(Vec2 p) const {
-  if (!region_.contains(p, geom::kEps)) return false;
-  for (const auto& h : obstacles_) {
-    if (h.contains(p)) return false;
-  }
-  return true;
-}
-
 SectorRing Scenario::charging_area(const Strategy& s) const {
   const auto& ct = charger_type(s.type);
   return SectorRing(s.pos, s.orientation, ct.angle, ct.d_min, ct.d_max);
@@ -136,8 +122,8 @@ SectorRing Scenario::receiving_area(std::size_t j, std::size_t q) const {
                     ct.d_max);
 }
 
-bool Scenario::coverage_conditions(const Strategy& s, std::size_t j,
-                                   double& distance_out) const {
+bool Scenario::coverage_geometry(const Strategy& s, std::size_t j,
+                                 double& distance_out) const {
   const auto& ct = charger_type(s.type);
   const auto& dev = device(j);
   const Vec2 so = dev.pos - s.pos;
@@ -159,7 +145,13 @@ bool Scenario::coverage_conditions(const Strategy& s, std::size_t j,
         geom::angle_distance((-so).angle(), dev.orientation);
     if (chg_angle > recv_angle / 2.0 + ang_eps) return false;
   }
-  return line_of_sight(s.pos, dev.pos);
+  return true;
+}
+
+bool Scenario::coverage_conditions(const Strategy& s, std::size_t j,
+                                   double& distance_out) const {
+  return coverage_geometry(s, j, distance_out) &&
+         line_of_sight(s.pos, device(j).pos);
 }
 
 bool Scenario::covers(const Strategy& s, std::size_t j) const {
@@ -167,21 +159,31 @@ bool Scenario::covers(const Strategy& s, std::size_t j) const {
   return coverage_conditions(s, j, d);
 }
 
+double Scenario::exact_power_from_distance(std::size_t q, std::size_t j,
+                                           double d) const {
+  const auto& pp = pair_params(q, device(j).type);
+  return pp.a / ((d + pp.b) * (d + pp.b));
+}
+
+double Scenario::approx_power_from_distance(std::size_t q, std::size_t j,
+                                            double d) const {
+  const auto& lad = ladder_for_device(q, j);
+  // Gating passed with tolerance but d may sit a hair outside the ladder
+  // domain; clamp into it so covered devices always get the ring power.
+  const double dc = std::clamp(d, lad.d_min(), lad.d_max());
+  return lad.approx_power(dc);
+}
+
 double Scenario::exact_power(const Strategy& s, std::size_t j) const {
   double d;
   if (!coverage_conditions(s, j, d)) return 0.0;
-  const auto& pp = pair_params(s.type, device(j).type);
-  return pp.a / ((d + pp.b) * (d + pp.b));
+  return exact_power_from_distance(s.type, j, d);
 }
 
 double Scenario::approx_power(const Strategy& s, std::size_t j) const {
   double d;
   if (!coverage_conditions(s, j, d)) return 0.0;
-  const auto& lad = ladder_for_device(s.type, j);
-  // Gating passed with tolerance but d may sit a hair outside the ladder
-  // domain; clamp into it so covered devices always get the ring power.
-  const double dc = std::clamp(d, lad.d_min(), lad.d_max());
-  return lad.approx_power(dc);
+  return approx_power_from_distance(s.type, j, d);
 }
 
 double Scenario::total_exact_power(std::span<const Strategy> placement,

@@ -15,6 +15,7 @@
 #include "src/geometry/sector_ring.hpp"
 #include "src/model/piecewise.hpp"
 #include "src/model/types.hpp"
+#include "src/spatial/segment_index.hpp"
 
 namespace hipo::model {
 
@@ -33,6 +34,11 @@ class Scenario {
     /// Piecewise-approximation error ε₁ (Lemma 4.1). The end-to-end target
     /// ratio ε of Theorem 4.2 corresponds to ε₁ = 2ε/(1−2ε).
     double eps1 = 0.3 / 0.7;
+    /// When false, the obstacle index is built with a single cell, which
+    /// degenerates every obstacle query to the brute-force scan over all
+    /// polygons. Only useful for A/B benchmarking (bench_micro_los) and
+    /// equivalence tests; results are identical either way.
+    bool accelerate_obstacles = true;
   };
 
   explicit Scenario(Config config);
@@ -41,7 +47,7 @@ class Scenario {
   std::size_t num_charger_types() const { return charger_types_.size(); }
   std::size_t num_device_types() const { return device_types_.size(); }
   std::size_t num_devices() const { return devices_.size(); }
-  std::size_t num_obstacles() const { return obstacles_.size(); }
+  std::size_t num_obstacles() const { return obstacle_index_.num_polygons(); }
   /// Total number of chargers to deploy (N_s = Σ N^q_s).
   std::size_t num_chargers() const;
 
@@ -52,7 +58,14 @@ class Scenario {
   const std::vector<int>& charger_counts() const { return charger_counts_; }
   const Device& device(std::size_t j) const;
   const std::vector<Device>& devices() const { return devices_; }
-  const std::vector<geom::Polygon>& obstacles() const { return obstacles_; }
+  const std::vector<geom::Polygon>& obstacles() const {
+    return obstacle_index_.polygons();
+  }
+  /// Grid-accelerated obstacle queries (line of sight, containment, edge
+  /// proximity); shared by PDCS candidate generation and ShadowMap.
+  const spatial::SegmentIndex& obstacle_index() const {
+    return obstacle_index_;
+  }
   const geom::BBox& region() const { return region_; }
   double eps1() const { return eps1_; }
 
@@ -65,11 +78,34 @@ class Scenario {
   double max_charge_range() const { return max_range_; }
 
   // --- geometry predicates ---------------------------------------------
+  // Defined inline: both sit on the Eq. (1) coverage hot path, where even
+  // the extra call layer is measurable against the indexed query cost.
   /// True iff the open segment a–b is not blocked by any obstacle interior.
-  bool line_of_sight(geom::Vec2 a, geom::Vec2 b) const;
+  bool line_of_sight(geom::Vec2 a, geom::Vec2 b) const {
+    return !obstacle_index_.segment_blocked({a, b});
+  }
   /// True iff a charger may be placed at p: inside the region and not
   /// inside (or on the boundary of) any obstacle.
-  bool position_feasible(geom::Vec2 p) const;
+  bool position_feasible(geom::Vec2 p) const {
+    if (!region_.contains(p, geom::kEps)) return false;
+    return !obstacle_index_.point_in_any(p);
+  }
+
+  /// All Eq. (1) conditions *except* line of sight (range and both sector
+  /// angles); writes the charger–device distance. Split out so callers with
+  /// a memoized LOS result (LosCache) can complete the coverage test
+  /// without re-tracing the segment.
+  bool coverage_geometry(const Strategy& s, std::size_t j,
+                         double& distance_out) const;
+
+  /// Eq. (1) power at distance `d` for charger type q against device j
+  /// (gating already established by the caller).
+  double exact_power_from_distance(std::size_t q, std::size_t j,
+                                   double d) const;
+  /// Eq. (5) ring-ladder power at distance `d`, clamped into the ladder
+  /// domain (gating already established by the caller).
+  double approx_power_from_distance(std::size_t q, std::size_t j,
+                                    double d) const;
 
   /// The charging sector ring of a strategy.
   geom::SectorRing charging_area(const Strategy& s) const;
@@ -121,7 +157,8 @@ class Scenario {
   std::vector<PairParams> pair_params_;
   std::vector<int> charger_counts_;
   std::vector<Device> devices_;
-  std::vector<geom::Polygon> obstacles_;
+  /// Owns the obstacle polygons (obstacles() exposes its vector).
+  spatial::SegmentIndex obstacle_index_;
   geom::BBox region_;
   double eps1_;
   std::vector<RingLadder> ladders_;  // [q * num_device_types + t]

@@ -4,6 +4,7 @@
 #include <optional>
 #include <queue>
 
+#include "src/model/los_cache.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::opt {
@@ -53,7 +54,11 @@ void finish(const model::Scenario& scenario,
   for (std::size_t i : result.selected) {
     result.placement.push_back(candidates[i].strategy);
   }
-  result.exact_utility = scenario.placement_utility(result.placement);
+  // Memoized exact evaluation: strategies at the same position share LOS
+  // traces across devices and placement slots (result identical to
+  // Scenario::placement_utility).
+  model::LosCache cache(scenario);
+  result.exact_utility = cache.placement_utility(result.placement);
 }
 
 GreedyResult greedy_per_type(const model::Scenario& scenario,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/model/los_cache.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::opt {
@@ -74,8 +75,8 @@ LocalSearchResult local_search_improve(
   for (std::size_t i : selected) {
     out.result.placement.push_back(candidates[i].strategy);
   }
-  out.result.exact_utility =
-      scenario.placement_utility(out.result.placement);
+  model::LosCache cache(scenario);
+  out.result.exact_utility = cache.placement_utility(out.result.placement);
   return out;
 }
 

@@ -29,11 +29,13 @@ class VertexSink {
     if (!scenario_.position_feasible(p)) return;
     // Keep only vertices that could cover at least one device.
     if (devices_.query_radius(p, range_).empty()) return;
+    // Disjoint 32-bit lanes (see PositionSink::quantize): collision-free
+    // keys at ~1e-6 resolution within |coords| < ~2147 m.
     const auto qx = static_cast<std::int64_t>(std::llround(p.x * 1e6));
     const auto qy = static_cast<std::int64_t>(std::llround(p.y * 1e6));
     const std::uint64_t key =
-        static_cast<std::uint64_t>(qx) * 0x9e3779b97f4a7c15ULL ^
-        static_cast<std::uint64_t>(qy);
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(qx)) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(qy));
     if (seen_.insert(key).second) vertices_.push_back(p);
   }
 
@@ -88,9 +90,14 @@ std::vector<Vec2> arrangement_vertices(const model::Scenario& scenario,
       rays.push_back({dev.pos, dev.orientation - alpha_o / 2.0, ct.d_max});
       rays.push_back({dev.pos, dev.orientation + alpha_o / 2.0, ct.d_max});
     }
-    // Hole-boundary rays: through obstacle vertices within range.
-    for (const auto& h : scenario.obstacles()) {
-      for (const Vec2& v : h.vertices()) {
+    // Hole-boundary rays: through obstacle vertices within range (index
+    // pruned; the per-vertex distance filter matches the full scan).
+    const auto& obs_index = scenario.obstacle_index();
+    geom::BBox near;
+    near.lo = dev.pos - Vec2{ct.d_max, ct.d_max};
+    near.hi = dev.pos + Vec2{ct.d_max, ct.d_max};
+    for (std::size_t pi : obs_index.polygons_in_box(near)) {
+      for (const Vec2& v : obs_index.polygons()[pi].vertices()) {
         const double dist = geom::distance(v, dev.pos);
         if (dist > geom::kEps && dist <= ct.d_max) {
           rays.push_back({dev.pos, (v - dev.pos).angle(), ct.d_max});
@@ -156,10 +163,11 @@ std::vector<Candidate> extract_all_arrangement(
   std::vector<Candidate> out;
   for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
     const auto& ct = scenario.charger_type(q);
+    model::LosCache los_cache(scenario);
     std::vector<Candidate> type_candidates;
     for (Vec2 p : arrangement_vertices(scenario, q, opt)) {
       const auto pool = index.query_radius(p, ct.d_max + geom::kCoverEps);
-      auto cands = extract_point_case(scenario, q, p, pool);
+      auto cands = extract_point_case(scenario, q, p, pool, &los_cache);
       for (auto& c : cands) type_candidates.push_back(std::move(c));
     }
     auto kept = opt.global_filter

@@ -52,11 +52,15 @@ class PositionSink {
  private:
   static std::uint64_t quantize(Vec2 p) {
     // ~1e-6 spatial resolution; duplicates closer than this behave
-    // identically for coverage purposes.
+    // identically for coverage purposes. The two quantized coordinates are
+    // packed into disjoint 32-bit lanes so distinct grid cells always get
+    // distinct keys (a multiply-xor combine can collide and silently drop
+    // candidate positions); 32 bits per lane covers |coords| < ~2147 m at
+    // this resolution, far beyond the paper's O(100 m) scenarios.
     const auto qx = static_cast<std::int64_t>(std::llround(p.x * 1e6));
     const auto qy = static_cast<std::int64_t>(std::llround(p.y * 1e6));
-    return static_cast<std::uint64_t>(qx) * 0x9e3779b97f4a7c15ULL ^
-           static_cast<std::uint64_t>(qy);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(qx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(qy));
   }
 
   const model::Scenario& scenario_;
@@ -67,11 +71,23 @@ class PositionSink {
   std::vector<Vec2> positions_;
 };
 
-/// Obstacle edges within `range` of either anchor.
+/// Axis-aligned box covering the disks of `range` around both anchors.
+geom::BBox anchor_box(Vec2 a, Vec2 b, double range) {
+  geom::BBox box;
+  box.lo = {std::min(a.x, b.x) - range, std::min(a.y, b.y) - range};
+  box.hi = {std::max(a.x, b.x) + range, std::max(a.y, b.y) + range};
+  return box;
+}
+
+/// Obstacle edges within `range` of either anchor. The obstacle index
+/// prunes to polygons near the anchors; the exact per-edge distance filter
+/// (and hence the resulting edge list and its order) matches the full scan.
 std::vector<Segment> nearby_obstacle_edges(const model::Scenario& scenario,
                                            Vec2 a, Vec2 b, double range) {
+  const auto& index = scenario.obstacle_index();
   std::vector<Segment> edges;
-  for (const auto& h : scenario.obstacles()) {
+  for (std::size_t pi : index.polygons_in_box(anchor_box(a, b, range))) {
+    const auto& h = index.polygons()[pi];
     for (std::size_t e = 0; e < h.size(); ++e) {
       const Segment seg = h.edge(e);
       if (geom::point_segment_distance(a, seg) <= range ||
@@ -164,7 +180,10 @@ std::vector<Vec2> pair_candidate_positions(const model::Scenario& scenario,
         sink.add_all(geom::circle_segment_intersections(c, e));
       }
     }
-    for (const auto& h : scenario.obstacles()) {
+    const auto& index = scenario.obstacle_index();
+    for (std::size_t pi :
+         index.polygons_in_box(anchor_box(oi, oj, ct.d_max))) {
+      const auto& h = index.polygons()[pi];
       for (const Vec2& v : h.vertices()) {
         for (int anchor = 0; anchor < 2; ++anchor) {
           const Vec2 o = anchor == 0 ? oi : oj;
@@ -207,8 +226,10 @@ std::vector<Vec2> singleton_candidate_positions(
       dirs.push_back(start + alpha_o * static_cast<double>(k) / (n_az - 1));
     }
   }
-  for (const auto& h : scenario.obstacles()) {
-    for (const Vec2& v : h.vertices()) {
+  const auto& index = scenario.obstacle_index();
+  for (std::size_t pi :
+       index.polygons_in_box(anchor_box(dev.pos, dev.pos, ct.d_max))) {
+    for (const Vec2& v : index.polygons()[pi].vertices()) {
       const double dist = geom::distance(v, dev.pos);
       if (dist > geom::kEps && dist <= ct.d_max) {
         dirs.push_back((v - dev.pos).angle());
@@ -231,6 +252,9 @@ std::vector<Candidate> extract_device_task(const model::Scenario& scenario,
                                            const ExtractOptions& opt) {
   std::vector<Candidate> out;
   const Vec2 oi = scenario.device(i).pos;
+  // One LOS memo for the whole task: candidate positions recur across pair
+  // constructions and the Algorithm 1 sweep re-tests LOS per orientation.
+  model::LosCache los_cache(scenario);
 
   for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
     const auto& ct = scenario.charger_type(q);
@@ -253,7 +277,7 @@ std::vector<Candidate> extract_device_task(const model::Scenario& scenario,
       // Pool: devices within charging range of the position (exact pool for
       // the rotational sweep; sorted by GridIndex contract).
       const auto pool = devices.query_radius(p, ct.d_max + geom::kCoverEps);
-      auto cands = extract_point_case(scenario, q, p, pool);
+      auto cands = extract_point_case(scenario, q, p, pool, &los_cache);
       for (auto& c : cands) type_candidates.push_back(std::move(c));
     }
     auto filtered =

@@ -15,7 +15,8 @@ using model::Strategy;
 std::vector<std::size_t> orientable_covers(const model::Scenario& scenario,
                                            std::size_t charger_type,
                                            Vec2 pos,
-                                           std::span<const std::size_t> pool) {
+                                           std::span<const std::size_t> pool,
+                                           model::LosCache* cache) {
   std::vector<std::size_t> out;
   const auto& ct = scenario.charger_type(charger_type);
   for (std::size_t j : pool) {
@@ -32,7 +33,9 @@ std::vector<std::size_t> orientable_covers(const model::Scenario& scenario,
           geom::angle_distance((-so).angle(), dev.orientation);
       if (chg_angle > recv_angle / 2.0 + ang_eps) continue;
     }
-    if (!scenario.line_of_sight(pos, dev.pos)) continue;
+    const bool los = cache != nullptr ? cache->line_of_sight(pos, j)
+                                      : scenario.line_of_sight(pos, dev.pos);
+    if (!los) continue;
     out.push_back(j);
   }
   return out;
@@ -41,12 +44,13 @@ std::vector<std::size_t> orientable_covers(const model::Scenario& scenario,
 std::vector<Candidate> extract_point_case(const model::Scenario& scenario,
                                           std::size_t charger_type,
                                           Vec2 pos,
-                                          std::span<const std::size_t> pool) {
+                                          std::span<const std::size_t> pool,
+                                          model::LosCache* cache) {
   std::vector<Candidate> out;
   if (!scenario.position_feasible(pos)) return out;
 
   const std::vector<std::size_t> coverable =
-      orientable_covers(scenario, charger_type, pos, pool);
+      orientable_covers(scenario, charger_type, pos, pool, cache);
   if (coverable.empty()) return out;
 
   const double alpha = scenario.charger_type(charger_type).angle;
@@ -87,7 +91,9 @@ std::vector<Candidate> extract_point_case(const model::Scenario& scenario,
       if (alpha < geom::kTwoPi &&
           geom::angle_distance(theta[i], phi) > alpha / 2.0 + 1e-9)
         continue;
-      const double p = scenario.approx_power(cand.strategy, j);
+      const double p = cache != nullptr
+                           ? cache->approx_power(cand.strategy, j)
+                           : scenario.approx_power(cand.strategy, j);
       if (p > 0.0) {
         cand.covered.push_back(j);
         cand.powers.push_back(p);

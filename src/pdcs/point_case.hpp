@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/geometry/vec2.hpp"
+#include "src/model/los_cache.hpp"
 #include "src/model/scenario.hpp"
 #include "src/pdcs/candidate.hpp"
 
@@ -19,20 +20,25 @@ namespace hipo::pdcs {
 
 /// Devices a type-q charger at `pos` could cover under SOME orientation:
 /// all Eq. (1) conditions except the charger's own sector-angle condition.
+/// With `cache`, line-of-sight verdicts are memoized (results identical).
 std::vector<std::size_t> orientable_covers(const model::Scenario& scenario,
                                            std::size_t charger_type,
                                            geom::Vec2 pos,
-                                           std::span<const std::size_t> pool);
+                                           std::span<const std::size_t> pool,
+                                           model::LosCache* cache = nullptr);
 
 /// Algorithm 1 at position `pos`: one candidate per maximal covered set,
 /// restricted to the device pool (pass all device indices for the exact
 /// algorithm; Algorithm 4 passes a neighbor set). Candidates carry the
 /// approximated (ring) powers. Dominated candidates at this point are
 /// already filtered. Returns an empty vector if nothing is coverable or
-/// `pos` is not a feasible charger position.
+/// `pos` is not a feasible charger position. With `cache`, the per-device
+/// LOS trace runs once per position instead of once per orientation
+/// (results identical).
 std::vector<Candidate> extract_point_case(const model::Scenario& scenario,
                                           std::size_t charger_type,
                                           geom::Vec2 pos,
-                                          std::span<const std::size_t> pool);
+                                          std::span<const std::size_t> pool,
+                                          model::LosCache* cache = nullptr);
 
 }  // namespace hipo::pdcs
