@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   config.figure_id = "fig11a";
   config.x_label = "chargers(x)";
   config.reps = bench::resolve_reps(cli);
+  config.threads = bench::resolve_threads(cli);
   config.csv = cli.has("csv");
   cli.finish();
 

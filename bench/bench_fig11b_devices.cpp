@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   config.figure_id = "fig11b";
   config.x_label = "devices(x)";
   config.reps = bench::resolve_reps(cli);
+  config.threads = bench::resolve_threads(cli);
   config.csv = cli.has("csv");
   const int max_mult = cli.get_or("max-mult", 8);
   cli.finish();

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   config.figure_id = "fig11d";
   config.x_label = "angle_o(x)";
   config.reps = bench::resolve_reps(cli);
+  config.threads = bench::resolve_threads(cli);
   config.csv = cli.has("csv");
   cli.finish();
 

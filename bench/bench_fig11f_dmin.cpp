@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   config.figure_id = "fig11f";
   config.x_label = "d_min(x)";
   config.reps = bench::resolve_reps(cli);
+  config.threads = bench::resolve_threads(cli);
   config.csv = cli.has("csv");
   cli.finish();
 

@@ -1,14 +1,34 @@
 // Micro-benchmarks (google-benchmark) for the optimization substrate:
-// objective gains, greedy variants, dominance filtering, Hungarian, LPT.
+// objective gains, greedy variants (sequential and on a thread pool),
+// dominance filtering, Hungarian, LPT.
+//
+// `--parallel-json[=PATH]` switches to a self-timed parallel-speedup run:
+// greedy selection on a large candidate set at 1/2/4/8 worker threads,
+// verified thread-count-invariant, emitted as machine-readable JSON
+// (BENCH_parallel.json). `--parallel-mult=N` scales the scenario (device
+// multiplier; the default targets >= 2000 candidates), `--parallel-reps=N`
+// sets repetitions per point (best-of).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "src/ext/hungarian.hpp"
 #include "src/model/scenario_gen.hpp"
 #include "src/opt/greedy.hpp"
 #include "src/opt/local_search.hpp"
+#include "src/opt/objective.hpp"
 #include "src/parallel/lpt.hpp"
+#include "src/parallel/thread_pool.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
 
 namespace {
 
@@ -26,6 +46,37 @@ struct Fixture {
       fx.extraction = pdcs::extract_all(fx.scenario);
       return fx;
     }();
+    return f;
+  }
+};
+
+/// Large instance for the parallel-selection benchmarks: dense topology so
+/// the greedy argmax scans thousands of candidates per round.
+model::Scenario make_big_scenario(int device_multiplier) {
+  model::GenOptions opt;
+  opt.device_multiplier = device_multiplier;
+  opt.num_obstacles = 6;
+  Rng rng(42);
+  return model::make_paper_scenario(opt, rng);
+}
+
+struct BigFixture {
+  model::Scenario scenario;
+  pdcs::ExtractionResult extraction;
+
+  explicit BigFixture(int device_multiplier)
+      : scenario(make_big_scenario(device_multiplier)) {
+    // Extraction itself on all cores — candidates are scheduling-invariant.
+    // The global dominance filter stays off: the parallel benchmarks target
+    // the argmax-bound regime, where greedy scans the raw candidate set.
+    parallel::ThreadPool pool;
+    pdcs::ExtractOptions opt;
+    opt.global_filter = false;
+    extraction = pdcs::extract_all(scenario, opt, &pool);
+  }
+
+  static const BigFixture& get() {
+    static BigFixture f(12);
     return f;
   }
 };
@@ -86,6 +137,20 @@ void BM_DominanceFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_DominanceFilter);
 
+// The parallel-speedup entry: greedy selection over the big candidate set
+// with a pool of range(0) workers. Identical output for every pool size.
+void BM_GreedyGlobalParallel(benchmark::State& state) {
+  const auto& f = BigFixture::get();
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::select_strategies(
+        f.scenario, f.extraction.candidates, opt::GreedyMode::kGlobal,
+        opt::ObjectiveKind::kUtility, &pool));
+  }
+}
+BENCHMARK(BM_GreedyGlobalParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
 void BM_Hungarian(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(7);
@@ -108,6 +173,164 @@ void BM_LptSchedule(benchmark::State& state) {
 }
 BENCHMARK(BM_LptSchedule)->Arg(64)->Arg(1024);
 
+struct SpeedupPoint {
+  int threads = 0;
+  double seconds = 0.0;
+  double simulated_speedup = 1.0;
+};
+
+/// Per-chunk durations of one full argmax sweep (the unit every greedy
+/// round hands to the pool): time each fixed grain-128 chunk of
+/// `State::best_gain` individually, best-of-`reps`. The chunking matches
+/// `opt::select_strategies` exactly, so LPT over these durations is the
+/// same simulated-machines substitution the Fig. 12 harness uses for
+/// Algorithm 5 (see DESIGN.md) — it predicts the m-worker makespan on
+/// hardware this container may not have.
+std::vector<double> argmax_chunk_durations(
+    const model::Scenario& scenario,
+    const std::vector<pdcs::Candidate>& candidates, int reps) {
+  const opt::ChargingObjective objective(scenario, candidates);
+  opt::ChargingObjective::State state(objective);
+  std::vector<std::size_t> pool_indices(candidates.size());
+  std::iota(pool_indices.begin(), pool_indices.end(), std::size_t{0});
+  const std::vector<bool> taken(candidates.size(), false);
+
+  constexpr std::size_t kGrain = 128;  // == opt::kArgmaxGrain
+  const std::size_t chunks = (candidates.size() + kGrain - 1) / kGrain;
+  std::vector<double> durations(chunks, 0.0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * kGrain;
+    const std::size_t end = std::min(candidates.size(), begin + kGrain);
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      benchmark::DoNotOptimize(
+          state.best_gain(pool_indices, begin, end, taken));
+      const double elapsed = timer.seconds();
+      if (rep == 0 || elapsed < durations[c]) durations[c] = elapsed;
+    }
+  }
+  return durations;
+}
+
+/// Times greedy selection (global argmax mode) at several pool sizes on one
+/// big instance, requiring the selections to be identical, and writes the
+/// JSON record the acceptance gate reads (BENCH_parallel.json). Records the
+/// measured wall-clock speedup (meaningful only when the host has that many
+/// cores — `cores` is in the JSON) alongside the chunk-level LPT-simulated
+/// speedup, which is hardware-independent.
+int run_parallel_speedup(const std::string& out_path, int device_multiplier,
+                         int reps) {
+  BigFixture fixture(device_multiplier);
+  const auto& candidates = fixture.extraction.candidates;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "parallel speedup: " << fixture.scenario.num_devices()
+            << " devices, " << candidates.size() << " candidates, " << cores
+            << " cores\n";
+
+  const auto chunk_durations =
+      argmax_chunk_durations(fixture.scenario, candidates, reps);
+  const double sweep_seconds =
+      std::accumulate(chunk_durations.begin(), chunk_durations.end(), 0.0);
+
+  std::vector<SpeedupPoint> points;
+  double reference_utility = 0.0;
+  bool identical = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    parallel::ThreadPool pool(static_cast<std::size_t>(threads));
+    opt::GreedyResult result;
+    double best = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Timer timer;
+      result = opt::select_strategies(fixture.scenario, candidates,
+                                      opt::GreedyMode::kGlobal,
+                                      opt::ObjectiveKind::kUtility, &pool);
+      const double elapsed = timer.seconds();
+      if (rep == 0 || elapsed < best) best = elapsed;
+    }
+    if (points.empty()) {
+      reference_utility = result.exact_utility;
+    } else if (result.exact_utility != reference_utility) {
+      identical = false;
+    }
+    const double makespan =
+        parallel::lpt_schedule(chunk_durations,
+                               static_cast<std::size_t>(threads))
+            .makespan;
+    const double simulated = makespan > 0.0 ? sweep_seconds / makespan : 1.0;
+    points.push_back({threads, best, simulated});
+    std::printf("  threads=%d  %8.2f ms  (measured %.2fx, simulated %.2fx)\n",
+                threads, best * 1e3, points.front().seconds / best,
+                simulated);
+  }
+  if (!identical) {
+    std::cerr << "ERROR: utility differs across thread counts\n";
+    return 1;
+  }
+
+  std::ofstream json(out_path);
+  if (!json.good()) {
+    std::cerr << "cannot open output file " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n  \"bench\": \"micro_opt_parallel\",\n  \"cores\": " << cores
+       << ",\n  \"devices\": " << fixture.scenario.num_devices()
+       << ",\n  \"candidates\": " << candidates.size()
+       << ",\n  \"argmax_chunks\": " << chunk_durations.size()
+       << ",\n  \"greedy_global\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json << "    {\"threads\": " << points[i].threads
+         << ", \"seconds\": " << points[i].seconds << ", \"speedup\": "
+         << points.front().seconds / points[i].seconds
+         << ", \"simulated_speedup\": " << points[i].simulated_speedup << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"utilities_identical\": true\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: plain google-benchmark unless --parallel-json is passed, in
+// which case the self-timed speedup run executes instead (gbench flag
+// parsing would reject the extra flags).
+int main(int argc, char** argv) {
+  std::string json_path;
+  int device_multiplier = 12;
+  int reps = 3;
+  bool parallel_mode = false;
+  std::vector<char*> remaining{argv, argv + argc};
+  auto consume = [&](const std::string& arg) {
+    const auto starts = [&](const std::string& p) {
+      return arg.rfind(p, 0) == 0;
+    };
+    if (arg == "--parallel-json") {
+      parallel_mode = true;
+      json_path = "BENCH_parallel.json";
+    } else if (starts("--parallel-json=")) {
+      parallel_mode = true;
+      json_path = arg.substr(std::string("--parallel-json=").size());
+    } else if (starts("--parallel-mult=")) {
+      device_multiplier = std::stoi(arg.substr(16));
+    } else if (starts("--parallel-reps=")) {
+      reps = std::stoi(arg.substr(16));
+    } else {
+      return false;
+    }
+    return true;
+  };
+  remaining.erase(std::remove_if(remaining.begin() + 1, remaining.end(),
+                                 [&](char* a) { return consume(a); }),
+                  remaining.end());
+  if (parallel_mode) {
+    return run_parallel_speedup(json_path, device_multiplier, reps);
+  }
+  int remaining_argc = static_cast<int>(remaining.size());
+  benchmark::Initialize(&remaining_argc, remaining.data());
+  if (benchmark::ReportUnrecognizedArguments(remaining_argc,
+                                             remaining.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -14,10 +14,13 @@ std::uint64_t hash_id(const std::string& s) {
   return h;
 }
 
-std::vector<baselines::AlgorithmSpec> all_algorithms() {
+std::vector<baselines::AlgorithmSpec> all_algorithms(
+    parallel::ThreadPool* pool) {
   std::vector<baselines::AlgorithmSpec> algorithms;
-  algorithms.push_back({"PDCS", [](const model::Scenario& s, Rng&) {
-                          return core::solve(s).placement;
+  algorithms.push_back({"PDCS", [pool](const model::Scenario& s, Rng&) {
+                          core::SolveOptions options;
+                          options.pool = pool;
+                          return core::solve(s, options).placement;
                         }});
   for (auto& spec : baselines::comparison_algorithms()) {
     algorithms.push_back(std::move(spec));
@@ -32,10 +35,19 @@ int resolve_reps(Cli& cli) {
   return reps;
 }
 
+int resolve_threads(Cli& cli) {
+  const int fallback = env_int_or("HIPO_THREADS", 0);
+  const int threads = cli.get_or("threads", fallback);
+  HIPO_REQUIRE(threads >= 0, "--threads must be >= 0 (0 = hardware)");
+  return threads;
+}
+
 SweepResult run_utility_sweep(const SweepConfig& config,
                               const std::vector<SweepPoint>& points,
                               std::ostream& os) {
-  auto algorithms = all_algorithms();
+  parallel::ThreadPool pool(
+      config.threads <= 0 ? 0 : static_cast<std::size_t>(config.threads));
+  auto algorithms = all_algorithms(&pool);
 
   std::vector<std::string> header{config.x_label};
   for (const auto& a : algorithms) header.push_back(a.name);

@@ -11,6 +11,7 @@
 
 #include "src/baselines/baselines.hpp"
 #include "src/model/scenario.hpp"
+#include "src/parallel/thread_pool.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
@@ -18,11 +19,18 @@
 namespace hipo::bench {
 
 /// "PDCS" (the paper's label for the HIPO algorithm in the figures) followed
-/// by the eight baselines in the paper's reporting order.
-std::vector<baselines::AlgorithmSpec> all_algorithms();
+/// by the eight baselines in the paper's reporting order. When `pool` is
+/// given, the HIPO pipeline runs on it; its output is identical for any
+/// pool size, so sweep numbers are comparable across `--threads` settings.
+std::vector<baselines::AlgorithmSpec> all_algorithms(
+    parallel::ThreadPool* pool = nullptr);
 
 /// Repetitions per sweep point: --reps flag, then HIPO_REPS env, then 8.
 int resolve_reps(Cli& cli);
+
+/// Worker threads for the solver pipeline: --threads flag, then
+/// HIPO_THREADS env, then 0 (= hardware concurrency).
+int resolve_threads(Cli& cli);
 
 struct SweepPoint {
   std::string label;                                    // x-axis value
@@ -33,6 +41,7 @@ struct SweepConfig {
   std::string figure_id;     // e.g. "fig11a" — seeds and CSV name
   std::string x_label;       // first column header
   int reps = 8;
+  int threads = 0;           // solver pool size; 0 = hardware concurrency
   bool csv = false;
   std::string csv_path;      // default: <figure_id>.csv
 };

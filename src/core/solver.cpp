@@ -10,7 +10,9 @@ SolveResult solve(const model::Scenario& scenario,
   result.extraction = pdcs::extract_all(scenario, options.extract,
                                         options.pool);
   result.greedy = opt::select_strategies(scenario, result.extraction.candidates,
-                                         options.greedy);
+                                         options.greedy,
+                                         opt::ObjectiveKind::kUtility,
+                                         options.pool);
   if (options.local_search) {
     result.greedy = opt::local_search_improve(scenario,
                                               result.extraction.candidates,

@@ -20,7 +20,10 @@ struct SolveOptions {
   /// Post-greedy matroid-exchange local search (never worse; tightens the
   /// solution toward the 1 − 1/e quality the paper mentions via [39]).
   bool local_search = false;
-  /// Optional worker pool for the distributed extraction (Algorithm 5).
+  /// Optional worker pool for the whole pipeline: distributed extraction
+  /// (Algorithm 5), per-type dominance filtering, the greedy argmax, and
+  /// the exact-utility evaluation. Output is bit-identical for any pool
+  /// size (deterministic chunked reductions), including no pool at all.
   parallel::ThreadPool* pool = nullptr;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/geometry/angles.hpp"
 #include "src/util/error.hpp"

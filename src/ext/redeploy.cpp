@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/ext/hungarian.hpp"
 #include "src/ext/matching.hpp"

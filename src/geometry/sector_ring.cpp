@@ -1,5 +1,6 @@
 #include "src/geometry/sector_ring.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/error.hpp"

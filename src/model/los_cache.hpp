@@ -26,6 +26,7 @@
 #include <unordered_map>
 
 #include "src/model/scenario.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace hipo::model {
 
@@ -48,6 +49,13 @@ class LosCache {
   /// Normalized exact-power objective, identical to
   /// Scenario::placement_utility.
   double placement_utility(std::span<const Strategy> placement);
+  /// Parallel variant: per-device contributions are computed on the pool in
+  /// fixed chunks (each chunk with its own thread-local cache — this cache
+  /// is not thread-safe) and summed in device order, so the result is
+  /// bit-identical to the sequential evaluation for any worker count. A
+  /// null/single-worker pool falls back to the sequential path.
+  double placement_utility(std::span<const Strategy> placement,
+                           parallel::ThreadPool* workers);
 
   std::size_t size() const { return cache_.size(); }
   std::size_t hits() const { return hits_; }

@@ -1,5 +1,6 @@
 #include "src/model/scenario_gen.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/geometry/angles.hpp"

@@ -1,7 +1,7 @@
 #include "src/opt/greedy.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <numeric>
 #include <queue>
 
 #include "src/model/los_cache.hpp"
@@ -25,29 +25,30 @@ PartitionMatroid placement_matroid(
 
 namespace {
 
-/// One pass of Algorithm 3's inner argmax over a candidate subset.
-/// Returns the best index by gain (ties to the lower index) or nullopt if
-/// no candidate has positive gain.
-std::optional<std::size_t> best_gain(
-    const ChargingObjective::State& state,
-    const std::vector<std::size_t>& pool,
-    const std::vector<bool>& taken) {
-  std::optional<std::size_t> best;
-  double best_gain_value = 0.0;
-  for (std::size_t i : pool) {
-    if (taken[i]) continue;
-    const double g = state.gain(i);
-    if (g > best_gain_value + 1e-15) {
-      best_gain_value = g;
-      best = i;
-    }
-  }
-  return best;
+/// Chunk size of the parallel argmax. Fixed (worker-count independent) so
+/// the chunked reduction is deterministic; small enough that a few thousand
+/// candidates split into enough chunks to balance 4–16 workers.
+constexpr std::size_t kArgmaxGrain = 128;
+
+/// One pass of Algorithm 3's inner argmax over a candidate pool: per-chunk
+/// sequential scans (State::best_gain) reduced in chunk order with the same
+/// >1e-15 tie-break, so the winner is identical for any worker count.
+BestGain best_gain(const ChargingObjective::State& state,
+                   std::span<const std::size_t> pool,
+                   const std::vector<bool>& taken,
+                   parallel::ThreadPool* workers) {
+  return parallel::chunked_reduce(
+      workers, pool.size(), BestGain{},
+      [&](std::size_t begin, std::size_t end) {
+        return state.best_gain(pool, begin, end, taken);
+      },
+      [](BestGain a, BestGain b) { return better_gain(a, b); }, kArgmaxGrain);
 }
 
 void finish(const model::Scenario& scenario,
             std::span<const pdcs::Candidate> candidates, GreedyResult& result,
-            const ChargingObjective::State& state) {
+            const ChargingObjective::State& state,
+            parallel::ThreadPool* workers) {
   result.approx_utility = state.value();
   result.placement.clear();
   result.placement.reserve(result.selected.size());
@@ -58,12 +59,13 @@ void finish(const model::Scenario& scenario,
   // traces across devices and placement slots (result identical to
   // Scenario::placement_utility).
   model::LosCache cache(scenario);
-  result.exact_utility = cache.placement_utility(result.placement);
+  result.exact_utility = cache.placement_utility(result.placement, workers);
 }
 
 GreedyResult greedy_per_type(const model::Scenario& scenario,
                              std::span<const pdcs::Candidate> candidates,
-                             ObjectiveKind kind) {
+                             ObjectiveKind kind,
+                             parallel::ThreadPool* workers) {
   const ChargingObjective objective(scenario, candidates, kind);
   ChargingObjective::State state(objective);
   GreedyResult result;
@@ -76,51 +78,53 @@ GreedyResult greedy_per_type(const model::Scenario& scenario,
     }
     const auto budget = static_cast<std::size_t>(scenario.charger_count(q));
     for (std::size_t pick = 0; pick < budget; ++pick) {
-      const auto best = best_gain(state, pool, taken);
-      if (!best) break;  // nothing left with positive gain for this type
-      taken[*best] = true;
-      state.add(*best);
-      result.selected.push_back(*best);
+      const BestGain best = best_gain(state, pool, taken, workers);
+      if (!best.found()) break;  // nothing left with positive gain
+      taken[best.index] = true;
+      state.add(best.index);
+      result.selected.push_back(best.index);
     }
   }
-  finish(scenario, candidates, result, state);
+  finish(scenario, candidates, result, state, workers);
   return result;
 }
 
 GreedyResult greedy_global(const model::Scenario& scenario,
                            std::span<const pdcs::Candidate> candidates,
-                           ObjectiveKind kind) {
+                           ObjectiveKind kind, parallel::ThreadPool* workers) {
   const ChargingObjective objective(scenario, candidates, kind);
   ChargingObjective::State state(objective);
   const PartitionMatroid matroid = placement_matroid(scenario, candidates);
   PartitionMatroid::Tracker tracker(matroid);
   GreedyResult result;
+  // `taken` also covers matroid-infeasible candidates: when a part fills
+  // up, all its remaining candidates are marked, keeping the scan filter a
+  // single flag test.
   std::vector<bool> taken(candidates.size(), false);
+  std::vector<std::size_t> all(candidates.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
 
   while (!tracker.saturated()) {
-    std::optional<std::size_t> best;
-    double best_gain_value = 0.0;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (taken[i] || !tracker.can_add(i)) continue;
-      const double g = state.gain(i);
-      if (g > best_gain_value + 1e-15) {
-        best_gain_value = g;
-        best = i;
+    const BestGain best = best_gain(state, all, taken, workers);
+    if (!best.found()) break;
+    taken[best.index] = true;
+    tracker.add(best.index);
+    state.add(best.index);
+    result.selected.push_back(best.index);
+    if (!tracker.can_add(best.index)) {  // part now full: retire its peers
+      const std::size_t part = candidates[best.index].strategy.type;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].strategy.type == part) taken[i] = true;
       }
     }
-    if (!best) break;
-    taken[*best] = true;
-    tracker.add(*best);
-    state.add(*best);
-    result.selected.push_back(*best);
   }
-  finish(scenario, candidates, result, state);
+  finish(scenario, candidates, result, state, workers);
   return result;
 }
 
 GreedyResult greedy_lazy(const model::Scenario& scenario,
                          std::span<const pdcs::Candidate> candidates,
-                         ObjectiveKind kind) {
+                         ObjectiveKind kind, parallel::ThreadPool* workers) {
   const ChargingObjective objective(scenario, candidates, kind);
   ChargingObjective::State state(objective);
   const PartitionMatroid matroid = placement_matroid(scenario, candidates);
@@ -139,10 +143,16 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
       return index > other.index;  // deterministic tie-break: lower index wins
     }
   };
+  // Initial gains are independent of each other (the state is empty), so
+  // they parallelize element-wise; the heap is then built in index order,
+  // identical to the sequential construction.
+  std::vector<double> initial(candidates.size());
+  parallel::chunked_for(workers, candidates.size(), [&](std::size_t i) {
+    initial[i] = state.gain(i);
+  });
   std::priority_queue<Entry> heap;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double g = state.gain(i);
-    if (g > 0.0) heap.push({g, i, 0});
+    if (initial[i] > 0.0) heap.push({initial[i], i, 0});
   }
 
   std::size_t round = 0;
@@ -165,7 +175,7 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
     result.selected.push_back(top.index);
     ++round;
   }
-  finish(scenario, candidates, result, state);
+  finish(scenario, candidates, result, state, workers);
   return result;
 }
 
@@ -173,14 +183,15 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
 
 GreedyResult select_strategies(const model::Scenario& scenario,
                                std::span<const pdcs::Candidate> candidates,
-                               GreedyMode mode, ObjectiveKind kind) {
+                               GreedyMode mode, ObjectiveKind kind,
+                               parallel::ThreadPool* workers) {
   switch (mode) {
     case GreedyMode::kPerType:
-      return greedy_per_type(scenario, candidates, kind);
+      return greedy_per_type(scenario, candidates, kind, workers);
     case GreedyMode::kGlobal:
-      return greedy_global(scenario, candidates, kind);
+      return greedy_global(scenario, candidates, kind, workers);
     case GreedyMode::kLazyGlobal:
-      return greedy_lazy(scenario, candidates, kind);
+      return greedy_lazy(scenario, candidates, kind, workers);
   }
   HIPO_ASSERT_MSG(false, "unknown greedy mode");
   return {};

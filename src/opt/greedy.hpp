@@ -19,6 +19,7 @@
 #include "src/model/scenario.hpp"
 #include "src/opt/matroid.hpp"
 #include "src/opt/objective.hpp"
+#include "src/parallel/thread_pool.hpp"
 #include "src/pdcs/candidate.hpp"
 
 namespace hipo::opt {
@@ -44,10 +45,14 @@ PartitionMatroid placement_matroid(const model::Scenario& scenario,
 /// Select strategies greedily. Stops early when no remaining candidate has
 /// positive gain and every budget is either filled or its part exhausted.
 /// `kind` selects the per-device transform (kLogUtility gives the
-/// proportional-fairness objective of Section 8.3).
+/// proportional-fairness objective of Section 8.3). When `workers` is
+/// given, the per-round argmax, the lazy heap build, and the exact-utility
+/// evaluation run on the pool; the chunked deterministic reduction makes
+/// the result bit-identical for any worker count (including none).
 GreedyResult select_strategies(const model::Scenario& scenario,
                                std::span<const pdcs::Candidate> candidates,
                                GreedyMode mode = GreedyMode::kPerType,
-                               ObjectiveKind kind = ObjectiveKind::kUtility);
+                               ObjectiveKind kind = ObjectiveKind::kUtility,
+                               parallel::ThreadPool* workers = nullptr);
 
 }  // namespace hipo::opt

@@ -51,6 +51,22 @@ double ChargingObjective::State::gain(std::size_t i) const {
   return delta / objective_->weight_total_;
 }
 
+BestGain ChargingObjective::State::best_gain(
+    std::span<const std::size_t> pool, std::size_t begin, std::size_t end,
+    const std::vector<bool>& taken) const {
+  BestGain best;
+  for (std::size_t k = begin; k < end; ++k) {
+    const std::size_t i = pool[k];
+    if (taken[i]) continue;
+    const double g = gain(i);
+    if (g > best.gain + 1e-15) {
+      best.gain = g;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
 void ChargingObjective::State::add(std::size_t i) {
   value_ += gain(i);
   const auto& cand = objective_->candidate(i);

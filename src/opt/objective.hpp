@@ -25,6 +25,26 @@ namespace hipo::opt {
 ///                 function of additive power.
 enum class ObjectiveKind { kUtility, kLogUtility };
 
+/// Result of an argmax scan over a candidate pool: the best positive
+/// marginal gain and the candidate index attaining it (kNone when no
+/// candidate has gain above the 1e-15 positivity threshold).
+struct BestGain {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  double gain = 0.0;
+  std::size_t index = kNone;
+
+  bool found() const { return index != kNone; }
+};
+
+/// Deterministic fold of two scan results: keep `a` unless `b` improves on
+/// it by more than 1e-15 — the same tie-break as the sequential scan, so
+/// earlier pool positions (lower candidate indices) win near-ties. Combined
+/// with fixed chunk boundaries this makes the chunked argmax reduction
+/// worker-count-invariant.
+inline BestGain better_gain(BestGain a, BestGain b) {
+  return (b.found() && b.gain > a.gain + 1e-15) ? b : a;
+}
+
 class ChargingObjective {
  public:
   /// Both references must outlive the objective.
@@ -47,6 +67,13 @@ class ChargingObjective {
     double value() const { return value_; }
     /// Marginal gain f(X ∪ {i}) − f(X); does not modify the state.
     double gain(std::size_t i) const;
+    /// Argmax scan over pool[begin, end) skipping taken candidates, with
+    /// Algorithm 3's sequential semantics: the incumbent is replaced only
+    /// when beaten by more than 1e-15, so the earliest pool position wins
+    /// near-ties and only gains above the positivity threshold qualify.
+    /// This is the per-chunk map of the parallel greedy argmax.
+    BestGain best_gain(std::span<const std::size_t> pool, std::size_t begin,
+                       std::size_t end, const std::vector<bool>& taken) const;
     /// Add candidate i to X.
     void add(std::size_t i);
     const std::vector<double>& device_power() const { return power_; }

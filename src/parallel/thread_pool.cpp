@@ -1,10 +1,24 @@
 #include "src/parallel/thread_pool.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <exception>
 
 namespace hipo::parallel {
+
+// Shared state of one parallel_for call. Helper tasks enqueued on the pool
+// hold a shared_ptr, so a helper that is only scheduled after the loop has
+// completed (or after parallel_for returned) finds `next >= n` and exits
+// without touching `fn`.
+struct ThreadPool::ForLoop {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+};
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -39,36 +53,74 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::drain(ForLoop& loop) {
+  for (;;) {
+    const std::size_t i = loop.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= loop.n) return;
+    try {
+      (*loop.fn)(i);
+    } catch (...) {
+      std::lock_guard lock(loop.error_mutex);
+      if (!loop.first_error) loop.first_error = std::current_exception();
+    }
+    if (loop.done.fetch_add(1, std::memory_order_acq_rel) + 1 == loop.n) {
+      // Lock before notifying so a waiter between predicate check and sleep
+      // cannot miss the wakeup.
+      std::lock_guard lock(loop.mutex);
+      loop.cv.notify_all();
+    }
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::future<void>> futures;
-  // One chunk-drainer per worker; the calling thread also drains so a
-  // single-worker pool still makes progress if the queue is busy.
-  futures.reserve(threads_.size());
-  for (std::size_t w = 0; w < threads_.size(); ++w) {
-    futures.push_back(submit(drain));
+  if (n == 1) {
+    fn(0);
+    return;
   }
-  drain();
-  for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  auto state = std::make_shared<ForLoop>();
+  state->fn = &fn;
+  state->n = n;
+
+  // One helper per worker (capped by the iteration count; the caller is a
+  // drainer too). Helpers are plain queue entries — no futures, so nothing
+  // blocks on a task that a busy pool never schedules.
+  const std::size_t helpers = std::min(threads_.size(), n - 1);
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t w = 0; w < helpers; ++w) {
+      queue_.emplace_back([state] { drain(*state); });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller claims iterations like any worker...
+  drain(*state);
+  // ...then, instead of sleeping while stragglers finish elsewhere, helps
+  // execute queued work (e.g. inner loops spawned by those stragglers, or
+  // unrelated submits). This is what makes nested calls deadlock-free.
+  while (state->done.load(std::memory_order_acquire) < n) {
+    if (!try_run_one()) {
+      std::unique_lock lock(state->mutex);
+      state->cv.wait(lock, [&] {
+        return state->done.load(std::memory_order_acquire) >= n;
+      });
+    }
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace hipo::parallel

@@ -1,6 +1,8 @@
 #include "src/pdcs/extract.hpp"
 
+#include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "src/util/timer.hpp"
 
@@ -32,6 +34,9 @@ ExtractionResult extract_all(const model::Scenario& scenario,
   }
 
   // Merge in device order (deterministic), then filter per charger type.
+  // Each type's dominance filter is independent, so the filters run as
+  // parallel tasks; concatenating in type order keeps the output identical
+  // to the sequential pass.
   std::vector<std::vector<Candidate>> by_type(scenario.num_charger_types());
   for (std::size_t i = 0; i < n; ++i) {
     result.raw_candidates += per_task[i].size();
@@ -39,13 +44,15 @@ ExtractionResult extract_all(const model::Scenario& scenario,
       by_type[c.strategy.type].push_back(std::move(c));
     }
   }
+  parallel::chunked_for(pool, by_type.size(), [&](std::size_t q) {
+    if (opt.global_filter) {
+      by_type[q] = filter_dominated(std::move(by_type[q]), n);
+    }
+  });
   result.per_type_counts.assign(scenario.num_charger_types(), 0);
   for (std::size_t q = 0; q < by_type.size(); ++q) {
-    auto kept = opt.global_filter
-                    ? filter_dominated(std::move(by_type[q]), n)
-                    : std::move(by_type[q]);
-    result.per_type_counts[q] = kept.size();
-    for (auto& c : kept) result.candidates.push_back(std::move(c));
+    result.per_type_counts[q] = by_type[q].size();
+    for (auto& c : by_type[q]) result.candidates.push_back(std::move(c));
   }
   return result;
 }

@@ -46,21 +46,28 @@ std::string Cli::get_or(const std::string& name, const std::string& fallback) {
 double Cli::get_or(const std::string& name, double fallback) {
   const auto v = get(name);
   if (!v) return fallback;
+  // std::stod alone accepts trailing garbage ("2000abc" → 2000); require
+  // the whole argument to be consumed so typos fail loudly.
   try {
-    return std::stod(*v);
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*v, &consumed);
+    if (consumed == v->size()) return parsed;
   } catch (const std::exception&) {
-    throw ConfigError("flag --" + name + " expects a number, got: " + *v);
   }
+  throw ConfigError("flag --" + name + " expects a number, got: '" + *v + "'");
 }
 
 int Cli::get_or(const std::string& name, int fallback) {
   const auto v = get(name);
   if (!v) return fallback;
   try {
-    return std::stoi(*v);
+    std::size_t consumed = 0;
+    const int parsed = std::stoi(*v, &consumed);
+    if (consumed == v->size()) return parsed;
   } catch (const std::exception&) {
-    throw ConfigError("flag --" + name + " expects an integer, got: " + *v);
   }
+  throw ConfigError("flag --" + name + " expects an integer, got: '" + *v +
+                    "'");
 }
 
 bool Cli::has(const std::string& name) { return get(name).has_value(); }
@@ -75,11 +82,16 @@ void Cli::finish() const {
 int env_int_or(const char* name, int fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr || *value == '\0') return fallback;
+  // Same full-consumption rule as Cli::get_or, but lenient: environment
+  // overrides fall back instead of throwing ("17abc" → fallback).
   try {
-    return std::stoi(value);
+    const std::string text(value);
+    std::size_t consumed = 0;
+    const int parsed = std::stoi(text, &consumed);
+    if (consumed == text.size()) return parsed;
   } catch (const std::exception&) {
-    return fallback;
   }
+  return fallback;
 }
 
 }  // namespace hipo

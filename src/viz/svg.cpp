@@ -1,5 +1,6 @@
 #include "src/viz/svg.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>

@@ -57,6 +57,38 @@ TEST(Cli, NonNumericValueThrows) {
   EXPECT_THROW(cli.get_or("reps", 1), ConfigError);
 }
 
+TEST(Cli, TrailingGarbageIntegerThrows) {
+  // std::stoi would silently parse this as 2000.
+  auto cli = make_cli({"--iters", "2000abc"});
+  EXPECT_THROW(cli.get_or("iters", 1), ConfigError);
+}
+
+TEST(Cli, TrailingGarbageDoubleThrows) {
+  auto cli = make_cli({"--eps", "1e3x"});
+  EXPECT_THROW(cli.get_or("eps", 1.0), ConfigError);
+}
+
+TEST(Cli, EmptyEqualsValueThrowsForNumeric) {
+  auto cli = make_cli({"--iters="});
+  EXPECT_THROW(cli.get_or("iters", 1), ConfigError);
+  auto cli2 = make_cli({"--eps="});
+  EXPECT_THROW(cli2.get_or("eps", 1.0), ConfigError);
+}
+
+TEST(Cli, EmptyEqualsValueIsEmptyString) {
+  auto cli = make_cli({"--name="});
+  EXPECT_EQ(cli.get_or("name", std::string("x")), "");
+  cli.finish();
+}
+
+TEST(Cli, FullyConsumedNumericFormsParse) {
+  auto cli = make_cli({"--iters", "-3", "--eps", "1e3", "--frac=.5"});
+  EXPECT_EQ(cli.get_or("iters", 0), -3);
+  EXPECT_DOUBLE_EQ(cli.get_or("eps", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(cli.get_or("frac", 0.0), 0.5);
+  cli.finish();
+}
+
 TEST(Cli, PositionalArgumentRejected) {
   std::vector<const char*> args{"prog", "positional"};
   EXPECT_THROW(Cli(2, args.data()), ConfigError);
@@ -82,6 +114,12 @@ TEST(EnvIntOr, ParsesValue) {
 
 TEST(EnvIntOr, GarbageFallsBack) {
   ::setenv("HIPO_TEST_ENV_VAR", "not-a-number", 1);
+  EXPECT_EQ(env_int_or("HIPO_TEST_ENV_VAR", 42), 42);
+  ::unsetenv("HIPO_TEST_ENV_VAR");
+}
+
+TEST(EnvIntOr, TrailingGarbageFallsBack) {
+  ::setenv("HIPO_TEST_ENV_VAR", "17abc", 1);
   EXPECT_EQ(env_int_or("HIPO_TEST_ENV_VAR", 42), 42);
   ::unsetenv("HIPO_TEST_ENV_VAR");
 }

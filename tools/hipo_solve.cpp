@@ -5,6 +5,8 @@
 //   hipo_solve --scenario field.hipo [--out placement.hipo] [--svg out.svg]
 //              [--algorithm hipo|gppdcs|gpad|gpar|rpad|rpar]
 //              [--grid square|triangle] [--local-search] [--seed N]
+//              [--threads N]          (0 = hardware concurrency, the default;
+//                                      output is identical for any N)
 //              [--demo paper|field]   (generate a built-in scenario instead)
 #include <iostream>
 
@@ -30,6 +32,10 @@ model::Scenario load_scenario(Cli& cli) {
 
 model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
   const std::string name = cli.get_or("algorithm", std::string("hipo"));
+  // Declared for every algorithm (so `--threads` is always accepted); only
+  // the hipo pipeline is parallel, and its output is thread-count-invariant.
+  const int threads = cli.get_or("threads", 0);
+  HIPO_REQUIRE(threads >= 0, "--threads must be >= 0 (0 = hardware)");
   const std::string grid_name = cli.get_or("grid", std::string("triangle"));
   const auto grid = grid_name == "square" ? baselines::GridKind::kSquare
                                           : baselines::GridKind::kTriangle;
@@ -39,8 +45,10 @@ model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
           0x9e3779b97f4a7c15ULL);
 
   if (name == "hipo") {
+    parallel::ThreadPool pool(static_cast<std::size_t>(threads));
     core::SolveOptions opts;
     opts.local_search = cli.has("local-search");
+    opts.pool = &pool;
     return core::solve(scenario, opts).placement;
   }
   if (name == "gppdcs") return baselines::place_gppdcs(scenario, grid, rng);
