@@ -1,0 +1,264 @@
+#include "src/fuzz/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/geometry/angles.hpp"
+#include "src/geometry/polygon.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace hipo::fuzz {
+
+using geom::kTwoPi;
+using geom::Polygon;
+using geom::Vec2;
+
+namespace {
+
+bool chance(Rng& rng, double p) { return rng.uniform() < p; }
+
+/// The exact rung expression RingLadder uses: l(k) = b((1+ε₁)^{k/2} − 1),
+/// evaluated identically so "distance exactly on a rung" really is exact.
+double rung(double b, double eps1, long long k) {
+  return b * (std::exp(0.5 * static_cast<double>(k) * std::log1p(eps1)) - 1.0);
+}
+
+/// A sector angle: mostly uniform, sometimes the degenerate extremes.
+double random_sector_angle(Rng& rng, double bias) {
+  if (chance(rng, bias)) {
+    switch (rng.below(4)) {
+      case 0: return kTwoPi;        // full circle
+      case 1: return geom::kPi;     // half plane (arc construction cutoff)
+      case 2: return 0.05;          // razor-thin sector
+      default: return geom::kPi / 2.0;
+    }
+  }
+  return rng.uniform(0.2, kTwoPi);
+}
+
+/// An orientation: mostly uniform, sometimes at the 0/2π wrap boundary.
+double random_orientation(Rng& rng, double bias) {
+  if (chance(rng, bias)) {
+    switch (rng.below(4)) {
+      case 0: return 0.0;
+      case 1: return kTwoPi;                  // norm_angle folds to 0
+      case 2: return std::nextafter(kTwoPi, 0.0);
+      default: return -kTwoPi;                // negative wrap
+    }
+  }
+  return rng.uniform(-kTwoPi, 2.0 * kTwoPi);
+}
+
+std::vector<Polygon> random_obstacles(Rng& rng, const geom::BBox& region,
+                                      int count, double bias) {
+  std::vector<Polygon> out;
+  const Vec2 extent = region.extent();
+  const auto inner_point = [&] {
+    return Vec2{rng.uniform(region.lo.x + 0.1 * extent.x,
+                            region.hi.x - 0.25 * extent.x),
+                rng.uniform(region.lo.y + 0.1 * extent.y,
+                            region.hi.y - 0.25 * extent.y)};
+  };
+  while (static_cast<int>(out.size()) < count) {
+    const Vec2 lo = inner_point();
+    const double w = rng.uniform(0.05, 0.15) * extent.x;
+    const double h = rng.uniform(0.05, 0.15) * extent.y;
+    const Vec2 hi = lo + Vec2{w, h};
+    if (chance(rng, bias) && count - static_cast<int>(out.size()) >= 2) {
+      // Two abutting rectangles: the shared boundary is a pair of exactly
+      // collinear, exactly coincident edges — LOS along/through the seam is
+      // the classic exact-predicate trap.
+      out.push_back(geom::make_rect(lo, hi));
+      out.push_back(geom::make_rect({hi.x, lo.y}, {hi.x + w, hi.y}));
+    } else if (chance(rng, bias)) {
+      // Rectangle with a fifth vertex planted mid-edge: two adjacent
+      // collinear edges.
+      out.push_back(Polygon({lo,
+                             {lo.x + 0.5 * w, lo.y},  // collinear with both
+                             {hi.x, lo.y},
+                             hi,
+                             {lo.x, hi.y}}));
+    } else if (chance(rng, 0.5)) {
+      out.push_back(geom::make_rect(lo, hi));
+    } else {
+      const int sides = 3 + static_cast<int>(rng.below(4));
+      out.push_back(geom::make_regular_polygon(
+          lo + 0.5 * Vec2{w, h}, 0.5 * std::min(w, h), sides, rng.angle()));
+    }
+  }
+  out.resize(static_cast<std::size_t>(count));
+  return out;
+}
+
+/// True iff p is a usable device position: inside the region and not in the
+/// interior of any obstacle (Scenario's own constraint).
+bool device_position_ok(const model::Scenario::Config& cfg, Vec2 p) {
+  if (!cfg.region.contains(p, geom::kEps)) return false;
+  for (const auto& h : cfg.obstacles) {
+    if (h.contains_interior(p)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+model::Scenario::Config random_config(std::uint64_t seed,
+                                      const GeneratorOptions& opt) {
+  Rng rng(seed);
+  const double bias = opt.adversarial_bias;
+  model::Scenario::Config cfg;
+
+  const double side = rng.uniform(10.0, 40.0);
+  cfg.region.lo = {0.0, 0.0};
+  cfg.region.hi = {side, rng.uniform(0.5 * side, side)};
+
+  cfg.eps1 = chance(rng, 0.5) ? 0.3 / 0.7 : rng.uniform(0.05, 1.2);
+
+  const int nq =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+              std::max(1, opt.max_charger_types))));
+  const int nt =
+      1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+              std::max(1, opt.max_device_types))));
+
+  for (int t = 0; t < nt; ++t) {
+    cfg.device_types.push_back({random_sector_angle(rng, bias)});
+  }
+
+  for (int q = 0; q < nq; ++q) {
+    model::ChargerType ct;
+    ct.angle = random_sector_angle(rng, bias);
+
+    if (chance(rng, 0.35 * bias)) {
+      // Piecewise-adversarial type: a centimeter-scale ladder (small
+      // absolute b) whose d_min/d_max sit within 1e-12 of an exact rung.
+      // At this scale a misassigned boundary ring inflates the Lemma 4.1
+      // ratio by ~2δ/(l(k)+b) ≳ 2e-11 — above honest rounding, so the
+      // piecewise oracle can tell a real off-by-one from float noise.
+      const double a = rng.uniform(0.5, 3.0);
+      const double b = rng.uniform(0.01, 0.025);
+      for (int t = 0; t < nt; ++t) cfg.pair_params.push_back({a, b});
+      const long long big_k = 2 + static_cast<long long>(rng.below(2));
+      ct.d_max = rung(b, cfg.eps1, big_k);
+      switch (rng.below(3)) {
+        case 0: break;                  // exactly on the rung
+        case 1: ct.d_max += 8e-13; break;  // just above
+        default: ct.d_max -= 8e-13; break; // just below
+      }
+      switch (rng.below(3)) {
+        case 0: ct.d_min = 0.0; break;
+        case 1: ct.d_min = rung(b, cfg.eps1, 1); break;
+        default: ct.d_min = rung(b, cfg.eps1, 1) - 8e-13; break;
+      }
+      cfg.charger_types.push_back(ct);
+      cfg.charger_counts.push_back(static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(opt.max_chargers_per_type) + 1)));
+      continue;
+    }
+
+    ct.d_max = rng.uniform(4.0, 0.45 * side);
+    // One power-model row per charger type; a shared b so that rung-exact
+    // distances below can be computed against a single ladder geometry.
+    const double a = rng.uniform(50.0, 300.0);
+    const double b = rng.uniform(0.2, 1.0) * a;
+    for (int t = 0; t < nt; ++t) cfg.pair_params.push_back({a, b});
+
+    if (chance(rng, bias)) {
+      // d_min exactly on a ladder rung l(k) — the Lemma 4.1 ladder's k₀
+      // boundary case. Pick the first rung below ~0.6·d_max.
+      long long k = 1;
+      while (rung(b, cfg.eps1, k + 1) < 0.6 * ct.d_max) ++k;
+      ct.d_min = rung(b, cfg.eps1, k);
+      if (ct.d_min >= ct.d_max || ct.d_min <= 0.0) {
+        ct.d_min = rng.uniform(0.0, 0.6 * ct.d_max);
+      }
+    } else if (chance(rng, bias)) {
+      ct.d_min = 0.0;  // degenerate: charging starts at the apex
+    } else {
+      ct.d_min = rng.uniform(0.0, 0.6 * ct.d_max);
+    }
+    cfg.charger_types.push_back(ct);
+    cfg.charger_counts.push_back(static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(opt.max_chargers_per_type) + 1)));
+  }
+  // At least one charger somewhere, or every oracle is vacuous.
+  if (std::all_of(cfg.charger_counts.begin(), cfg.charger_counts.end(),
+                  [](int c) { return c == 0; })) {
+    cfg.charger_counts[rng.below(static_cast<std::uint64_t>(nq))] = 1;
+  }
+
+  const int n_obstacles =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(
+          std::max(0, opt.max_obstacles)) + 1));
+  cfg.obstacles = random_obstacles(rng, cfg.region, n_obstacles, bias);
+
+  const int n_devices = 1 + static_cast<int>(rng.below(
+                                static_cast<std::uint64_t>(
+                                    std::max(1, opt.max_devices))));
+  for (int i = 0; i < n_devices; ++i) {
+    model::Device dev;
+    dev.type = rng.below(static_cast<std::uint64_t>(nt));
+    dev.p_th = rng.uniform(0.0005, 0.1);
+    dev.orientation = random_orientation(rng, bias);
+
+    Vec2 pos;
+    bool placed = false;
+    if (chance(rng, bias) && !cfg.devices.empty()) {
+      // Exactly on a ring radius of an existing device: distance d_min,
+      // d_max, or an interior rung l(k) of a random charger type.
+      const auto& anchor =
+          cfg.devices[rng.below(cfg.devices.size())];
+      const std::size_t q = rng.below(static_cast<std::uint64_t>(nq));
+      const auto& ct = cfg.charger_types[q];
+      const double b = cfg.pair_params[q * static_cast<std::size_t>(nt)].b;
+      double d;
+      switch (rng.below(3)) {
+        case 0: d = ct.d_min; break;
+        case 1: d = ct.d_max; break;
+        default: {
+          long long k = 1;
+          while (rung(b, cfg.eps1, k) < ct.d_min) ++k;
+          d = rung(b, cfg.eps1, k);
+          break;
+        }
+      }
+      if (d > geom::kEps) {
+        pos = anchor.pos + geom::unit_vector(rng.angle()) * d;
+        placed = device_position_ok(cfg, pos);
+      }
+    } else if (chance(rng, bias) && !cfg.obstacles.empty()) {
+      // Exactly on an obstacle vertex or edge midpoint (boundary positions
+      // are legal for devices; only interiors are excluded).
+      const auto& h = cfg.obstacles[rng.below(cfg.obstacles.size())];
+      const std::size_t e = rng.below(h.size());
+      pos = chance(rng, 0.5) ? h.vertices()[e] : h.edge(e).point_at(0.5);
+      placed = device_position_ok(cfg, pos);
+    }
+    for (int attempt = 0; !placed && attempt < 1000; ++attempt) {
+      pos = {rng.uniform(cfg.region.lo.x, cfg.region.hi.x),
+             rng.uniform(cfg.region.lo.y, cfg.region.hi.y)};
+      placed = device_position_ok(cfg, pos);
+    }
+    HIPO_ASSERT_MSG(placed, "fuzz generator could not place a device");
+    dev.pos = pos;
+    // Often aim the receiver at a neighbor so coverage is actually possible.
+    if (chance(rng, 0.7) && !cfg.devices.empty()) {
+      const auto& other = cfg.devices[rng.below(cfg.devices.size())];
+      if (geom::distance(other.pos, dev.pos) > geom::kEps) {
+        dev.orientation = (other.pos - dev.pos).angle();
+      }
+    }
+    cfg.devices.push_back(dev);
+  }
+
+  // Occasionally co-locate the last two devices exactly (duplicate
+  // positions stress the pair constructions and the point-case sweep).
+  if (chance(rng, 0.2 * bias) && cfg.devices.size() >= 2) {
+    cfg.devices.back().pos = cfg.devices[cfg.devices.size() - 2].pos;
+  }
+
+  return cfg;
+}
+
+}  // namespace hipo::fuzz

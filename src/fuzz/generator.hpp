@@ -1,0 +1,37 @@
+// Seeded random-scenario generation for the differential fuzz harness.
+//
+// Instances are deliberately tiny — the oracles include exhaustive search
+// and Monte-Carlo membership sampling — and deliberately nasty: alongside
+// uniform sampling, the generator plants the degenerate configurations that
+// hand-picked tests never reach:
+//   * devices at exact ring-radius distances l(k) (and exactly d_min/d_max)
+//     from a neighbor, so ring-index boundaries are exercised;
+//   * orientations at the 0/2π wrap and sector angles of exactly 2π;
+//   * collinear obstacle edges (abutting rectangles, a vertex planted in
+//     the middle of a straight edge);
+//   * devices sitting exactly on obstacle vertices and edge midpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::fuzz {
+
+struct GeneratorOptions {
+  int max_charger_types = 2;
+  int max_device_types = 2;
+  int max_devices = 6;
+  int max_obstacles = 3;
+  int max_chargers_per_type = 2;
+  /// Probability of each adversarial (degenerate-placement) mutation.
+  double adversarial_bias = 0.5;
+};
+
+/// Deterministic function of (seed, opt): the same seed always yields the
+/// same instance, so every fuzz failure is replayable from its seed alone.
+/// The returned config always constructs a valid Scenario.
+model::Scenario::Config random_config(std::uint64_t seed,
+                                      const GeneratorOptions& opt = {});
+
+}  // namespace hipo::fuzz

@@ -1,0 +1,83 @@
+// Differential and invariant oracles for the geometry → PDCS → greedy
+// pipeline.
+//
+// Each oracle replays part of the pipeline against an independent reference
+// implementation (brute-force obstacle scans, from-scratch Eq. (1)
+// membership, Monte-Carlo sector sampling) or against a machine-checkable
+// bound from the paper (Lemma 4.1's pointwise ratio, the matroid-greedy
+// approximation factors), and reports the first violated invariant with
+// enough detail to reproduce it. Probes are drawn deterministically from
+// the given seed, so (scenario, seed) fully determines the verdict.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "src/model/scenario.hpp"
+
+namespace hipo::fuzz {
+
+struct Violation {
+  std::string oracle;  ///< machine-readable oracle name
+  std::string detail;  ///< human-readable description with reproduce data
+};
+
+using Oracle = std::optional<Violation> (*)(const model::Scenario&,
+                                            std::uint64_t);
+
+struct NamedOracle {
+  const char* name;
+  Oracle fn;
+};
+
+/// The five oracles, in fixed execution order.
+std::span<const NamedOracle> all_oracles();
+
+/// (1) SegmentIndex line-of-sight / containment vs. the brute-force
+/// O(polygons·edges) scan, on random, device-anchored, and
+/// obstacle-vertex-anchored probe segments. Must match bit-for-bit.
+std::optional<Violation> check_line_of_sight(const model::Scenario& scenario,
+                                             std::uint64_t seed);
+
+/// (2) Coverage sets: SectorRing membership vs. Monte-Carlo reference
+/// membership, point-case candidate soundness (claimed covered devices
+/// really receive their claimed power), and sweep completeness (the covered
+/// set of any probed orientation is dominated by some candidate).
+std::optional<Violation> check_coverage(const model::Scenario& scenario,
+                                        std::uint64_t seed);
+
+/// (3) Lemma 4.1: P(d)/P̃(d) ∈ [1, 1+ε₁] pointwise on [d_min, d_max] for
+/// every ladder, probing exact rung radii and their float neighbors;
+/// ladder structure (sorted rungs, no index gaps, monotone powers).
+std::optional<Violation> check_piecewise(const model::Scenario& scenario,
+                                         std::uint64_t seed);
+
+/// (4) Greedy vs. exhaustive on tiny instances: the ½ matroid bound (and
+/// 1−1/e with a single charger type, plus the (1−1/e)/(1+ε₁) end-to-end
+/// chain on exact utilities), lazy ≡ eager, and placement validity.
+/// Skips (returns nullopt) when the instance is too large to brute-force.
+std::optional<Violation> check_greedy_bound(const model::Scenario& scenario,
+                                            std::uint64_t seed);
+
+/// (5) Full-pipeline determinism: solve with no pool, 1 worker, and 3
+/// workers must produce bit-identical placements and utilities.
+std::optional<Violation> check_determinism(const model::Scenario& scenario,
+                                           std::uint64_t seed);
+
+/// Run one oracle, converting any exception that escapes the pipeline (an
+/// InvariantError from a tripped internal assertion, a std::logic_error, a
+/// crash-adjacent throw) into a Violation — a fuzz input that makes the
+/// library throw unexpectedly is a finding, not a harness failure, and this
+/// is what lets the shrinker minimize crashing inputs too.
+std::optional<Violation> run_oracle(const NamedOracle& oracle,
+                                    const model::Scenario& scenario,
+                                    std::uint64_t seed);
+
+/// Run every oracle in order; first violation wins.
+std::optional<Violation> run_all(const model::Scenario& scenario,
+                                 std::uint64_t seed);
+
+}  // namespace hipo::fuzz

@@ -1,0 +1,125 @@
+#include "src/fuzz/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace hipo::fuzz {
+
+namespace {
+
+/// Violation with the same oracle as `want`, or nullopt. Construction
+/// failures (a mutation can orphan a device type or empty the charger
+/// table) count as non-reproducing.
+std::optional<Violation> reproduces(const model::Scenario::Config& cfg,
+                                    const ConfigOracle& oracle,
+                                    const std::string& want) {
+  try {
+    model::Scenario scenario(cfg);
+    auto v = oracle(scenario);
+    if (v && v->oracle == want) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+model::Scenario::Config drop_obstacle(model::Scenario::Config cfg,
+                                      std::size_t i) {
+  cfg.obstacles.erase(cfg.obstacles.begin() + static_cast<std::ptrdiff_t>(i));
+  return cfg;
+}
+
+model::Scenario::Config drop_device(model::Scenario::Config cfg,
+                                    std::size_t i) {
+  cfg.devices.erase(cfg.devices.begin() + static_cast<std::ptrdiff_t>(i));
+  return cfg;
+}
+
+/// Remove charger type q: its row of pair_params and its budget entry go
+/// with it, and device indices are unaffected.
+model::Scenario::Config drop_charger_type(model::Scenario::Config cfg,
+                                          std::size_t q) {
+  const std::size_t nt = cfg.device_types.size();
+  cfg.charger_types.erase(cfg.charger_types.begin() +
+                          static_cast<std::ptrdiff_t>(q));
+  cfg.charger_counts.erase(cfg.charger_counts.begin() +
+                           static_cast<std::ptrdiff_t>(q));
+  cfg.pair_params.erase(
+      cfg.pair_params.begin() + static_cast<std::ptrdiff_t>(q * nt),
+      cfg.pair_params.begin() + static_cast<std::ptrdiff_t>((q + 1) * nt));
+  return cfg;
+}
+
+}  // namespace
+
+ShrinkResult shrink(model::Scenario::Config config,
+                    const ConfigOracle& oracle) {
+  ShrinkResult out;
+  {
+    model::Scenario scenario(config);
+    auto v = oracle(scenario);
+    HIPO_REQUIRE(v.has_value(),
+                 "shrink() called with a config that triggers no violation");
+    out.violation = *std::move(v);
+  }
+  const std::string want = out.violation.oracle;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.rounds;
+
+    for (std::size_t i = 0; i < config.obstacles.size();) {
+      if (auto v = reproduces(drop_obstacle(config, i), oracle, want)) {
+        config = drop_obstacle(std::move(config), i);
+        out.violation = *std::move(v);
+        ++out.removed;
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t i = 0; i < config.devices.size();) {
+      if (auto v = reproduces(drop_device(config, i), oracle, want)) {
+        config = drop_device(std::move(config), i);
+        out.violation = *std::move(v);
+        ++out.removed;
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    for (std::size_t q = 0; q < config.charger_types.size();) {
+      if (auto v = reproduces(drop_charger_type(config, q), oracle, want)) {
+        config = drop_charger_type(std::move(config), q);
+        out.violation = *std::move(v);
+        ++out.removed;
+        changed = true;
+      } else {
+        ++q;
+      }
+    }
+    // Budget reduction: fewer chargers of a type (down to 0 — the type
+    // itself may still matter for extraction even with no budget).
+    for (std::size_t q = 0; q < config.charger_counts.size(); ++q) {
+      while (config.charger_counts[q] > 0) {
+        auto trial = config;
+        --trial.charger_counts[q];
+        if (auto v = reproduces(trial, oracle, want)) {
+          config = std::move(trial);
+          out.violation = *std::move(v);
+          ++out.removed;
+          changed = true;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+
+  out.config = std::move(config);
+  return out;
+}
+
+}  // namespace hipo::fuzz

@@ -1,0 +1,37 @@
+// Greedy test-case shrinking (QuickCheck style) for fuzz violations.
+//
+// Given a scenario config that triggers an oracle violation, repeatedly try
+// dropping whole components — obstacles, devices, charger types, charger
+// budget — keeping each removal only while the *same* oracle still fires.
+// The fixed point is a locally minimal reproducer: removing any single
+// remaining component makes the violation disappear, which is what makes
+// the pinned corpus cases readable as regression tests.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "src/fuzz/oracles.hpp"
+#include "src/model/scenario.hpp"
+
+namespace hipo::fuzz {
+
+/// Verdict on a rebuilt scenario; nullopt means "no violation here".
+using ConfigOracle =
+    std::function<std::optional<Violation>(const model::Scenario&)>;
+
+struct ShrinkResult {
+  model::Scenario::Config config;  ///< locally minimal reproducer
+  Violation violation;             ///< the violation it still triggers
+  int rounds = 0;                  ///< full passes until fixed point
+  int removed = 0;                 ///< components dropped in total
+};
+
+/// Shrink `config` against `oracle`. `oracle` must report a violation on the
+/// initial config (checked); only mutations that keep a violation with the
+/// same oracle name are accepted, so shrinking cannot wander to a different
+/// bug. Configs whose Scenario construction throws are treated as
+/// non-reproducing. Deterministic: mutation order is fixed.
+ShrinkResult shrink(model::Scenario::Config config, const ConfigOracle& oracle);
+
+}  // namespace hipo::fuzz

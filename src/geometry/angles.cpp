@@ -42,8 +42,13 @@ double AngleInterval::mid() const { return norm_angle(start + width / 2.0); }
 
 bool AngleInterval::contains(double angle, double eps) const {
   if (is_full()) return true;
-  return ccw_delta(start, norm_angle(angle)) <= width + eps ||
-         ccw_delta(start, norm_angle(angle)) >= kTwoPi - eps;
+  // One ccw_delta evaluation; a delta within eps *below* start (i.e. near
+  // 2π) folds to a small negative so both boundaries share one tolerance.
+  // With the default eps this makes contains(end()) true even when the
+  // normalization of end() rounds the delta a few ulp past width.
+  double d = ccw_delta(start, angle);
+  if (d >= kTwoPi - eps) d -= kTwoPi;
+  return d <= width + eps;
 }
 
 namespace {
@@ -74,7 +79,7 @@ std::vector<Seg> merge_linear(std::vector<Seg> segs) {
   std::sort(segs.begin(), segs.end());
   std::vector<Seg> out;
   for (const auto& s : segs) {
-    if (!out.empty() && s.first <= out.back().second + 1e-15) {
+    if (!out.empty() && s.first <= out.back().second + kAngleEps) {
       out.back().second = std::max(out.back().second, s.second);
     } else {
       out.push_back(s);
@@ -124,10 +129,10 @@ void AngleIntervalSet::canonicalize() {
   intervals_.clear();
   if (segs.empty()) return;
   // Re-join a wrap: segment ending at 2π glued to segment starting at 0.
-  const bool wraps = segs.size() >= 2 && segs.front().first <= 1e-15 &&
-                     segs.back().second >= kTwoPi - 1e-15;
-  if (segs.size() == 1 && segs[0].first <= 1e-15 &&
-      segs[0].second >= kTwoPi - 1e-15) {
+  const bool wraps = segs.size() >= 2 && segs.front().first <= kAngleEps &&
+                     segs.back().second >= kTwoPi - kAngleEps;
+  if (segs.size() == 1 && segs[0].first <= kAngleEps &&
+      segs[0].second >= kTwoPi - kAngleEps) {
     intervals_.push_back(AngleInterval::full());
     return;
   }

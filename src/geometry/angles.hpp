@@ -14,6 +14,13 @@ namespace hipo::geom {
 inline constexpr double kPi = std::numbers::pi;
 inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
+/// Shared tolerance of the angle-interval algebra: membership tests, the
+/// linear-segment merge glue, and the wrap re-join all use this one value,
+/// so `contains(end())` holds and set operations agree with per-interval
+/// membership at wrap points. ~4500 ulp at 2π — far above the rounding of
+/// norm_angle/ccw_delta (a few ulp), far below any geometric feature.
+inline constexpr double kAngleEps = 1e-12;
+
 /// Normalize to [0, 2π).
 double norm_angle(double a);
 
@@ -42,7 +49,7 @@ struct AngleInterval {
   double end() const;  // normalized end angle
   double mid() const;  // normalized midpoint
 
-  bool contains(double angle, double eps = 0.0) const;
+  bool contains(double angle, double eps = kAngleEps) const;
 };
 
 /// A set of disjoint angular intervals (canonical form: sorted by start,
@@ -58,7 +65,7 @@ class AngleIntervalSet {
     insert(AngleInterval::from_to(a, b));
   }
 
-  bool contains(double angle, double eps = 0.0) const;
+  bool contains(double angle, double eps = kAngleEps) const;
   bool empty() const { return intervals_.empty(); }
   bool is_full() const;
   /// Total angular measure, in [0, 2π].

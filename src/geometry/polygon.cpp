@@ -66,6 +66,31 @@ bool Polygon::is_convex(double eps) const {
   return true;
 }
 
+bool Polygon::is_simple(double eps) const {
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (distance(vertices_[i], vertices_[(i + 1) % n]) <= eps) {
+      return false;  // degenerate (zero-length) edge
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Segment ei = edge(i);
+    // Consecutive edges share vertex i+1 by construction; they must not
+    // overlap beyond it (collinear backtrack / spike).
+    const std::size_t j_next = (i + 1) % n;
+    const Segment en = edge(j_next);
+    if (on_segment(en.b, ei, eps) || on_segment(ei.a, en, eps)) return false;
+    // Non-adjacent pairs must be disjoint entirely. j runs over edges after
+    // i, skipping i+1 (handled above) and, when i == 0, the wrap-neighbor
+    // n-1 (it shares vertex 0 and was handled as the pair (n-1, 0)).
+    for (std::size_t j = i + 2; j < n; ++j) {
+      if (i == 0 && j == n - 1) continue;
+      if (segments_intersect(ei, edge(j), eps)) return false;
+    }
+  }
+  return true;
+}
+
 bool Polygon::on_boundary(Vec2 p, double eps) const {
   for (std::size_t i = 0; i < vertices_.size(); ++i) {
     if (on_segment(p, edge(i), eps)) return true;

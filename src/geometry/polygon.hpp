@@ -44,6 +44,13 @@ class Polygon {
   const BBox& bbox() const { return bbox_; }
   bool is_convex(double eps = kEps) const;
 
+  /// True iff the boundary does not self-intersect: no two non-adjacent
+  /// edges touch, and no pair of consecutive edges folds back onto itself
+  /// (a collinear spike). Duplicate consecutive vertices also fail. The
+  /// pipeline's blockage predicates assume simple obstacle boundaries, so
+  /// input validation rejects polygons where this is false.
+  bool is_simple(double eps = kEps) const;
+
   /// Strictly inside (boundary excluded, within eps).
   bool contains_interior(Vec2 p, double eps = kEps) const;
   /// Inside or on boundary.

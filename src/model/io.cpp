@@ -1,9 +1,11 @@
 #include "src/model/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "src/geometry/angles.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::model {
@@ -46,6 +48,22 @@ T expect(std::istringstream& in, std::size_t line, const char* what) {
   T value;
   if (!(in >> value)) fail(line, std::string("expected ") + what);
   return value;
+}
+
+/// Like expect<double> but additionally rejects NaN and ±inf: every double
+/// field of the format is a coordinate, angle, or physical constant, and a
+/// non-finite value silently corrupts every geometric predicate downstream.
+double expect_finite(std::istringstream& in, std::size_t line,
+                     const char* what) {
+  const double value = expect<double>(in, line, what);
+  if (!std::isfinite(value)) {
+    fail(line, std::string(what) + " must be finite (got non-finite value)");
+  }
+  return value;
+}
+
+void require(bool ok, std::size_t line, const std::string& what) {
+  if (!ok) fail(line, what);
 }
 
 }  // namespace
@@ -105,47 +123,74 @@ Scenario read_scenario(std::istream& is) {
     in >> skip;
     const std::size_t line = reader.line_no();
     if (keyword == "region") {
-      cfg.region.lo.x = expect<double>(in, line, "lo.x");
-      cfg.region.lo.y = expect<double>(in, line, "lo.y");
-      cfg.region.hi.x = expect<double>(in, line, "hi.x");
-      cfg.region.hi.y = expect<double>(in, line, "hi.y");
+      cfg.region.lo.x = expect_finite(in, line, "lo.x");
+      cfg.region.lo.y = expect_finite(in, line, "lo.y");
+      cfg.region.hi.x = expect_finite(in, line, "hi.x");
+      cfg.region.hi.y = expect_finite(in, line, "hi.y");
+      require(cfg.region.hi.x > cfg.region.lo.x &&
+                  cfg.region.hi.y > cfg.region.lo.y,
+              line, "region must have hi > lo on both axes");
     } else if (keyword == "eps1") {
-      cfg.eps1 = expect<double>(in, line, "eps1 value");
+      cfg.eps1 = expect_finite(in, line, "eps1 value");
+      require(cfg.eps1 > 0.0, line, "eps1 must be positive");
     } else if (keyword == "charger_type") {
       ChargerType ct;
-      ct.angle = expect<double>(in, line, "angle");
-      ct.d_min = expect<double>(in, line, "d_min");
-      ct.d_max = expect<double>(in, line, "d_max");
-      cfg.charger_counts.push_back(expect<int>(in, line, "count"));
+      ct.angle = expect_finite(in, line, "angle");
+      ct.d_min = expect_finite(in, line, "d_min");
+      ct.d_max = expect_finite(in, line, "d_max");
+      require(ct.angle > 0.0 && ct.angle <= geom::kTwoPi, line,
+              "charger angle must be in (0, 2pi]");
+      require(ct.d_min >= 0.0, line, "charger d_min must be >= 0");
+      require(ct.d_max > ct.d_min, line,
+              "charger d_max must be greater than d_min");
+      const int count = expect<int>(in, line, "count");
+      require(count >= 0, line, "charger count must be >= 0");
+      cfg.charger_counts.push_back(count);
       cfg.charger_types.push_back(ct);
     } else if (keyword == "device_type") {
-      cfg.device_types.push_back({expect<double>(in, line, "angle")});
+      const double angle = expect_finite(in, line, "angle");
+      require(angle > 0.0 && angle <= geom::kTwoPi, line,
+              "device receiving angle must be in (0, 2pi]");
+      cfg.device_types.push_back({angle});
     } else if (keyword == "pair") {
       PairEntry e;
       e.q = expect<std::size_t>(in, line, "charger type index");
       e.t = expect<std::size_t>(in, line, "device type index");
-      e.pp.a = expect<double>(in, line, "a");
-      e.pp.b = expect<double>(in, line, "b");
+      e.pp.a = expect_finite(in, line, "a");
+      e.pp.b = expect_finite(in, line, "b");
+      require(e.pp.a > 0.0 && e.pp.b > 0.0, line,
+              "pair power constants a, b must be positive");
       pairs.push_back(e);
     } else if (keyword == "obstacle") {
       const auto n = expect<std::size_t>(in, line, "vertex count");
       if (n < 3) fail(line, "obstacle needs >= 3 vertices");
       std::vector<geom::Vec2> verts;
       for (std::size_t i = 0; i < n; ++i) {
-        const double x = expect<double>(in, line, "vertex x");
-        const double y = expect<double>(in, line, "vertex y");
+        const double x = expect_finite(in, line, "vertex x");
+        const double y = expect_finite(in, line, "vertex y");
         verts.push_back({x, y});
       }
-      cfg.obstacles.emplace_back(std::move(verts));
+      try {
+        cfg.obstacles.emplace_back(std::move(verts));
+      } catch (const ConfigError& e) {
+        fail(line, std::string("invalid obstacle polygon: ") + e.what());
+      }
+      require(cfg.obstacles.back().is_simple(), line,
+              "obstacle polygon must be simple (no self-intersections)");
     } else if (keyword == "device") {
       Device d;
-      d.pos.x = expect<double>(in, line, "x");
-      d.pos.y = expect<double>(in, line, "y");
-      d.orientation = expect<double>(in, line, "orientation");
+      d.pos.x = expect_finite(in, line, "x");
+      d.pos.y = expect_finite(in, line, "y");
+      d.orientation = expect_finite(in, line, "orientation");
       d.type = expect<std::size_t>(in, line, "type");
-      d.p_th = expect<double>(in, line, "p_th");
+      d.p_th = expect_finite(in, line, "p_th");
+      require(d.p_th > 0.0, line, "device p_th must be positive");
       double weight;
-      if (in >> weight) d.weight = weight;  // optional; defaults to 1
+      if (in >> weight) {  // optional; defaults to 1
+        require(std::isfinite(weight) && weight > 0.0, line,
+                "device weight must be positive and finite");
+        d.weight = weight;
+      }
       cfg.devices.push_back(d);
     } else {
       fail(line, "unknown keyword '" + keyword + "'");

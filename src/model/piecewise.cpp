@@ -21,17 +21,30 @@ RingLadder::RingLadder(double a, double b, double d_min, double d_max,
   const auto l = [&](long long k) {
     return b * (std::exp(0.5 * static_cast<double>(k) * log1e) - 1.0);
   };
-  const auto k0 = static_cast<long long>(
-      std::ceil(2.0 * std::log1p(d_min / b) / log1e - 1e-12));
-  const auto big_k = static_cast<long long>(
-      std::ceil(2.0 * std::log1p(d_max / b) / log1e - 1e-12));
+  // Smallest k with l(k) >= d. The log-derived estimate can land one off in
+  // either direction (its rounding is magnified by 1/log1e), so correct it
+  // by comparing the *actual* rung values — the same l(k) the ladder
+  // stores. One consistent comparison decides both endpoints: no epsilon
+  // nudges, so a boundary exactly on a rung (or within a few ulp of one)
+  // can never gain or lose a ring and break the Lemma 4.1 ratio bound.
+  const auto first_rung_at_or_above = [&](double d) {
+    auto k = static_cast<long long>(
+        std::ceil(2.0 * std::log1p(d / b) / log1e));
+    if (k < 0) k = 0;
+    while (l(k) < d) ++k;
+    while (k > 0 && l(k - 1) >= d) --k;
+    return k;
+  };
+  const long long k0 = first_rung_at_or_above(d_min);
+  const long long big_k = first_rung_at_or_above(d_max);
   HIPO_ASSERT(big_k >= k0);
 
+  // Interior rungs: strictly between the boundaries. l(k0) == d_min is the
+  // first ring's *inner* edge, not an outer radius; l(big_k) >= d_max is
+  // superseded by the exact d_max rung pushed below.
   for (long long k = k0; k < big_k; ++k) {
     const double radius = l(k);
-    if (radius > d_min_ + 1e-12 && radius < d_max_ - 1e-12) {
-      outer_.push_back(radius);
-    }
+    if (radius > d_min_ && radius < d_max_) outer_.push_back(radius);
   }
   outer_.push_back(d_max_);
   powers_.reserve(outer_.size());

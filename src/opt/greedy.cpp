@@ -32,7 +32,8 @@ constexpr std::size_t kArgmaxGrain = 128;
 
 /// One pass of Algorithm 3's inner argmax over a candidate pool: per-chunk
 /// sequential scans (State::best_gain) reduced in chunk order with the same
-/// >1e-15 tie-break, so the winner is identical for any worker count.
+/// exact strict comparison (ties → lower index), so the winner is identical
+/// for any worker count — and for the lazy variant's heap order.
 BestGain best_gain(const ChargingObjective::State& state,
                    std::span<const std::size_t> pool,
                    const std::vector<bool>& taken,
@@ -99,8 +100,13 @@ GreedyResult greedy_global(const model::Scenario& scenario,
   GreedyResult result;
   // `taken` also covers matroid-infeasible candidates: when a part fills
   // up, all its remaining candidates are marked, keeping the scan filter a
-  // single flag test.
+  // single flag test. Candidates of zero-budget parts are infeasible from
+  // the start — without this pre-marking the argmax could pick one and trip
+  // the tracker's capacity assertion before any retirement pass ran.
   std::vector<bool> taken(candidates.size(), false);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!tracker.can_add(i)) taken[i] = true;
+  }
   std::vector<std::size_t> all(candidates.size());
   std::iota(all.begin(), all.end(), std::size_t{0});
 
@@ -152,7 +158,7 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
   });
   std::priority_queue<Entry> heap;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (initial[i] > 0.0) heap.push({initial[i], i, 0});
+    if (initial[i] > kMinGain) heap.push({initial[i], i, 0});
   }
 
   std::size_t round = 0;
@@ -162,10 +168,15 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
     if (!tracker.can_add(top.index)) continue;  // part already full
     if (top.round != round) {
       const double g = state.gain(top.index);
-      if (g <= 1e-15) continue;
+      if (g <= kMinGain) continue;  // gains only shrink: drop for good
       top.gain = g;
       top.round = round;
-      if (!heap.empty() && heap.top().gain > g + 1e-15) {
+      // Demotion uses the heap's own exact ordering (Entry::operator<),
+      // not a fuzzy band: with the refreshed gain, `top` stays selected
+      // only if it would still be the heap's maximum. This is what keeps
+      // the lazy output bit-identical to the eager global scan — both
+      // pick the strictly largest gain, lower index on exact ties.
+      if (!heap.empty() && top < heap.top()) {
         heap.push(top);
         continue;
       }

@@ -59,7 +59,8 @@ BestGain ChargingObjective::State::best_gain(
     const std::size_t i = pool[k];
     if (taken[i]) continue;
     const double g = gain(i);
-    if (g > best.gain + 1e-15) {
+    if (g <= kMinGain) continue;  // not worth a charger
+    if (g > best.gain) {  // strict: exact ties keep the earlier index
       best.gain = g;
       best.index = i;
     }

@@ -25,9 +25,14 @@ namespace hipo::opt {
 ///                 function of additive power.
 enum class ObjectiveKind { kUtility, kLogUtility };
 
+/// Gains at or below this threshold count as zero: no candidate is worth
+/// selecting for less, and the lazy greedy drops such entries permanently
+/// (submodularity: their gains only shrink further).
+inline constexpr double kMinGain = 1e-15;
+
 /// Result of an argmax scan over a candidate pool: the best positive
 /// marginal gain and the candidate index attaining it (kNone when no
-/// candidate has gain above the 1e-15 positivity threshold).
+/// candidate has gain above the kMinGain positivity threshold).
 struct BestGain {
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   double gain = 0.0;
@@ -36,13 +41,16 @@ struct BestGain {
   bool found() const { return index != kNone; }
 };
 
-/// Deterministic fold of two scan results: keep `a` unless `b` improves on
-/// it by more than 1e-15 — the same tie-break as the sequential scan, so
-/// earlier pool positions (lower candidate indices) win near-ties. Combined
-/// with fixed chunk boundaries this makes the chunked argmax reduction
-/// worker-count-invariant.
+/// Deterministic fold of two scan results: keep `a` unless `b` strictly
+/// improves on it. Qualifying gains are compared *exactly* — a fuzzy
+/// near-tie band here would rank candidates differently from the lazy
+/// greedy's exact heap order, breaking the lazy ≡ eager output guarantee —
+/// and exact ties go to `a`, i.e. the earlier pool position / lower
+/// candidate index, the same tie-break as the sequential scan and the lazy
+/// heap. Combined with fixed chunk boundaries this makes the chunked
+/// argmax reduction worker-count-invariant.
 inline BestGain better_gain(BestGain a, BestGain b) {
-  return (b.found() && b.gain > a.gain + 1e-15) ? b : a;
+  return (b.found() && b.gain > a.gain) ? b : a;
 }
 
 class ChargingObjective {
@@ -68,10 +76,10 @@ class ChargingObjective {
     /// Marginal gain f(X ∪ {i}) − f(X); does not modify the state.
     double gain(std::size_t i) const;
     /// Argmax scan over pool[begin, end) skipping taken candidates, with
-    /// Algorithm 3's sequential semantics: the incumbent is replaced only
-    /// when beaten by more than 1e-15, so the earliest pool position wins
-    /// near-ties and only gains above the positivity threshold qualify.
-    /// This is the per-chunk map of the parallel greedy argmax.
+    /// Algorithm 3's sequential semantics: only gains above kMinGain
+    /// qualify, the incumbent is replaced only when beaten strictly, and
+    /// exact ties keep the earliest pool position (lowest index). This is
+    /// the per-chunk map of the parallel greedy argmax.
     BestGain best_gain(std::span<const std::size_t> pool, std::size_t begin,
                        std::size_t end, const std::vector<bool>& taken) const;
     /// Add candidate i to X.

@@ -166,5 +166,43 @@ TEST_P(IntervalAlgebraTest, DeMorganAndMembership) {
 INSTANTIATE_TEST_SUITE_P(RandomSets, IntervalAlgebraTest,
                          ::testing::Range(0, 25));
 
+TEST(AngleInterval, ContainsOwnBoundaries) {
+  // Regression (found by hipo_fuzz): contains() used to apply its epsilon
+  // only on the far side of the interval, so end() — whose normalization
+  // can round the delta a few ulp past width — was sometimes reported
+  // outside its own interval. Both boundaries now share kAngleEps.
+  hipo::Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const AngleInterval iv(rng.angle(), rng.uniform(1e-6, kTwoPi));
+    EXPECT_TRUE(iv.contains(iv.start))
+        << "start=" << iv.start << " width=" << iv.width;
+    EXPECT_TRUE(iv.contains(iv.end()))
+        << "start=" << iv.start << " width=" << iv.width;
+    EXPECT_TRUE(iv.contains(iv.mid()))
+        << "start=" << iv.start << " width=" << iv.width;
+  }
+}
+
+TEST(AngleInterval, BoundaryContainmentAcrossWrap) {
+  // Interval crossing the 0/2π seam: both endpoints and angles just inside
+  // either side of the seam are members; the antipode is not.
+  const AngleInterval iv(kTwoPi - 0.25, 0.5);
+  EXPECT_TRUE(iv.contains(iv.start));
+  EXPECT_TRUE(iv.contains(iv.end()));
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(kTwoPi - 1e-15));
+  EXPECT_FALSE(iv.contains(kPi));
+}
+
+TEST(AngleIntervalSet, ContainsMemberBoundaries) {
+  AngleIntervalSet set;
+  set.insert(AngleInterval(0.3, 0.4));
+  set.insert(AngleInterval(kTwoPi - 0.2, 0.3));  // wraps through 0
+  for (const auto& iv : set.intervals()) {
+    EXPECT_TRUE(set.contains(iv.start));
+    EXPECT_TRUE(set.contains(iv.end()));
+  }
+}
+
 }  // namespace
 }  // namespace hipo::geom

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/geometry/angles.hpp"
+#include "src/pdcs/extract.hpp"
 #include "src/util/rng.hpp"
 #include "tests/test_helpers.hpp"
 
@@ -146,6 +147,61 @@ TEST(ExtractDeviceTask, RespectsIndexOrdering) {
   const auto last = extract_device_task(s, index, s.num_devices() - 1,
                                         ExtractOptions{});
   EXPECT_FALSE(last.empty());
+}
+
+TEST(CandidateGen, DminZeroColocatedChargerSemantics) {
+  // d_min = 0: the ladder starts at the apex, but a charger *exactly* on
+  // the device is defined as not covering it (coincident positions have
+  // undefined sector angles — coverage_geometry's d <= kEps guard). A
+  // charger a hair away is covered and gets the innermost ring's power.
+  auto cfg = test::simple_config();
+  cfg.charger_types[0].d_min = 0.0;
+  cfg.devices = {test::device_at(10, 10)};
+  const model::Scenario s(std::move(cfg));
+  const auto radii = ring_radii(s, 0, 0);
+  ASSERT_FALSE(radii.empty());
+  EXPECT_DOUBLE_EQ(radii.front(), 0.0);
+  const model::Strategy colocated{{10.0, 10.0}, 0.0, 0};
+  EXPECT_FALSE(s.covers(colocated, 0));
+  EXPECT_EQ(s.approx_power(colocated, 0), 0.0);
+  EXPECT_EQ(s.exact_power(colocated, 0), 0.0);
+  const model::Strategy nearby{{10.0 - 1e-3, 10.0}, 0.0, 0};
+  EXPECT_TRUE(s.covers(nearby, 0));
+  EXPECT_GT(s.approx_power(nearby, 0), 0.0);
+  EXPECT_GE(s.exact_power(nearby, 0), s.approx_power(nearby, 0));
+}
+
+TEST(CandidateGen, FullAngleChargerExtraction) {
+  // α_q = 2π (omnidirectional charger): the rotational sweep degenerates —
+  // every orientation covers the same set — and extraction must still
+  // produce candidates that cover the devices.
+  auto cfg = test::simple_config();
+  cfg.charger_types[0].angle = geom::kTwoPi;
+  cfg.devices = {test::device_at(10, 10), test::device_at(12, 10)};
+  const model::Scenario s(std::move(cfg));
+  const auto extraction = extract_all(s);
+  ASSERT_FALSE(extraction.candidates.empty());
+  bool covers_any = false;
+  for (const auto& c : extraction.candidates) {
+    EXPECT_TRUE(s.position_feasible(c.strategy.pos));
+    covers_any = covers_any || !c.covered.empty();
+  }
+  EXPECT_TRUE(covers_any);
+}
+
+TEST(CandidateGen, ChargerOnObstacleVertexInfeasiblePositionsFiltered) {
+  // Obstacle with a vertex between the devices: generated positions must
+  // all be feasible (outside obstacle interiors) even though several
+  // construction families intersect the obstacle boundary itself.
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(8, 10), test::device_at(14, 10)};
+  cfg.obstacles = {geom::make_rect({10.5, 9.0}, {11.5, 11.0})};
+  const model::Scenario s(std::move(cfg));
+  const ExtractOptions opt;
+  const auto positions = pair_candidate_positions(s, 0, 0, 1, opt);
+  for (const geom::Vec2& p : positions) {
+    EXPECT_TRUE(s.position_feasible(p)) << p;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,127 @@
+#include "src/fuzz/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/fuzz/generator.hpp"
+#include "src/fuzz/shrink.hpp"
+#include "src/model/io.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::fuzz {
+namespace {
+
+TEST(FuzzGenerator, DeterministicPerSeed) {
+  // Same seed → byte-identical scenario (the property that makes every
+  // fuzz failure replayable from its seed alone).
+  for (std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+    const model::Scenario a(random_config(seed));
+    const model::Scenario b(random_config(seed));
+    std::stringstream sa, sb;
+    model::write_scenario(sa, a);
+    model::write_scenario(sb, b);
+    EXPECT_EQ(sa.str(), sb.str()) << "seed " << seed;
+  }
+}
+
+TEST(FuzzGenerator, SeedsProduceDistinctScenarios) {
+  std::stringstream s1, s2;
+  model::write_scenario(s1, model::Scenario(random_config(1)));
+  model::write_scenario(s2, model::Scenario(random_config(2)));
+  EXPECT_NE(s1.str(), s2.str());
+}
+
+TEST(FuzzGenerator, AlwaysConstructsValidScenarios) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    EXPECT_NO_THROW(model::Scenario(random_config(seed))) << "seed " << seed;
+  }
+}
+
+TEST(FuzzOracles, AllPassOnHandBuiltScenarios) {
+  EXPECT_FALSE(run_all(test::simple_scenario(), 7).has_value());
+  EXPECT_FALSE(run_all(test::blocked_scenario(), 7).has_value());
+}
+
+TEST(FuzzOracles, AllFiveRegistered) {
+  const auto oracles = all_oracles();
+  ASSERT_EQ(oracles.size(), 5u);
+  EXPECT_STREQ(oracles[0].name, "line_of_sight");
+  EXPECT_STREQ(oracles[4].name, "determinism");
+}
+
+TEST(FuzzOracles, RunOracleConvertsEscapedExceptions) {
+  // A throwing oracle is reported as a violation, not propagated: this is
+  // what lets the shrinker minimize crashing inputs.
+  const NamedOracle thrower{"thrower", [](const model::Scenario&,
+                                          std::uint64_t)
+                                           -> std::optional<Violation> {
+                              throw std::logic_error("boom");
+                            }};
+  const auto v = run_oracle(thrower, test::simple_scenario(), 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->oracle, "thrower");
+  EXPECT_NE(v->detail.find("boom"), std::string::npos);
+}
+
+TEST(FuzzShrink, RemovesIrrelevantComponents) {
+  // Oracle that fires iff the scenario has >= 2 devices: everything else
+  // (obstacles, surplus devices) must shrink away.
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(12, 10),
+                 test::device_at(10, 13), test::device_at(5, 5)};
+  cfg.obstacles = {geom::make_rect({1, 1}, {2, 2}),
+                   geom::make_rect({17, 17}, {18, 18})};
+  const ConfigOracle oracle =
+      [](const model::Scenario& s) -> std::optional<Violation> {
+    if (s.num_devices() >= 2) return Violation{"pair", "needs two devices"};
+    return std::nullopt;
+  };
+  const auto result = shrink(cfg, oracle);
+  EXPECT_EQ(result.violation.oracle, "pair");
+  EXPECT_EQ(result.config.devices.size(), 2u);
+  EXPECT_TRUE(result.config.obstacles.empty());
+  EXPECT_GT(result.removed, 0);
+}
+
+TEST(FuzzShrink, KeepsViolationNameStable) {
+  // An oracle whose name depends on the device count: shrinking from the
+  // "three" violation must not wander to the "two" violation.
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(12, 10),
+                 test::device_at(10, 13)};
+  const ConfigOracle oracle =
+      [](const model::Scenario& s) -> std::optional<Violation> {
+    if (s.num_devices() >= 3) return Violation{"three", ""};
+    if (s.num_devices() == 2) return Violation{"two", ""};
+    return std::nullopt;
+  };
+  const auto result = shrink(cfg, oracle);
+  EXPECT_EQ(result.violation.oracle, "three");
+  EXPECT_EQ(result.config.devices.size(), 3u);
+}
+
+TEST(FuzzCorpus, AllPinnedCasesPass) {
+  // Every shrunken reproducer in tests/corpus must stay green: each pins a
+  // fixed bug (replayed with its recorded seed baked into the filename).
+  const std::filesystem::path dir = std::filesystem::path(HIPO_SOURCE_DIR) /
+                                    "tests" / "corpus";
+  ASSERT_TRUE(std::filesystem::exists(dir));
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".hipo") continue;
+    const auto scenario = model::read_scenario_file(entry.path().string());
+    const auto v = run_all(scenario, 1);
+    EXPECT_FALSE(v.has_value())
+        << entry.path().filename() << ": [" << v->oracle << "] " << v->detail;
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 4);
+}
+
+}  // namespace
+}  // namespace hipo::fuzz

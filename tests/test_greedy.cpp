@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/rng.hpp"
 #include "tests/test_helpers.hpp"
@@ -155,6 +156,77 @@ TEST(Greedy, LogUtilityKindSelectsValidPlacement) {
                                         ObjectiveKind::kLogUtility);
   s.validate_placement(result.placement);
   EXPECT_GT(result.approx_utility, 0.0);
+}
+
+TEST(Greedy, ZeroBudgetTypeNeverSelected) {
+  // Regression (found by hipo_fuzz, pinned in
+  // tests/corpus/fuzz-greedy-seed2762782085899333604.hipo): a charger type
+  // with count 0 is a zero-capacity matroid part; the global greedy used to
+  // argmax into it and trip the tracker's capacity assertion because the
+  // retire-peers pass only runs after a part *fills up*.
+  auto cfg = test::simple_config();
+  cfg.charger_types.push_back({geom::kPi, 2.0, 6.0});
+  cfg.pair_params.push_back({100.0, 40.0});
+  cfg.charger_counts = {2, 0};
+  cfg.devices = {test::device_at(10, 10), test::device_at(12, 10)};
+  const model::Scenario s(std::move(cfg));
+  hipo::Rng rng(11);
+  const auto cands = synthetic_candidates(s, rng, 40);
+  for (const auto mode : {GreedyMode::kPerType, GreedyMode::kGlobal,
+                          GreedyMode::kLazyGlobal}) {
+    const auto result = select_strategies(s, cands, mode);
+    for (std::size_t i : result.selected) {
+      EXPECT_EQ(cands[i].strategy.type, 0u);
+    }
+    s.validate_placement(result.placement);
+  }
+}
+
+TEST(Greedy, LazyMatchesGlobalOnNearTies) {
+  // Regression (found by hipo_fuzz, pinned in
+  // tests/corpus/fuzz-greedy-seed6414217550488616208.hipo): gains differing
+  // by less than the old 1e-15 near-tie band made the eager scan keep the
+  // earlier candidate while the lazy heap picked the strictly larger gain.
+  // All variants now rank by exact comparison — strictly larger gain wins,
+  // exact ties go to the lower index — so the outputs are bit-identical.
+  auto cfg = test::simple_config();
+  cfg.charger_counts = {1};
+  cfg.devices = {test::device_at(10, 10)};
+  const model::Scenario s(std::move(cfg));
+  std::vector<pdcs::Candidate> cands(2);
+  for (auto& c : cands) {
+    c.strategy = {{10.0, 12.0}, 0.0, 0};
+    c.covered = {0};
+  }
+  const double p = 0.01;
+  cands[0].powers = {p};
+  // One ulp more power: the gain difference (~3e-17 after the p_th
+  // normalization) is far below the old 1e-15 band but strictly positive.
+  cands[1].powers = {std::nextafter(p, 1.0)};
+  const auto global = select_strategies(s, cands, GreedyMode::kGlobal);
+  const auto lazy = select_strategies(s, cands, GreedyMode::kLazyGlobal);
+  ASSERT_EQ(global.selected, lazy.selected);
+  EXPECT_EQ(global.selected, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(global.approx_utility, lazy.approx_utility);
+  EXPECT_EQ(global.exact_utility, lazy.exact_utility);
+}
+
+TEST(Greedy, LazyMatchesGlobalOnExactTies) {
+  // Bit-identical candidates: exact tie, both variants must take index 0.
+  auto cfg = test::simple_config();
+  cfg.charger_counts = {1};
+  cfg.devices = {test::device_at(10, 10)};
+  const model::Scenario s(std::move(cfg));
+  std::vector<pdcs::Candidate> cands(2);
+  for (auto& c : cands) {
+    c.strategy = {{10.0, 12.0}, 0.0, 0};
+    c.covered = {0};
+    c.powers = {0.01};
+  }
+  const auto global = select_strategies(s, cands, GreedyMode::kGlobal);
+  const auto lazy = select_strategies(s, cands, GreedyMode::kLazyGlobal);
+  ASSERT_EQ(global.selected, lazy.selected);
+  EXPECT_EQ(global.selected, (std::vector<std::size_t>{0}));
 }
 
 }  // namespace

@@ -93,6 +93,136 @@ TEST(ScenarioIo, TruncatedObstacleThrows) {
   EXPECT_THROW(read_scenario(buffer), hipo::ConfigError);
 }
 
+/// Minimal valid scenario text with one line swapped in for `patch` (or
+/// appended when `patch` starts a new record). Keeps validation tests
+/// focused on the single field they corrupt.
+std::string scenario_text(const std::string& region = "region 0 0 10 10",
+                          const std::string& eps1 = "eps1 0.3",
+                          const std::string& charger =
+                              "charger_type 1.0 1.0 5.0 2",
+                          const std::string& device_type = "device_type 3.0",
+                          const std::string& pair = "pair 0 0 100 40",
+                          const std::string& extra = "") {
+  std::string text = "hipo-scenario v1\n" + region + "\n" + eps1 + "\n" +
+                     charger + "\n" + device_type + "\n" + pair + "\n";
+  if (!extra.empty()) text += extra + "\n";
+  return text;
+}
+
+void expect_rejected(const std::string& text, const std::string& needle) {
+  std::stringstream buffer(text);
+  try {
+    read_scenario(buffer);
+    FAIL() << "expected ConfigError containing '" << needle << "'";
+  } catch (const hipo::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ScenarioIoValidation, RejectsNonFiniteValues) {
+  // Whether the stream parser or the finiteness check catches them, "nan"
+  // and "inf" tokens must never produce a scenario.
+  expect_rejected(
+      scenario_text("region 0 0 10 10", "eps1 0.3",
+                    "charger_type 1.0 1.0 5.0 2", "device_type 3.0",
+                    "pair 0 0 100 40", "device nan 5 0 0 0.05"),
+      "line 7");
+  expect_rejected(scenario_text("region 0 0 inf 10"), "line 2");
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 nan"), "line 3");
+}
+
+TEST(ScenarioIoValidation, RejectsInvertedRegion) {
+  expect_rejected(scenario_text("region 10 10 0 0"), "hi > lo");
+}
+
+TEST(ScenarioIoValidation, RejectsNonPositiveEps1) {
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0"), "positive");
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 -0.3"), "positive");
+}
+
+TEST(ScenarioIoValidation, RejectsBadChargerType) {
+  // Zero sector angle.
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 0 1.0 5.0 2"),
+                  "(0, 2pi]");
+  // Angle beyond 2π.
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 7.0 1.0 5.0 2"),
+                  "(0, 2pi]");
+  // d_max <= d_min.
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 5.0 5.0 2"),
+                  "d_max");
+  // Negative d_min.
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 -1.0 5.0 2"),
+                  "d_min");
+  // Negative count.
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 1.0 5.0 -1"),
+                  "count");
+}
+
+TEST(ScenarioIoValidation, RejectsBadDeviceType) {
+  expect_rejected(
+      scenario_text("region 0 0 10 10", "eps1 0.3",
+                    "charger_type 1.0 1.0 5.0 2", "device_type 0"),
+      "(0, 2pi]");
+}
+
+TEST(ScenarioIoValidation, RejectsNonPositivePairConstants) {
+  expect_rejected(
+      scenario_text("region 0 0 10 10", "eps1 0.3",
+                    "charger_type 1.0 1.0 5.0 2", "device_type 3.0",
+                    "pair 0 0 0 40"),
+      "positive");
+  expect_rejected(
+      scenario_text("region 0 0 10 10", "eps1 0.3",
+                    "charger_type 1.0 1.0 5.0 2", "device_type 3.0",
+                    "pair 0 0 100 -40"),
+      "positive");
+}
+
+TEST(ScenarioIoValidation, RejectsBadDevice) {
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 1.0 5.0 2",
+                                "device_type 3.0", "pair 0 0 100 40",
+                                "device 5 5 0 0 0"),
+                  "p_th");
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 1.0 5.0 2",
+                                "device_type 3.0", "pair 0 0 100 40",
+                                "device 5 5 0 0 0.05 -1"),
+                  "weight");
+}
+
+TEST(ScenarioIoValidation, RejectsSelfIntersectingObstacle) {
+  // Asymmetric bowtie: nonzero area (passes the polygon constructor) but
+  // edges 0 and 2 cross, so the simplicity check must name the line.
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 1.0 5.0 2",
+                                "device_type 3.0", "pair 0 0 100 40",
+                                "obstacle 4 1 1 4 2 3 1 1 3"),
+                  "simple");
+}
+
+TEST(ScenarioIoValidation, RejectsZeroAreaObstacleWithLine) {
+  // Collapsed polygon: the constructor's area check fires; the reader must
+  // wrap it with the offending line number.
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 1.0 5.0 2",
+                                "device_type 3.0", "pair 0 0 100 40",
+                                "obstacle 3 1 1 2 2 3 3"),
+                  "line 7");
+}
+
+TEST(ScenarioIoValidation, ErrorNamesOffendingLine) {
+  expect_rejected(scenario_text("region 0 0 10 10", "eps1 0.3",
+                                "charger_type 1.0 1.0 5.0 -1"),
+                  "line 4");
+}
+
 TEST(ScenarioIo, FileRoundTrip) {
   const auto original = test::simple_scenario();
   const std::string path = testing::TempDir() + "hipo_io_test.scenario";

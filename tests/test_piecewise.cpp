@@ -116,5 +116,55 @@ TEST(RingLadder, RingCountMatchesTheory) {
   }
 }
 
+TEST(RingLadder, BoundariesExactlyOnRungsKeepRatioBound) {
+  // Regression (found by hipo_fuzz): the ring enumeration used ±1e-12
+  // nudges around the log-derived indices, so a d_min or d_max within a few
+  // ulp of a rung radius l(k) could gain or lose a ring and break the
+  // Lemma 4.1 ratio bound. With small b the relative excess 2δ/(l+b) of a
+  // misplaced boundary is large enough to observe. Boundaries exactly on
+  // l(k) and 8e-13 to either side must all keep every ring's worst-case
+  // ratio P/P̃ within 1 + ε₁.
+  const double a = 1.7, b = 0.018, eps1 = 0.3;
+  const double log1e = std::log1p(eps1);
+  const auto l = [&](long long k) {
+    return b * (std::exp(0.5 * static_cast<double>(k) * log1e) - 1.0);
+  };
+  for (const double d_min : {0.0, l(1), l(1) - 8e-13, l(1) + 8e-13}) {
+    for (const double d_max : {l(3), l(3) - 8e-13, l(3) + 8e-13}) {
+      const RingLadder lad(a, b, d_min, d_max, eps1);
+      EXPECT_DOUBLE_EQ(lad.outer_radii().back(), d_max);
+      for (std::size_t r = 0; r < lad.num_rings(); ++r) {
+        const double inner = r == 0 ? d_min : lad.outer_radii()[r - 1];
+        const double outer = lad.outer_radii()[r];
+        ASSERT_LT(inner, outer);
+        const double ratio = lad.exact_power(inner) / lad.exact_power(outer);
+        EXPECT_LE(ratio, (1.0 + eps1) * (1.0 + 1e-11))
+            << "d_min=" << d_min << " d_max=" << d_max << " ring=" << r;
+      }
+    }
+  }
+}
+
+TEST(RingLadder, RingIndexAtExactRungBoundaries) {
+  // Each outer radius belongs to its own ring (closed outer boundary), and
+  // approx_power there returns exactly that ring's stored power.
+  const RingLadder lad(100.0, 40.0, 5.0, 10.0, 0.3);
+  EXPECT_EQ(*lad.ring_index(5.0), 0u);
+  for (std::size_t r = 0; r < lad.num_rings(); ++r) {
+    const double outer = lad.outer_radii()[r];
+    const auto idx = lad.ring_index(outer);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, r);
+    EXPECT_EQ(lad.approx_power(outer), lad.ring_power(r));
+  }
+}
+
+TEST(RingLadder, DminZeroStartsAtApex) {
+  const RingLadder lad(100.0, 40.0, 0.0, 10.0, 0.3);
+  EXPECT_TRUE(lad.ring_index(0.0).has_value());
+  EXPECT_EQ(*lad.ring_index(0.0), 0u);
+  EXPECT_GT(lad.approx_power(0.0), 0.0);
+}
+
 }  // namespace
 }  // namespace hipo::model

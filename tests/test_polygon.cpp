@@ -181,5 +181,31 @@ TEST_P(BlockOracleTest, AgreesWithSamplingOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Random, BlockOracleTest, ::testing::Range(0, 10));
 
+TEST(PolygonSimple, ConvexAndConcaveAreSimple) {
+  EXPECT_TRUE(unit_square().is_simple());
+  const Polygon l_shape({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l_shape.is_simple());
+  EXPECT_TRUE(make_regular_polygon({0, 0}, 2.0, 7).is_simple());
+}
+
+TEST(PolygonSimple, RejectsBowtie) {
+  // Asymmetric bowtie (nonzero area, so the constructor accepts it): edges
+  // 0 and 2 cross in their interiors.
+  const Polygon bowtie({{0, 0}, {3, 1}, {2, 0}, {0, 2}});
+  EXPECT_FALSE(bowtie.is_simple());
+}
+
+TEST(PolygonSimple, RejectsCollinearSpike) {
+  // Edge (2,0)→(1,0) folds back along (0,0)→(2,0): consecutive edges
+  // overlap beyond their shared vertex.
+  const Polygon spike({{0, 0}, {2, 0}, {1, 0}, {1, 1}});
+  EXPECT_FALSE(spike.is_simple());
+}
+
+TEST(PolygonSimple, RejectsDuplicateVertex) {
+  const Polygon dup({{0, 0}, {1, 0}, {1, 0}, {0, 1}});
+  EXPECT_FALSE(dup.is_simple());
+}
+
 }  // namespace
 }  // namespace hipo::geom

@@ -87,5 +87,26 @@ TEST(SectorRing, ApexNotContainedUnlessZeroRMin) {
   EXPECT_FALSE(ring.contains({1, 1}));
 }
 
+TEST(SectorRing, DminZeroContainsApexForAnySectorAngle) {
+  // r_min = 0 degenerates the ring to a disk sector; the apex is a member
+  // regardless of how narrow the sector is (the angular condition is
+  // vacuous at zero distance — a co-located charger/device pair).
+  const SectorRing disk({3, 4}, 0.7, kPi / 6.0, 0.0, 2.0);
+  EXPECT_TRUE(disk.contains({3, 4}));
+  EXPECT_TRUE(disk.covering_orientations({3, 4}).is_full());
+}
+
+TEST(SectorRing, FullAngleBoundariesInclusive) {
+  // α = 2π with r_min = 0: the sector ring is a closed disk; membership
+  // must not depend on where the orientation seam lands and the outer
+  // boundary is inclusive in every direction.
+  const SectorRing disk({0, 0}, 2.5, kTwoPi, 0.0, 1.5);
+  for (double a = 0.0; a < kTwoPi; a += 0.31) {
+    EXPECT_TRUE(disk.contains(unit_vector(a) * 1.5));
+    EXPECT_TRUE(disk.contains(unit_vector(a) * 0.01));
+  }
+  EXPECT_TRUE(disk.contains({0, 0}));
+}
+
 }  // namespace
 }  // namespace hipo::geom

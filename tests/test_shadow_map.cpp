@@ -129,5 +129,24 @@ TEST_P(ShadowOracleTest, AgreesWithSegmentOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Random, ShadowOracleTest, ::testing::Range(0, 12));
 
+TEST(ShadowMap, ApexOnObstacleVertex) {
+  // Degenerate placement: the view origin sits exactly on an obstacle
+  // vertex. Rays into the square's interior are blocked; rays that merely
+  // graze the shared vertex are not (interior-blockage semantics).
+  const std::vector<Polygon> obs{make_rect({0, 0}, {1, 1})};
+  const ShadowMap sm({0, 0}, obs, 10.0);
+  EXPECT_FALSE(sm.visible({5, 5}));   // through the interior
+  EXPECT_TRUE(sm.visible({-5, -5}));  // directly away from the square
+  EXPECT_TRUE(sm.visible({-3, 4}));   // clear of the square entirely
+}
+
+TEST(ShadowMap, ApexOnObstacleEdgeMidpoint) {
+  // Sliding along the boundary does not enter the interior; crossing does.
+  const std::vector<Polygon> obs{make_rect({-1, 0}, {1, 1})};
+  const ShadowMap sm({0, 0}, obs, 10.0);
+  EXPECT_FALSE(sm.visible({0, 5}));  // straight through the square
+  EXPECT_TRUE(sm.visible({0, -5}));  // away from it
+}
+
 }  // namespace
 }  // namespace hipo::discretize
