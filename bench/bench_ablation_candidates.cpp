@@ -8,7 +8,7 @@
 #include "src/opt/greedy.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/util/stats.hpp"
-#include "src/util/timer.hpp"
+#include "src/obs/stopwatch.hpp"
 
 using namespace hipo;
 
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
       Rng rng(seed_combine(bench::hash_id("ablation_cand"),
                            static_cast<std::uint64_t>(rep)));
       const auto scenario = model::make_paper_scenario(gen, rng);
-      Timer timer;
+      obs::Stopwatch timer;
       const auto extraction = pdcs::extract_all(scenario, v.opt);
       ms.add(timer.millis());
       const auto result =

@@ -8,7 +8,7 @@
 #include "src/core/solver.hpp"
 #include "src/model/scenario_gen.hpp"
 #include "src/util/stats.hpp"
-#include "src/util/timer.hpp"
+#include "src/obs/stopwatch.hpp"
 
 using namespace hipo;
 
@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
                            static_cast<std::uint64_t>(eps * 1000),
                            static_cast<std::uint64_t>(rep)));
       const auto scenario = model::make_paper_scenario(opt, rng);
-      Timer timer;
+      obs::Stopwatch timer;
       const auto result = core::solve(scenario);
       ms.add(timer.millis());
       cands.add(static_cast<double>(result.extraction.candidates.size()));

@@ -9,7 +9,7 @@
 #include "src/opt/local_search.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/util/stats.hpp"
-#include "src/util/timer.hpp"
+#include "src/obs/stopwatch.hpp"
 
 using namespace hipo;
 
@@ -50,14 +50,14 @@ int main(int argc, char** argv) {
       const auto scenario = model::make_paper_scenario(opt, rng);
       const auto extraction = pdcs::extract_all(scenario);
       for (std::size_t m = 0; m < modes.size(); ++m) {
-        Timer timer;
+        obs::Stopwatch timer;
         const auto result = opt::select_strategies(
             scenario, extraction.candidates, modes[m].mode);
         ms[m].add(timer.millis());
         util[m].add(result.exact_utility);
       }
       {
-        Timer timer;
+        obs::Stopwatch timer;
         const auto lazy = opt::select_strategies(
             scenario, extraction.candidates, opt::GreedyMode::kLazyGlobal);
         const auto swapped = opt::local_search_improve(

@@ -9,7 +9,7 @@
 #include "src/pdcs/arrangement.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/util/stats.hpp"
-#include "src/util/timer.hpp"
+#include "src/obs/stopwatch.hpp"
 
 using namespace hipo;
 
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
                            static_cast<std::uint64_t>(rep)));
       const auto scenario = model::make_paper_scenario(gen, rng);
 
-      Timer t;
+      obs::Stopwatch t;
       const auto alg4 = pdcs::extract_all(scenario);
       a_ms.add(t.millis());
       a_c.add(static_cast<double>(alg4.candidates.size()));

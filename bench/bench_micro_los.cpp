@@ -16,7 +16,8 @@
 #include "src/util/error.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
-#include "src/util/timer.hpp"
+#include "src/obs/build_info.hpp"
+#include "src/obs/stopwatch.hpp"
 
 using namespace hipo;
 using geom::Segment;
@@ -78,7 +79,7 @@ QueryTiming time_los(const model::Scenario& scenario, Rng& rng, int iters) {
   const auto& polys = scenario.obstacles();
 
   std::size_t brute_blocked = 0;
-  Timer t;
+  obs::Stopwatch t;
   for (const Segment& s : segs) {
     bool blocked = false;
     for (const auto& h : polys) {
@@ -119,7 +120,7 @@ QueryTiming time_feasible(const model::Scenario& scenario, Rng& rng,
   const auto& polys = scenario.obstacles();
 
   std::size_t brute_feasible = 0;
-  Timer t;
+  obs::Stopwatch t;
   for (const Vec2& p : points) {
     bool inside = false;
     for (const auto& h : polys) {
@@ -170,7 +171,7 @@ EndToEnd time_end_to_end(int num_obstacles, int device_multiplier,
   EndToEnd out;
   out.obstacles = num_obstacles;
 
-  Timer t;
+  obs::Stopwatch t;
   const auto rf = pdcs::extract_all(fast);
   const auto gf = opt::select_strategies(fast, rf.candidates);
   out.accel_s = t.seconds();
@@ -239,7 +240,8 @@ int main(int argc, char** argv) {
 
   std::ofstream json(out_path);
   HIPO_REQUIRE(json.good(), "cannot open output file " + out_path);
-  json << "{\n  \"bench\": \"micro_los\",\n  \"iters\": " << iters
+  json << "{\n  \"bench\": \"micro_los\",\n  \"build\": "
+       << obs::build_info_json() << ",\n  \"iters\": " << iters
        << ",\n  \"seed\": " << seed << ",\n  \"los\": [\n";
   for (std::size_t i = 0; i < los.size(); ++i) {
     json << "    {\"obstacles\": " << los[i].obstacles

@@ -28,7 +28,9 @@
 #include "src/parallel/thread_pool.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/util/rng.hpp"
-#include "src/util/timer.hpp"
+#include "src/obs/build_info.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/stopwatch.hpp"
 
 namespace {
 
@@ -202,7 +204,7 @@ std::vector<double> argmax_chunk_durations(
     const std::size_t begin = c * kGrain;
     const std::size_t end = std::min(candidates.size(), begin + kGrain);
     for (int rep = 0; rep < reps; ++rep) {
-      Timer timer;
+      obs::Stopwatch timer;
       benchmark::DoNotOptimize(
           state.best_gain(pool_indices, begin, end, taken));
       const double elapsed = timer.seconds();
@@ -220,6 +222,9 @@ std::vector<double> argmax_chunk_durations(
 /// speedup, which is hardware-independent.
 int run_parallel_speedup(const std::string& out_path, int device_multiplier,
                          int reps) {
+  // Metrics ride along (embedded in the JSON for provenance); they never
+  // change results and their enabled cost is relaxed thread-local atomics.
+  obs::set_metrics_enabled(true);
   BigFixture fixture(device_multiplier);
   const auto& candidates = fixture.extraction.candidates;
   const unsigned cores = std::thread::hardware_concurrency();
@@ -240,7 +245,7 @@ int run_parallel_speedup(const std::string& out_path, int device_multiplier,
     opt::GreedyResult result;
     double best = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
-      Timer timer;
+      obs::Stopwatch timer;
       result = opt::select_strategies(fixture.scenario, candidates,
                                       opt::GreedyMode::kGlobal,
                                       opt::ObjectiveKind::kUtility, &pool);
@@ -272,7 +277,8 @@ int run_parallel_speedup(const std::string& out_path, int device_multiplier,
     std::cerr << "cannot open output file " << out_path << "\n";
     return 1;
   }
-  json << "{\n  \"bench\": \"micro_opt_parallel\",\n  \"cores\": " << cores
+  json << "{\n  \"bench\": \"micro_opt_parallel\",\n  \"build\": "
+       << obs::build_info_json() << ",\n  \"cores\": " << cores
        << ",\n  \"devices\": " << fixture.scenario.num_devices()
        << ",\n  \"candidates\": " << candidates.size()
        << ",\n  \"argmax_chunks\": " << chunk_durations.size()
@@ -284,7 +290,8 @@ int run_parallel_speedup(const std::string& out_path, int device_multiplier,
          << ", \"simulated_speedup\": " << points[i].simulated_speedup << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"utilities_identical\": true\n}\n";
+  json << "  ],\n  \"utilities_identical\": true,\n  \"metrics\": "
+       << obs::metrics_json(obs::metrics_snapshot()) << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

@@ -9,7 +9,7 @@
 #include "src/core/solver.hpp"
 #include "src/model/scenario_gen.hpp"
 #include "src/util/stats.hpp"
-#include "src/util/timer.hpp"
+#include "src/obs/stopwatch.hpp"
 
 using namespace hipo;
 
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
       devices = scenario.num_devices();
       chargers = scenario.num_chargers();
 
-      Timer t;
+      obs::Stopwatch t;
       const auto extraction = pdcs::extract_all(scenario);
       const double e = t.millis();
       t.reset();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::discretize {
@@ -30,6 +31,10 @@ FeasibleRegion::FeasibleRegion(const model::Scenario& scenario,
               : AngleInterval(dev.orientation - alpha_o / 2.0, alpha_o);
   d_min_ = ct.d_min;
   d_max_ = ct.d_max;
+  if (obs::metrics_enabled()) [[unlikely]] {
+    static obs::Counter& regions = obs::counter("discretize.feasible_regions");
+    regions.bump();
+  }
 }
 
 bool FeasibleRegion::feasible(Vec2 p) const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/geometry/segment.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::discretize {
@@ -75,6 +76,13 @@ void ShadowMap::finalize() {
   event_angles_.erase(
       std::unique(event_angles_.begin(), event_angles_.end()),
       event_angles_.end());
+  if (obs::metrics_enabled()) [[unlikely]] {
+    static obs::Counter& maps = obs::counter("discretize.shadow_maps");
+    static obs::Counter& obstacles =
+        obs::counter("discretize.shadow_map_obstacles");
+    maps.bump();
+    obstacles.bump(relevant_.size());
+  }
 }
 
 bool ShadowMap::visible(Vec2 p) const {

@@ -29,6 +29,7 @@
 #include "src/geometry/segment.hpp"
 #include "src/geometry/vec2.hpp"
 #include "src/model/io.hpp"
+#include "src/obs/obs.hpp"
 #include "src/model/piecewise.hpp"
 #include "src/model/scenario.hpp"
 #include "src/model/scenario_gen.hpp"
@@ -51,6 +52,5 @@
 #include "src/util/rng.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/table.hpp"
-#include "src/util/timer.hpp"
 #include "src/viz/field_export.hpp"
 #include "src/viz/svg.hpp"

@@ -4,7 +4,20 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/obs/metrics.hpp"
+
 namespace hipo::model {
+
+LosCache::~LosCache() {
+  if (!obs::metrics_enabled()) return;
+  if (hits_ + misses_ == 0) return;
+  static obs::Counter& hits = obs::counter("los_cache.hits");
+  static obs::Counter& misses = obs::counter("los_cache.misses");
+  static obs::Counter& entries = obs::counter("los_cache.entries");
+  hits.bump(hits_);
+  misses.bump(misses_);
+  entries.bump(cache_.size());
+}
 
 bool LosCache::line_of_sight(geom::Vec2 charger_pos, std::size_t j) {
   const Key key{std::bit_cast<std::uint64_t>(charger_pos.x),

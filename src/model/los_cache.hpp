@@ -35,6 +35,15 @@ class LosCache {
   /// The scenario must outlive the cache.
   explicit LosCache(const Scenario& scenario) : scenario_(&scenario) {}
 
+  LosCache(const LosCache&) = delete;
+  LosCache& operator=(const LosCache&) = delete;
+
+  /// Flushes this instance's hit/miss/entry tallies into the global obs
+  /// counters (`los_cache.hits` / `.misses` / `.entries`) when metrics are
+  /// enabled. Caches are short-lived (one per extraction task / evaluation
+  /// chunk), so destructor flushing costs nothing on the query path.
+  ~LosCache();
+
   const Scenario& scenario() const { return *scenario_; }
 
   /// Memoized Scenario::line_of_sight(charger_pos, device j's position).

@@ -1,0 +1,32 @@
+// Build / provenance stamp: which code, compiler, and flags produced an
+// artifact. Embedded in every metrics / trace / bench JSON (and printed by
+// `hipo_solve --version`) so BENCH_*.json entries and traces are
+// attributable to a commit and build configuration.
+#pragma once
+
+#include <string>
+
+namespace hipo::obs {
+
+/// Version of the trace / metrics / bench JSON schemas this build emits
+/// (documented in docs/FORMATS.md). Bump on breaking schema changes.
+inline constexpr int kSchemaVersion = 1;
+
+struct BuildInfo {
+  std::string git_describe;   ///< `git describe --always --dirty` (configure time)
+  std::string compiler;       ///< compiler id + version
+  std::string build_type;     ///< CMAKE_BUILD_TYPE
+  std::string cxx_flags;      ///< CMAKE_CXX_FLAGS
+  long cplusplus = 0;         ///< __cplusplus of the build
+  int schema_version = kSchemaVersion;
+  unsigned hardware_threads = 0;  ///< std::thread::hardware_concurrency()
+};
+
+const BuildInfo& build_info();
+
+/// The stamp as a one-line JSON object:
+/// {"git":...,"compiler":...,"build_type":...,"cxx_flags":...,
+///  "cplusplus":...,"schema_version":...,"hardware_threads":...}
+std::string build_info_json();
+
+}  // namespace hipo::obs

@@ -1,0 +1,48 @@
+// Tiny JSON emission helpers shared by the metrics / trace / bench writers.
+// Emission only — parsing lives with the consumers (CI validates with a real
+// JSON parser).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hipo::obs {
+
+/// Escape a string for use inside a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A double as a valid JSON number (17 significant digits round-trips;
+/// non-finite values have no JSON representation and become 0).
+inline std::string json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace hipo::obs

@@ -1,0 +1,13 @@
+// hipo::obs — the observability layer: tracing spans (Chrome/Perfetto
+// trace-event JSON), a sharded metrics registry (counters, gauges, accums,
+// fixed-bucket histograms), pipeline-phase markers, and the build-info
+// provenance stamp. See docs/ALGORITHMS.md ("Observability") and
+// docs/FORMATS.md for the JSON schemas.
+#pragma once
+
+#include "src/obs/build_info.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/phase.hpp"
+#include "src/obs/report.hpp"
+#include "src/obs/stopwatch.hpp"
+#include "src/obs/trace.hpp"

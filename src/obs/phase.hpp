@@ -1,0 +1,34 @@
+// Scoped pipeline-phase marker: one trace span plus one
+// `phase.<name>.seconds` accumulator sample, so a phase shows up both on
+// the trace timeline and in the metrics report's wall-time table. Costs two
+// enabled-flag branches (plus two clock reads) when observability is off —
+// phases are per-pipeline-stage, not per-element, so that is noise.
+#pragma once
+
+#include <string>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/stopwatch.hpp"
+#include "src/obs/trace.hpp"
+
+namespace hipo::obs {
+
+class ScopedPhase {
+ public:
+  /// `name` must outlive the phase (string literals).
+  explicit ScopedPhase(const char* name) : span_(name), name_(name) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() {
+    if (metrics_enabled()) {
+      accum(std::string("phase.") + name_ + ".seconds").add(watch_.seconds());
+    }
+  }
+
+ private:
+  Span span_;  // constructed first: span start <= stopwatch start
+  const char* name_;
+  Stopwatch watch_;
+};
+
+}  // namespace hipo::obs

@@ -1,0 +1,126 @@
+#include "src/obs/report.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "src/obs/build_info.hpp"
+#include "src/obs/json.hpp"
+#include "src/util/table.hpp"
+
+namespace hipo::obs {
+
+namespace {
+
+constexpr const char* kPhasePrefix = "phase.";
+constexpr const char* kPhaseSuffix = ".seconds";
+
+/// "phase.extract.seconds" -> "extract"; empty if not a phase accum.
+std::string phase_name(const std::string& accum_name) {
+  const std::string prefix = kPhasePrefix;
+  const std::string suffix = kPhaseSuffix;
+  if (accum_name.size() <= prefix.size() + suffix.size()) return {};
+  if (accum_name.compare(0, prefix.size(), prefix) != 0) return {};
+  if (accum_name.compare(accum_name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+    return {};
+  }
+  return accum_name.substr(prefix.size(),
+                           accum_name.size() - prefix.size() - suffix.size());
+}
+
+}  // namespace
+
+void print_report(const MetricsSnapshot& snapshot, std::ostream& os) {
+  // Phase wall times. Shares are relative to the "solve" phase (the whole
+  // pipeline) when it was recorded; nested phases overlap, so shares do not
+  // sum to 100%.
+  double solve_seconds = 0.0;
+  for (const auto& a : snapshot.accums) {
+    if (phase_name(a.name) == "solve") solve_seconds = a.sum;
+  }
+  Table phases({"phase", "seconds", "calls", "% of solve"});
+  bool any_phase = false;
+  for (const auto& a : snapshot.accums) {
+    const std::string name = phase_name(a.name);
+    if (name.empty()) continue;
+    any_phase = true;
+    phases.row().add(name).add(a.sum, 6).add(a.count);
+    if (solve_seconds > 0.0) {
+      phases.add(100.0 * a.sum / solve_seconds, 1);
+    } else {
+      phases.add(std::string("-"));
+    }
+  }
+  if (any_phase) {
+    os << "phases:\n";
+    phases.print(os);
+  }
+
+  if (!snapshot.counters.empty()) {
+    Table counters({"counter", "value"});
+    for (const auto& c : snapshot.counters) {
+      counters.row().add(c.name).add(c.value);
+    }
+    os << "counters:\n";
+    counters.print(os);
+  }
+
+  // Derived cache effectiveness, the headline of the PR 1 acceleration
+  // claims: verifiable on any scenario straight from the run's own counters.
+  std::uint64_t hits = 0, misses = 0, seg_q = 0, seg_eo = 0;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == "los_cache.hits") hits = c.value;
+    if (c.name == "los_cache.misses") misses = c.value;
+    if (c.name == "segment_index.segment_queries") seg_q = c.value;
+    if (c.name == "segment_index.segment_early_outs") seg_eo = c.value;
+  }
+  if (hits + misses > 0) {
+    os << "los_cache hit rate: "
+       << format_double(100.0 * static_cast<double>(hits) /
+                            static_cast<double>(hits + misses),
+                        1)
+       << "% (" << hits << "/" << (hits + misses) << ")\n";
+  }
+  if (seg_q > 0) {
+    os << "segment_index early-out rate: "
+       << format_double(100.0 * static_cast<double>(seg_eo) /
+                            static_cast<double>(seg_q),
+                        1)
+       << "% (" << seg_eo << "/" << seg_q << ")\n";
+  }
+
+  if (!snapshot.gauges.empty()) {
+    Table gauges({"gauge", "value"});
+    for (const auto& g : snapshot.gauges) {
+      gauges.row().add(g.name).add(g.value, 4);
+    }
+    os << "gauges:\n";
+    gauges.print(os);
+  }
+
+  for (const auto& h : snapshot.histograms) {
+    os << "histogram " << h.name << ": count " << h.count;
+    if (h.count > 0) {
+      os << ", mean "
+         << format_double(h.sum / static_cast<double>(h.count), 4);
+    }
+    os << "\n  ";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) os << "  ";
+      if (i < h.bounds.size()) {
+        os << "<=" << format_double(h.bounds[i], 3);
+      } else {
+        os << ">" << format_double(h.bounds.back(), 3);
+      }
+      os << ": " << h.counts[i];
+    }
+    os << "\n";
+  }
+}
+
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "{\"schema\":\"hipo-metrics-v1\",\"build\":" << build_info_json()
+     << ",\"metrics\":" << metrics_json(snapshot) << "}\n";
+}
+
+}  // namespace hipo::obs

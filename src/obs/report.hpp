@@ -1,0 +1,21 @@
+// Human- and machine-readable surfaces over a MetricsSnapshot: the
+// `hipo_solve --report` phase/counter tables and the `--metrics-json`
+// document (schema `hipo-metrics-v1`, see docs/FORMATS.md).
+#pragma once
+
+#include <iosfwd>
+
+#include "src/obs/metrics.hpp"
+
+namespace hipo::obs {
+
+/// Aligned console report: per-phase wall times (with share of the
+/// enclosing `solve` phase when present), all counters, and histogram
+/// summaries.
+void print_report(const MetricsSnapshot& snapshot, std::ostream& os);
+
+/// Self-contained metrics document:
+/// {"schema":"hipo-metrics-v1","build":{...},"metrics":{...}}.
+void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os);
+
+}  // namespace hipo::obs

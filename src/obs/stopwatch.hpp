@@ -1,13 +1,16 @@
-// Wall-clock timing for the distributed-extraction benchmark (Fig. 12).
+// Wall-clock stopwatch on the steady clock — the always-on timing primitive
+// of the observability layer. `Span`/`ScopedPhase` build on it for traced
+// durations; benchmarks and the Fig. 12 task-time measurement use it
+// directly (successor of the old `hipo::Timer`).
 #pragma once
 
 #include <chrono>
 
-namespace hipo {
+namespace hipo::obs {
 
-class Timer {
+class Stopwatch {
  public:
-  Timer() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()) {}
 
   void reset() { start_ = Clock::now(); }
 
@@ -23,4 +26,4 @@ class Timer {
   Clock::time_point start_;
 };
 
-}  // namespace hipo
+}  // namespace hipo::obs

@@ -1,0 +1,123 @@
+#include "src/obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "src/obs/build_info.hpp"
+#include "src/obs/json.hpp"
+
+namespace hipo::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::string detail;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+};
+
+/// One per thread that ever emitted an event. Owned by TraceState for the
+/// process lifetime (a pool worker's events must survive the worker).
+/// The mutex serializes the owning thread's appends against a concurrent
+/// writer/reset; spans are coarse, so one uncontended lock per span is
+/// noise.
+struct TraceBuffer {
+  std::uint32_t tid = 0;
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+/// Leaked like the metrics registry: thread-local buffer pointers and
+/// static Span call sites must never outlive it.
+struct TraceState {
+  static TraceState& instance() {
+    static TraceState* s = new TraceState;
+    return *s;
+  }
+
+  std::mutex mutex;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::uint32_t next_tid = 0;
+};
+
+TraceBuffer& buffer() {
+  thread_local TraceBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    auto& s = TraceState::instance();
+    std::lock_guard lock(s.mutex);
+    s.buffers.push_back(std::make_unique<TraceBuffer>());
+    buf = s.buffers.back().get();
+    buf->tid = s.next_tid++;
+  }
+  return *buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t trace_now_ns() {
+  const auto& s = TraceState::instance();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - s.epoch)
+      .count();
+}
+
+void trace_emit(const char* name, std::string&& detail, std::int64_t start_ns,
+                std::int64_t end_ns) {
+  TraceBuffer& buf = buffer();
+  std::lock_guard lock(buf.mutex);
+  buf.events.push_back(
+      {name, std::move(detail), start_ns, end_ns - start_ns});
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset_trace() {
+  auto& s = TraceState::instance();
+  std::lock_guard lock(s.mutex);
+  for (const auto& buf : s.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  s.epoch = std::chrono::steady_clock::now();
+}
+
+void write_trace_json(std::ostream& os) {
+  auto& s = TraceState::instance();
+  std::lock_guard lock(s.mutex);
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"build\":"
+     << build_info_json() << "},\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : s.buffers) {
+    std::lock_guard buf_lock(buf->mutex);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) os << ',';
+      first = false;
+      // ts/dur are microseconds (the trace-event unit); sub-µs precision is
+      // kept as a fractional part.
+      os << "\n{\"name\":\"" << json_escape(e.name)
+         << "\",\"cat\":\"hipo\",\"ph\":\"X\",\"ts\":"
+         << json_double(static_cast<double>(e.start_ns) * 1e-3)
+         << ",\"dur\":" << json_double(static_cast<double>(e.dur_ns) * 1e-3)
+         << ",\"pid\":1,\"tid\":" << buf->tid;
+      if (!e.detail.empty()) {
+        os << ",\"args\":{\"detail\":\"" << json_escape(e.detail) << "\"}";
+      }
+      os << '}';
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace hipo::obs

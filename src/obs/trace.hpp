@@ -1,0 +1,94 @@
+// Scoped tracing spans serialized as Chrome trace-event JSON
+// (chrome://tracing / Perfetto "trace event format", "X" complete events).
+//
+// Each thread buffers its own finished spans (one short lock per span end;
+// spans are phase/task granularity, not per-geometry-query). Nesting needs
+// no explicit bookkeeping: viewers reconstruct the stack from ts/dur
+// containment per thread. With tracing disabled a Span costs one relaxed
+// atomic-bool load and a branch — no clock read, no allocation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hipo::obs {
+
+namespace detail {
+
+inline std::atomic<bool> g_trace_enabled{false};
+
+/// Nanoseconds since the trace session epoch (steady clock).
+std::int64_t trace_now_ns();
+/// Append a finished span to the calling thread's buffer.
+void trace_emit(const char* name, std::string&& detail, std::int64_t start_ns,
+                std::int64_t end_ns);
+
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+/// Drop all buffered events and restart the session clock at zero.
+void reset_trace();
+
+/// Write everything buffered so far as one self-contained trace JSON
+/// document (schema in docs/FORMATS.md). Call after traced work has
+/// completed; spans still open are not included.
+void write_trace_json(std::ostream& os);
+
+/// RAII span: records [construction, destruction) on the calling thread.
+/// The name must outlive the span (string literals); the optional detail
+/// (task id, label) lands in the event's args.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) start(name);
+  }
+  Span(const char* name, std::uint64_t id) {
+    if (trace_enabled()) {
+      detail_ = std::to_string(id);
+      start(name);
+    }
+  }
+  Span(const char* name, std::string detail) {
+    if (trace_enabled()) {
+      detail_ = std::move(detail);
+      start(name);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (active()) {
+      detail::trace_emit(name_, std::move(detail_), start_ns_,
+                         detail::trace_now_ns());
+    }
+  }
+
+  /// End the span now (emitting its event) and return its duration in
+  /// seconds; 0 when tracing was off at construction.
+  double finish() {
+    if (!active()) return 0.0;
+    const std::int64_t end_ns = detail::trace_now_ns();
+    detail::trace_emit(name_, std::move(detail_), start_ns_, end_ns);
+    name_ = nullptr;
+    return static_cast<double>(end_ns - start_ns_) * 1e-9;
+  }
+
+ private:
+  bool active() const { return name_ != nullptr; }
+  void start(const char* name) {
+    name_ = name;
+    start_ns_ = detail::trace_now_ns();
+  }
+
+  const char* name_ = nullptr;
+  std::string detail_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace hipo::obs

@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "src/model/los_cache.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/phase.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::opt {
@@ -29,6 +31,21 @@ namespace {
 /// the chunked reduction is deterministic; small enough that a few thousand
 /// candidates split into enough chunks to balance 4–16 workers.
 constexpr std::size_t kArgmaxGrain = 128;
+
+/// Marginal-gain buckets: the utility objective is normalized to [0, 1], so
+/// accepted gains live on a log-ish scale below 1.
+constexpr double kGainBounds[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                  0.05, 0.1,  0.25, 0.5,  1.0};
+
+/// Record one accepted greedy pick (count + gain distribution).
+void note_selection(double gain) {
+  if (obs::metrics_enabled()) [[unlikely]] {
+    static obs::Counter& selections = obs::counter("greedy.selections");
+    static obs::Histogram& gains = obs::histogram("greedy.gain", kGainBounds);
+    selections.bump();
+    gains.observe(gain);
+  }
+}
 
 /// One pass of Algorithm 3's inner argmax over a candidate pool: per-chunk
 /// sequential scans (State::best_gain) reduced in chunk order with the same
@@ -59,6 +76,7 @@ void finish(const model::Scenario& scenario,
   // Memoized exact evaluation: strategies at the same position share LOS
   // traces across devices and placement slots (result identical to
   // Scenario::placement_utility).
+  obs::ScopedPhase phase("exact_eval");
   model::LosCache cache(scenario);
   result.exact_utility = cache.placement_utility(result.placement, workers);
 }
@@ -84,6 +102,7 @@ GreedyResult greedy_per_type(const model::Scenario& scenario,
       taken[best.index] = true;
       state.add(best.index);
       result.selected.push_back(best.index);
+      note_selection(best.gain);
     }
   }
   finish(scenario, candidates, result, state, workers);
@@ -117,6 +136,7 @@ GreedyResult greedy_global(const model::Scenario& scenario,
     tracker.add(best.index);
     state.add(best.index);
     result.selected.push_back(best.index);
+    note_selection(best.gain);
     if (!tracker.can_add(best.index)) {  // part now full: retire its peers
       const std::size_t part = candidates[best.index].strategy.type;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -163,10 +183,19 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
 
   std::size_t round = 0;
   while (!tracker.saturated() && !heap.empty()) {
+    const bool obs_on = obs::metrics_enabled();
     Entry top = heap.top();
     heap.pop();
+    if (obs_on) [[unlikely]] {
+      static obs::Counter& pops = obs::counter("greedy.lazy_pops");
+      pops.bump();
+    }
     if (!tracker.can_add(top.index)) continue;  // part already full
     if (top.round != round) {
+      if (obs_on) [[unlikely]] {
+        static obs::Counter& reevals = obs::counter("greedy.lazy_reevals");
+        reevals.bump();
+      }
       const double g = state.gain(top.index);
       if (g <= kMinGain) continue;  // gains only shrink: drop for good
       top.gain = g;
@@ -184,6 +213,7 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
     tracker.add(top.index);
     state.add(top.index);
     result.selected.push_back(top.index);
+    note_selection(top.gain);
     ++round;
   }
   finish(scenario, candidates, result, state, workers);

@@ -3,7 +3,31 @@
 #include <atomic>
 #include <exception>
 
+#include "src/obs/metrics.hpp"
+
 namespace hipo::parallel {
+
+namespace {
+
+/// Pool utilization telemetry, one registry lookup for the process.
+struct PoolCounters {
+  obs::Counter& tasks;
+  obs::Counter& parallel_fors;
+  obs::Counter& help_steals;
+  obs::Counter& idle_waits;
+};
+
+PoolCounters& pool_counters() {
+  static PoolCounters c{
+      obs::counter("pool.tasks"),
+      obs::counter("pool.parallel_fors"),
+      obs::counter("pool.help_steals"),
+      obs::counter("pool.idle_waits"),
+  };
+  return c;
+}
+
+}  // namespace
 
 // Shared state of one parallel_for call. Helper tasks enqueued on the pool
 // hold a shared_ptr, so a helper that is only scheduled after the loop has
@@ -28,6 +52,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  obs::gauge("pool.workers").set(static_cast<double>(workers));
 }
 
 ThreadPool::~ThreadPool() {
@@ -49,6 +74,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    if (obs::metrics_enabled()) [[unlikely]] pool_counters().tasks.bump();
     task();
   }
 }
@@ -91,6 +117,9 @@ void ThreadPool::parallel_for(std::size_t n,
     fn(0);
     return;
   }
+  if (obs::metrics_enabled()) [[unlikely]] {
+    pool_counters().parallel_fors.bump();
+  }
   auto state = std::make_shared<ForLoop>();
   state->fn = &fn;
   state->n = n;
@@ -113,7 +142,14 @@ void ThreadPool::parallel_for(std::size_t n,
   // execute queued work (e.g. inner loops spawned by those stragglers, or
   // unrelated submits). This is what makes nested calls deadlock-free.
   while (state->done.load(std::memory_order_acquire) < n) {
-    if (!try_run_one()) {
+    if (try_run_one()) {
+      if (obs::metrics_enabled()) [[unlikely]] {
+        pool_counters().help_steals.bump();
+      }
+    } else {
+      if (obs::metrics_enabled()) [[unlikely]] {
+        pool_counters().idle_waits.bump();
+      }
       std::unique_lock lock(state->mutex);
       state->cv.wait(lock, [&] {
         return state->done.load(std::memory_order_acquire) >= n;

@@ -5,6 +5,7 @@
 
 #include "src/geometry/angles.hpp"
 #include "src/geometry/circle.hpp"
+#include "src/obs/trace.hpp"
 #include "src/pdcs/candidate_gen.hpp"
 #include "src/pdcs/point_case.hpp"
 #include "src/spatial/grid_index.hpp"
@@ -162,6 +163,7 @@ std::vector<Candidate> extract_all_arrangement(
 
   std::vector<Candidate> out;
   for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    obs::Span span("arrangement.type", static_cast<std::uint64_t>(q));
     const auto& ct = scenario.charger_type(q);
     model::LosCache los_cache(scenario);
     std::vector<Candidate> type_candidates;

@@ -4,7 +4,9 @@
 #include <numeric>
 #include <utility>
 
-#include "src/util/timer.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/stopwatch.hpp"
+#include "src/obs/trace.hpp"
 
 namespace hipo::pdcs {
 
@@ -22,21 +24,26 @@ ExtractionResult extract_all(const model::Scenario& scenario,
 
   std::vector<std::vector<Candidate>> per_task(n);
   auto run_task = [&](std::size_t i) {
-    Timer timer;
+    obs::Span span("extract.device", static_cast<std::uint64_t>(i));
+    obs::Stopwatch watch;
     per_task[i] = extract_device_task(scenario, index, i, opt);
-    result.task_seconds[i] = timer.seconds();
+    result.task_seconds[i] = watch.seconds();
   };
 
-  if (pool != nullptr && pool->num_workers() > 1) {
-    pool->parallel_for(n, run_task);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) run_task(i);
+  {
+    obs::Span span("extract.tasks");
+    if (pool != nullptr && pool->num_workers() > 1) {
+      pool->parallel_for(n, run_task);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) run_task(i);
+    }
   }
 
   // Merge in device order (deterministic), then filter per charger type.
   // Each type's dominance filter is independent, so the filters run as
   // parallel tasks; concatenating in type order keeps the output identical
   // to the sequential pass.
+  obs::Span filter_span("extract.filter");
   std::vector<std::vector<Candidate>> by_type(scenario.num_charger_types());
   for (std::size_t i = 0; i < n; ++i) {
     result.raw_candidates += per_task[i].size();
@@ -53,6 +60,11 @@ ExtractionResult extract_all(const model::Scenario& scenario,
   for (std::size_t q = 0; q < by_type.size(); ++q) {
     result.per_type_counts[q] = by_type[q].size();
     for (auto& c : by_type[q]) result.candidates.push_back(std::move(c));
+  }
+  if (obs::metrics_enabled()) [[unlikely]] {
+    obs::counter("extract.tasks").bump(n);
+    obs::counter("extract.candidates_raw").bump(result.raw_candidates);
+    obs::counter("extract.candidates_kept").bump(result.candidates.size());
   }
   return result;
 }

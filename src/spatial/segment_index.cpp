@@ -8,6 +8,20 @@
 
 namespace hipo::spatial {
 
+namespace detail {
+
+SegmentIndexCounters& segment_index_counters() {
+  static SegmentIndexCounters c{
+      obs::counter("segment_index.segment_queries"),
+      obs::counter("segment_index.segment_early_outs"),
+      obs::counter("segment_index.point_queries"),
+      obs::counter("segment_index.point_early_outs"),
+  };
+  return c;
+}
+
+}  // namespace detail
+
 using geom::BBox;
 using geom::Segment;
 using geom::Vec2;

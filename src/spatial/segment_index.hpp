@@ -24,8 +24,24 @@
 #include "src/geometry/polygon.hpp"
 #include "src/geometry/segment.hpp"
 #include "src/geometry/vec2.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace hipo::spatial {
+
+namespace detail {
+
+/// Query telemetry for the obstacle hot path, resolved once (the registry
+/// lookup is out-of-line in segment_index.cpp) and bumped behind a single
+/// `metrics_enabled()` branch per query.
+struct SegmentIndexCounters {
+  obs::Counter& segment_queries;
+  obs::Counter& segment_early_outs;
+  obs::Counter& point_queries;
+  obs::Counter& point_early_outs;
+};
+SegmentIndexCounters& segment_index_counters();
+
+}  // namespace detail
 
 class SegmentIndex {
  public:
@@ -58,6 +74,10 @@ class SegmentIndex {
   /// and the four summed-area-table loads, without an out-of-line call.
   bool segment_blocked(const geom::Segment& seg) const {
     if (polygons_.empty()) return false;
+    const bool obs_on = obs::metrics_enabled();
+    if (obs_on) [[unlikely]] {
+      detail::segment_index_counters().segment_queries.bump();
+    }
     geom::BBox sb;
     sb.lo = {std::min(seg.a.x, seg.b.x), std::min(seg.a.y, seg.b.y)};
     sb.hi = {std::max(seg.a.x, seg.b.x), std::max(seg.a.y, seg.b.y)};
@@ -65,7 +85,12 @@ class SegmentIndex {
     sat_range({{sb.lo.x - kMargin, sb.lo.y - kMargin},
                {sb.hi.x + kMargin, sb.hi.y + kMargin}},
               x0, x1, y0, y1);
-    if (rect_content(x0, x1, y0, y1) == 0) return false;
+    if (rect_content(x0, x1, y0, y1) == 0) {
+      if (obs_on) [[unlikely]] {
+        detail::segment_index_counters().segment_early_outs.bump();
+      }
+      return false;
+    }
     return segment_blocked_cold(seg, sb);
   }
 
@@ -75,10 +100,19 @@ class SegmentIndex {
   /// polygon bbox (with margin) reaches it.
   bool point_in_any(geom::Vec2 p) const {
     if (polygons_.empty()) return false;
+    const bool obs_on = obs::metrics_enabled();
+    if (obs_on) [[unlikely]] {
+      detail::segment_index_counters().point_queries.bump();
+    }
     std::size_t x0, x1, y0, y1;
     sat_range({{p.x - kMargin, p.y - kMargin}, {p.x + kMargin, p.y + kMargin}},
               x0, x1, y0, y1);
-    if (rect_content(x0, x1, y0, y1) == 0) return false;
+    if (rect_content(x0, x1, y0, y1) == 0) {
+      if (obs_on) [[unlikely]] {
+        detail::segment_index_counters().point_early_outs.bump();
+      }
+      return false;
+    }
     return point_in_any_cold(p);
   }
 

@@ -1,0 +1,336 @@
+// hipo::obs — metrics registry semantics (sharded aggregation, kind safety,
+// histogram bucket boundaries, reset), trace JSON well-formedness, and the
+// build-info provenance stamp.
+#include "src/obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace hipo::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON well-formedness checker (strings, numbers, literals, arrays,
+// objects). Strict enough to catch unescaped quotes, trailing commas, and
+// unbalanced nesting in the emitted documents.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool json_valid(const std::string& text) { return JsonChecker(text).valid(); }
+
+TEST(JsonChecker, SelfTest) {
+  EXPECT_TRUE(json_valid(R"({"a":[1,2.5,-3e-4],"b":{"c":"x\"y"},"d":null})"));
+  EXPECT_FALSE(json_valid(R"({"a":1,})"));
+  EXPECT_FALSE(json_valid(R"({"a":1)"));
+  EXPECT_FALSE(json_valid(R"({"a" 1})"));
+}
+
+// ---------------------------------------------------------------------------
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_metrics();
+    reset_trace();
+    set_metrics_enabled(true);
+  }
+  void TearDown() override {
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+    reset_trace();
+    reset_metrics();
+  }
+};
+
+TEST_F(ObsTest, DisabledCounterIsNoop) {
+  set_metrics_enabled(false);
+  auto& c = counter("test.disabled_counter");
+  c.add(5);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterAggregatesAcrossThreads) {
+  auto& c = counter("test.threaded_counter");
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(ObsTest, RegistrationIsFindOrCreate) {
+  EXPECT_EQ(&counter("test.same_name"), &counter("test.same_name"));
+}
+
+TEST_F(ObsTest, KindMismatchThrows) {
+  counter("test.kind_clash");
+  EXPECT_THROW(gauge("test.kind_clash"), InvariantError);
+  constexpr double kBounds[] = {1.0};
+  EXPECT_THROW(histogram("test.kind_clash", kBounds), InvariantError);
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  auto& g = gauge("test.gauge");
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+}
+
+TEST_F(ObsTest, AccumSumsAndCounts) {
+  auto& a = accum("test.accum");
+  a.add(1.5);
+  a.add(2.5);
+  a.add(-1.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 3.0);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundariesAreUpperInclusive) {
+  constexpr double kBounds[] = {1.0, 2.0, 4.0};
+  auto& h = histogram("test.histogram_bounds", kBounds);
+  h.observe(0.5);  // below first bound -> bucket 0
+  h.observe(1.0);  // exactly on a bound -> that bound's bucket
+  h.observe(1.5);
+  h.observe(2.0);  // exactly on a bound -> bucket 1, not 2
+  h.observe(4.0);
+  h.observe(4.00001);  // past the last bound -> overflow
+  h.observe(100.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.00001 + 100.0);
+}
+
+TEST_F(ObsTest, HistogramReregistrationRequiresSameBounds) {
+  constexpr double kBounds[] = {1.0, 2.0};
+  constexpr double kOther[] = {1.0, 3.0};
+  auto& h = histogram("test.histogram_rereg", kBounds);
+  EXPECT_EQ(&histogram("test.histogram_rereg", kBounds), &h);
+  EXPECT_THROW(histogram("test.histogram_rereg", kOther), InvariantError);
+}
+
+TEST_F(ObsTest, ResetZeroesEverythingButKeepsHandles) {
+  auto& c = counter("test.reset_counter");
+  auto& g = gauge("test.reset_gauge");
+  auto& a = accum("test.reset_accum");
+  c.add(7);
+  g.set(9.0);
+  a.add(2.0);
+  reset_metrics();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  c.add(1);  // handle still live after reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(ObsTest, ScopedPhaseRecordsWallTime) {
+  { ScopedPhase phase("test_phase"); }
+  { ScopedPhase phase("test_phase"); }
+  auto& a = accum("phase.test_phase.seconds");
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_GE(a.sum(), 0.0);
+}
+
+TEST_F(ObsTest, SnapshotIsNameSortedAndJsonWellFormed) {
+  counter("test.z_counter").add(2);
+  counter("test.a_counter").add(1);
+  gauge("test.gauge_json").set(0.5);
+  constexpr double kBounds[] = {1.0, 2.0};
+  histogram("test.histogram_json", kBounds).observe(1.5);
+  accum("test.accum_json").add(0.25);
+  const auto snapshot = metrics_snapshot();
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+  const std::string json = metrics_json(snapshot);
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"test.a_counter\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"accums\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  std::ostringstream full;
+  write_metrics_json(snapshot, full);
+  EXPECT_TRUE(json_valid(full.str())) << full.str();
+  EXPECT_NE(full.str().find("\"schema\":\"hipo-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(full.str().find("\"build\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledSpansEmitNothing) {
+  { Span span("test.disabled_span"); }
+  std::ostringstream os;
+  write_trace_json(os);
+  EXPECT_EQ(os.str().find("test.disabled_span"), std::string::npos);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
+}
+
+TEST_F(ObsTest, TraceJsonIsWellFormedAndCarriesSpans) {
+  set_trace_enabled(true);
+  {
+    Span outer("test.outer");
+    { Span inner("test.inner", std::uint64_t{42}); }
+    std::thread worker([] { Span span("test.worker", "w1"); });
+    worker.join();
+  }
+  set_trace_enabled(false);
+  std::ostringstream os;
+  write_trace_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(json_valid(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"test.worker\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST_F(ObsTest, SpanFinishReturnsDuration) {
+  set_trace_enabled(true);
+  Span span("test.finish");
+  const double seconds = span.finish();
+  EXPECT_GE(seconds, 0.0);
+  // Finishing made the span inactive; destruction must not double-emit.
+  set_trace_enabled(false);
+  Span off("test.finish_disabled");
+  EXPECT_EQ(off.finish(), 0.0);
+}
+
+TEST_F(ObsTest, StopwatchAdvances) {
+  Stopwatch watch;
+  EXPECT_GE(watch.seconds(), 0.0);
+  watch.reset();
+  EXPECT_GE(watch.millis(), 0.0);
+}
+
+TEST(BuildInfo, FieldsPopulatedAndJsonWellFormed) {
+  const BuildInfo& info = build_info();
+  EXPECT_FALSE(info.git_describe.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_EQ(info.schema_version, kSchemaVersion);
+  EXPECT_GE(info.hardware_threads, 1u);
+  const std::string json = build_info_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"git\""), std::string::npos);
+  EXPECT_NE(json.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hipo::obs

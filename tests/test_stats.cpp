@@ -63,6 +63,18 @@ TEST(RunningStats, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
 }
 
+TEST(RunningStats, AllEqualSamplesHaveZeroSpread) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(2.5);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.5);
+  EXPECT_DOUBLE_EQ(s.max(), 2.5);
+}
+
 TEST(Stats, MeanAndStddevFreeFunctions) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(mean(xs), 2.5);
@@ -86,6 +98,13 @@ TEST(Percentile, SingleElement) {
   EXPECT_DOUBLE_EQ(percentile(xs, 73.0), 42.0);
 }
 
+TEST(Percentile, AllEqualValues) {
+  const std::vector<double> xs(7, 3.25);
+  for (const double p : {0.0, 12.5, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(xs, p), 3.25);
+  }
+}
+
 TEST(Percentile, EmptyThrows) {
   EXPECT_THROW(percentile({}, 50.0), ConfigError);
   const std::vector<double> xs{1.0};
@@ -103,6 +122,16 @@ TEST(Ecdf, StepsThroughSample) {
   EXPECT_DOUBLE_EQ(cdf[2], 0.5);
   EXPECT_DOUBLE_EQ(cdf[3], 1.0);
   EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(Ecdf, AllEqualSampleIsStepFunction) {
+  const std::vector<double> xs(5, 2.0);
+  const std::vector<double> ts{1.9, 2.0, 2.1};
+  const auto cdf = ecdf(xs, ts);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
 }
 
 TEST(Ecdf, EmptySampleGivesZeros) {

@@ -8,6 +8,15 @@
 //              [--threads N]          (0 = hardware concurrency, the default;
 //                                      output is identical for any N)
 //              [--demo paper|field]   (generate a built-in scenario instead)
+//              [--trace FILE]         (Chrome/Perfetto trace-event JSON)
+//              [--metrics-json FILE]  (metrics + build provenance JSON)
+//              [--report]             (per-phase wall time / counter tables)
+//              [--version]            (build provenance JSON, then exit)
+//
+// Observability never changes results: placements are bit-identical with
+// --trace/--metrics-json/--report on or off, for any --threads value.
+#include <fstream>
+#include <functional>
 #include <iostream>
 
 #include "src/hipo.hpp"
@@ -59,11 +68,43 @@ model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
   throw ConfigError("unknown --algorithm '" + name + "'");
 }
 
+/// Final-placement quality distribution, observed once per run.
+void observe_placement(const model::Scenario& scenario,
+                       const model::Placement& placement) {
+  if (!obs::metrics_enabled()) return;
+  static constexpr double kUtilityBounds[] = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                              0.6, 0.7, 0.8, 0.9, 1.0};
+  auto& histogram =
+      obs::histogram("placement.device_utility", kUtilityBounds);
+  for (const double u : scenario.per_device_utility(placement)) {
+    histogram.observe(u);
+  }
+}
+
+void write_file_or_throw(const std::string& path, const std::string& what,
+                         const std::function<void(std::ostream&)>& emit) {
+  std::ofstream os(path);
+  if (!os) throw ConfigError("cannot open " + what + " file '" + path + "'");
+  emit(os);
+  std::cout << what << " written to " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     Cli cli(argc, argv);
+    if (cli.has("version")) {
+      std::cout << obs::build_info_json() << "\n";
+      return 0;
+    }
+    const auto trace_path = cli.get("trace");
+    const auto metrics_path = cli.get("metrics-json");
+    const bool report = cli.has("report");
+    // Enable before any pool/solver work so setup is observed too.
+    if (trace_path) obs::set_trace_enabled(true);
+    if (metrics_path || report) obs::set_metrics_enabled(true);
+
     const auto scenario = load_scenario(cli);
     const auto placement = run_algorithm(scenario, cli);
     const auto out = cli.get("out");
@@ -72,6 +113,7 @@ int main(int argc, char** argv) {
     cli.finish();
 
     scenario.validate_placement(placement);
+    observe_placement(scenario, placement);
     std::cout << "scenario: " << scenario.num_devices() << " devices, "
               << scenario.num_chargers() << " charger budget, "
               << scenario.num_obstacles() << " obstacles\n";
@@ -117,6 +159,25 @@ int main(int argc, char** argv) {
       svg_opts.scale = 760.0 / std::max(extent.x, extent.y);
       viz::write_svg_file(*svg, scenario, placement, svg_opts);
       std::cout << "SVG written to " << *svg << "\n";
+    }
+
+    if (report || metrics_path) {
+      const auto snapshot = obs::metrics_snapshot();
+      if (report) {
+        std::cout << "\n";
+        obs::print_report(snapshot, std::cout);
+      }
+      if (metrics_path) {
+        write_file_or_throw(*metrics_path, "metrics JSON",
+                            [&](std::ostream& os) {
+                              obs::write_metrics_json(snapshot, os);
+                            });
+      }
+    }
+    if (trace_path) {
+      write_file_or_throw(*trace_path, "trace", [](std::ostream& os) {
+        obs::write_trace_json(os);
+      });
     }
     return 0;
   } catch (const std::exception& e) {
