@@ -74,42 +74,55 @@ std::vector<Segment> los_workload(const model::Scenario& scenario, Rng& rng,
   return segs;
 }
 
-QueryTiming time_los(const model::Scenario& scenario, Rng& rng, int iters) {
+// Best-of-`reps` minimum timing: each repetition re-times both loops over
+// the same workload and only the fastest pass of each counts. Spot load on
+// a shared machine inflates individual passes by orders of magnitude at
+// these sub-microsecond totals — the committed BENCH_los.json once showed a
+// phantom 0.11× feasibility "regression" that was nothing but a descheduled
+// timing pass — and the minimum is the standard robust estimator for
+// cache-warm microbenchmark latency.
+QueryTiming time_los(const model::Scenario& scenario, Rng& rng, int iters,
+                     int reps) {
   const auto segs = los_workload(scenario, rng, iters);
   const auto& polys = scenario.obstacles();
 
-  std::size_t brute_blocked = 0;
-  obs::Stopwatch t;
-  for (const Segment& s : segs) {
-    bool blocked = false;
-    for (const auto& h : polys) {
-      if (h.blocks_segment(s)) {
-        blocked = true;
-        break;
-      }
-    }
-    brute_blocked += blocked ? 1 : 0;
-  }
-  const double brute_s = t.seconds();
-
-  std::size_t index_blocked = 0;
-  t.reset();
-  for (const Segment& s : segs) {
-    index_blocked += scenario.line_of_sight(s.a, s.b) ? 0 : 1;
-  }
-  const double index_s = t.seconds();
-
-  HIPO_REQUIRE(brute_blocked == index_blocked,
-               "LOS mismatch between brute force and index");
   QueryTiming out;
   out.obstacles = static_cast<int>(polys.size());
-  out.brute_ns = brute_s / segs.size() * 1e9;
-  out.index_ns = index_s / segs.size() * 1e9;
+  double brute_best = 0.0, index_best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::size_t brute_blocked = 0;
+    obs::Stopwatch t;
+    for (const Segment& s : segs) {
+      bool blocked = false;
+      for (const auto& h : polys) {
+        if (h.blocks_segment(s)) {
+          blocked = true;
+          break;
+        }
+      }
+      brute_blocked += blocked ? 1 : 0;
+    }
+    const double brute_s = t.seconds();
+
+    std::size_t index_blocked = 0;
+    t.reset();
+    for (const Segment& s : segs) {
+      index_blocked += scenario.line_of_sight(s.a, s.b) ? 0 : 1;
+    }
+    const double index_s = t.seconds();
+
+    HIPO_REQUIRE(brute_blocked == index_blocked,
+                 "LOS mismatch between brute force and index");
+    if (rep == 0 || brute_s < brute_best) brute_best = brute_s;
+    if (rep == 0 || index_s < index_best) index_best = index_s;
+  }
+  out.brute_ns = brute_best / segs.size() * 1e9;
+  out.index_ns = index_best / segs.size() * 1e9;
   return out;
 }
 
 QueryTiming time_feasible(const model::Scenario& scenario, Rng& rng,
-                          int iters) {
+                          int iters, int reps) {
   const geom::BBox r = scenario.region();
   std::vector<Vec2> points;
   points.reserve(static_cast<std::size_t>(iters));
@@ -119,33 +132,38 @@ QueryTiming time_feasible(const model::Scenario& scenario, Rng& rng,
   }
   const auto& polys = scenario.obstacles();
 
-  std::size_t brute_feasible = 0;
-  obs::Stopwatch t;
-  for (const Vec2& p : points) {
-    bool inside = false;
-    for (const auto& h : polys) {
-      if (h.contains(p)) {
-        inside = true;
-        break;
-      }
-    }
-    brute_feasible += (r.contains(p, geom::kEps) && !inside) ? 1 : 0;
-  }
-  const double brute_s = t.seconds();
-
-  std::size_t index_feasible = 0;
-  t.reset();
-  for (const Vec2& p : points) {
-    index_feasible += scenario.position_feasible(p) ? 1 : 0;
-  }
-  const double index_s = t.seconds();
-
-  HIPO_REQUIRE(brute_feasible == index_feasible,
-               "feasibility mismatch between brute force and index");
   QueryTiming out;
   out.obstacles = static_cast<int>(polys.size());
-  out.brute_ns = brute_s / points.size() * 1e9;
-  out.index_ns = index_s / points.size() * 1e9;
+  double brute_best = 0.0, index_best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::size_t brute_feasible = 0;
+    obs::Stopwatch t;
+    for (const Vec2& p : points) {
+      bool inside = false;
+      for (const auto& h : polys) {
+        if (h.contains(p)) {
+          inside = true;
+          break;
+        }
+      }
+      brute_feasible += (r.contains(p, geom::kEps) && !inside) ? 1 : 0;
+    }
+    const double brute_s = t.seconds();
+
+    std::size_t index_feasible = 0;
+    t.reset();
+    for (const Vec2& p : points) {
+      index_feasible += scenario.position_feasible(p) ? 1 : 0;
+    }
+    const double index_s = t.seconds();
+
+    HIPO_REQUIRE(brute_feasible == index_feasible,
+                 "feasibility mismatch between brute force and index");
+    if (rep == 0 || brute_s < brute_best) brute_best = brute_s;
+    if (rep == 0 || index_s < index_best) index_best = index_s;
+  }
+  out.brute_ns = brute_best / points.size() * 1e9;
+  out.index_ns = index_best / points.size() * 1e9;
   return out;
 }
 
@@ -202,6 +220,7 @@ std::string fmt(double v) {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int iters = cli.get_or("iters", 200000);
+  const int reps = cli.get_or("reps", 5);
   const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", 42));
   const int e2e_mult = cli.get_or("e2e-mult", 2);
   const int e2e_obstacles = cli.get_or("e2e-obstacles", 16);
@@ -216,8 +235,8 @@ int main(int argc, char** argv) {
     gen.num_obstacles = n;
     Rng rng(seed_combine(seed, static_cast<std::uint64_t>(n)));
     const auto scenario = model::make_paper_scenario(gen, rng);
-    los.push_back(time_los(scenario, rng, iters));
-    feas.push_back(time_feasible(scenario, rng, iters));
+    los.push_back(time_los(scenario, rng, iters, reps));
+    feas.push_back(time_feasible(scenario, rng, iters, reps));
     table.row()
         .add(n)
         .add(fmt(los.back().brute_ns))
@@ -242,7 +261,8 @@ int main(int argc, char** argv) {
   HIPO_REQUIRE(json.good(), "cannot open output file " + out_path);
   json << "{\n  \"bench\": \"micro_los\",\n  \"build\": "
        << obs::build_info_json() << ",\n  \"iters\": " << iters
-       << ",\n  \"seed\": " << seed << ",\n  \"los\": [\n";
+       << ",\n  \"reps\": " << reps << ",\n  \"seed\": " << seed
+       << ",\n  \"los\": [\n";
   for (std::size_t i = 0; i < los.size(); ++i) {
     json << "    {\"obstacles\": " << los[i].obstacles
          << ", \"brute_ns\": " << los[i].brute_ns

@@ -199,6 +199,16 @@ Scenario read_scenario(std::istream& is) {
 
   if (cfg.charger_types.empty()) fail(reader.line_no(), "no charger_type");
   if (cfg.device_types.empty()) fail(reader.line_no(), "no device_type");
+  // Per-device weights are already required positive, so a zero total means
+  // no devices at all — the normalized objective (Eq. 4's 1/N_o weighting)
+  // is undefined on such a scenario; reject it at the I/O boundary instead
+  // of producing constant-zero utilities downstream.
+  double weight_total = 0.0;
+  for (const auto& d : cfg.devices) weight_total += d.weight;
+  if (!(weight_total > 0.0)) {
+    fail(reader.line_no(), "total device weight is zero (scenario has no "
+                           "devices); the normalized objective is undefined");
+  }
   cfg.pair_params.assign(cfg.charger_types.size() * cfg.device_types.size(),
                          PairParams{});
   std::vector<bool> seen(cfg.pair_params.size(), false);

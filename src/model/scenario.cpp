@@ -55,6 +55,7 @@ Scenario::Scenario(Config config)
   obstacle_index_ = spatial::SegmentIndex(
       region_, std::move(config.obstacles),
       config.accelerate_obstacles ? 0.25 : 1e30);
+  has_obstacles_ = obstacle_index_.num_polygons() != 0;
 
   ladders_.reserve(pair_params_.size());
   for (std::size_t q = 0; q < charger_types_.size(); ++q) {

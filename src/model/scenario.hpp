@@ -81,14 +81,20 @@ class Scenario {
   // Defined inline: both sit on the Eq. (1) coverage hot path, where even
   // the extra call layer is measurable against the indexed query cost.
   /// True iff the open segment a–b is not blocked by any obstacle interior.
+  /// The obstacle-free short-circuit reads a plain cached bool (not the
+  /// index's vector state), so the compiler can hoist it out of the tight
+  /// per-device query loops of an obstacle-free scenario entirely — the
+  /// equivalent check inside segment_blocked sits behind Segment
+  /// construction and a call boundary it cannot always collapse.
   bool line_of_sight(geom::Vec2 a, geom::Vec2 b) const {
+    if (!has_obstacles_) return true;
     return !obstacle_index_.segment_blocked({a, b});
   }
   /// True iff a charger may be placed at p: inside the region and not
   /// inside (or on the boundary of) any obstacle.
   bool position_feasible(geom::Vec2 p) const {
     if (!region_.contains(p, geom::kEps)) return false;
-    return !obstacle_index_.point_in_any(p);
+    return !has_obstacles_ || !obstacle_index_.point_in_any(p);
   }
 
   /// All Eq. (1) conditions *except* line of sight (range and both sector
@@ -159,6 +165,9 @@ class Scenario {
   std::vector<Device> devices_;
   /// Owns the obstacle polygons (obstacles() exposes its vector).
   spatial::SegmentIndex obstacle_index_;
+  /// Cached obstacle_index_.num_polygons() != 0 for the hot-path guards
+  /// above.
+  bool has_obstacles_ = false;
   geom::BBox region_;
   double eps1_;
   std::vector<RingLadder> ladders_;  // [q * num_device_types + t]

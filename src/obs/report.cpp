@@ -89,6 +89,22 @@ void print_report(const MetricsSnapshot& snapshot, std::ostream& os) {
        << "% (" << seg_eo << "/" << seg_q << ")\n";
   }
 
+  // Derived dirty-gain cache effectiveness (the flat-CSR incremental
+  // greedy): share of gain evaluations served from the cache instead of
+  // recomputed — the fraction of argmax work the dirty set eliminated.
+  std::uint64_t recomputes = 0, avoided = 0;
+  for (const auto& c : snapshot.counters) {
+    if (c.name == "coverage.gain_recomputes") recomputes = c.value;
+    if (c.name == "coverage.reevals_avoided") avoided = c.value;
+  }
+  if (recomputes + avoided > 0) {
+    os << "gain cache hit rate: "
+       << format_double(100.0 * static_cast<double>(avoided) /
+                            static_cast<double>(recomputes + avoided),
+                        1)
+       << "% (" << avoided << "/" << (recomputes + avoided) << ")\n";
+  }
+
   if (!snapshot.gauges.empty()) {
     Table gauges({"gauge", "value"});
     for (const auto& g : snapshot.gauges) {

@@ -1,0 +1,51 @@
+#include "src/opt/coverage_matrix.hpp"
+
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace hipo::opt {
+
+CoverageMatrix::CoverageMatrix(std::span<const pdcs::Candidate> candidates,
+                               std::size_t num_devices) {
+  std::size_t nnz = 0;
+  for (const auto& c : candidates) nnz += c.covered.size();
+  HIPO_REQUIRE(nnz <= std::numeric_limits<std::uint32_t>::max(),
+               "coverage matrix exceeds u32 entry capacity");
+
+  row_start_.reserve(candidates.size() + 1);
+  device_arena_.reserve(nnz);
+  power_arena_.reserve(nnz);
+  row_strategy_.reserve(candidates.size());
+  // Count rows per device in one pass so the inverted CSR can be filled
+  // without per-device vectors.
+  std::vector<std::uint32_t> dev_count(num_devices, 0);
+  for (const auto& c : candidates) {
+    HIPO_ASSERT(c.covered.size() == c.powers.size());
+    for (std::size_t k = 0; k < c.covered.size(); ++k) {
+      const std::size_t j = c.covered[k];
+      HIPO_ASSERT(j < num_devices);
+      device_arena_.push_back(static_cast<std::uint32_t>(j));
+      power_arena_.push_back(c.powers[k]);
+      ++dev_count[j];
+    }
+    row_start_.push_back(static_cast<std::uint32_t>(device_arena_.size()));
+    row_strategy_.push_back(c.strategy);
+  }
+
+  dev_start_.assign(num_devices + 1, 0);
+  for (std::size_t j = 0; j < num_devices; ++j) {
+    dev_start_[j + 1] = dev_start_[j] + dev_count[j];
+  }
+  dev_rows_.resize(nnz);
+  // Rows are visited ascending, so each device's row list comes out
+  // ascending — the order the dirty sweep and the dominance filter rely on.
+  std::vector<std::uint32_t> fill(dev_start_.begin(), dev_start_.end() - 1);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j : candidates[i].covered) {
+      dev_rows_[fill[j]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+}
+
+}  // namespace hipo::opt

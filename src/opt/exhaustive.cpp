@@ -14,8 +14,9 @@ class Solver {
   Solver(const model::Scenario& scenario,
          std::span<const pdcs::Candidate> candidates,
          const ExactOptions& options)
-      : objective_(scenario, candidates),
-        matroid_(placement_matroid(scenario, candidates)),
+      : objective_(scenario, candidates, ObjectiveKind::kUtility,
+                   options.engine),
+        matroid_(placement_matroid(scenario, objective_)),
         candidates_(candidates),
         options_(options) {}
 
@@ -34,7 +35,7 @@ class Solver {
     out.result.selected = best_;
     out.result.approx_utility = best_value_;
     for (std::size_t i : best_) {
-      out.result.placement.push_back(candidates_[i].strategy);
+      out.result.placement.push_back(objective_.strategy(i));
     }
     model::LosCache cache(objective_.scenario());
     out.result.exact_utility = cache.placement_utility(out.result.placement);

@@ -25,6 +25,21 @@ PartitionMatroid placement_matroid(
   return PartitionMatroid(std::move(part_of), std::move(caps));
 }
 
+PartitionMatroid placement_matroid(const model::Scenario& scenario,
+                                   const ChargingObjective& objective) {
+  std::vector<std::size_t> part_of;
+  part_of.reserve(objective.num_candidates());
+  for (std::size_t i = 0; i < objective.num_candidates(); ++i) {
+    part_of.push_back(objective.strategy(i).type);
+  }
+  std::vector<std::size_t> caps;
+  caps.reserve(scenario.num_charger_types());
+  for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    caps.push_back(static_cast<std::size_t>(scenario.charger_count(q)));
+  }
+  return PartitionMatroid(std::move(part_of), std::move(caps));
+}
+
 namespace {
 
 /// Chunk size of the parallel argmax. Fixed (worker-count independent) so
@@ -64,14 +79,14 @@ BestGain best_gain(const ChargingObjective::State& state,
 }
 
 void finish(const model::Scenario& scenario,
-            std::span<const pdcs::Candidate> candidates, GreedyResult& result,
+            const ChargingObjective& objective, GreedyResult& result,
             const ChargingObjective::State& state,
             parallel::ThreadPool* workers) {
   result.approx_utility = state.value();
   result.placement.clear();
   result.placement.reserve(result.selected.size());
   for (std::size_t i : result.selected) {
-    result.placement.push_back(candidates[i].strategy);
+    result.placement.push_back(objective.strategy(i));
   }
   // Memoized exact evaluation: strategies at the same position share LOS
   // traces across devices and placement slots (result identical to
@@ -83,17 +98,18 @@ void finish(const model::Scenario& scenario,
 
 GreedyResult greedy_per_type(const model::Scenario& scenario,
                              std::span<const pdcs::Candidate> candidates,
-                             ObjectiveKind kind,
+                             ObjectiveKind kind, GainEngine engine,
                              parallel::ThreadPool* workers) {
-  const ChargingObjective objective(scenario, candidates, kind);
+  const ChargingObjective objective(scenario, candidates, kind, engine);
   ChargingObjective::State state(objective);
+  state.enable_incremental();
   GreedyResult result;
   std::vector<bool> taken(candidates.size(), false);
 
   for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
     std::vector<std::size_t> pool;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (candidates[i].strategy.type == q) pool.push_back(i);
+      if (objective.strategy(i).type == q) pool.push_back(i);
     }
     const auto budget = static_cast<std::size_t>(scenario.charger_count(q));
     for (std::size_t pick = 0; pick < budget; ++pick) {
@@ -105,16 +121,18 @@ GreedyResult greedy_per_type(const model::Scenario& scenario,
       note_selection(best.gain);
     }
   }
-  finish(scenario, candidates, result, state, workers);
+  finish(scenario, objective, result, state, workers);
   return result;
 }
 
 GreedyResult greedy_global(const model::Scenario& scenario,
                            std::span<const pdcs::Candidate> candidates,
-                           ObjectiveKind kind, parallel::ThreadPool* workers) {
-  const ChargingObjective objective(scenario, candidates, kind);
+                           ObjectiveKind kind, GainEngine engine,
+                           parallel::ThreadPool* workers) {
+  const ChargingObjective objective(scenario, candidates, kind, engine);
   ChargingObjective::State state(objective);
-  const PartitionMatroid matroid = placement_matroid(scenario, candidates);
+  state.enable_incremental();
+  const PartitionMatroid matroid = placement_matroid(scenario, objective);
   PartitionMatroid::Tracker tracker(matroid);
   GreedyResult result;
   // `taken` also covers matroid-infeasible candidates: when a part fills
@@ -138,22 +156,24 @@ GreedyResult greedy_global(const model::Scenario& scenario,
     result.selected.push_back(best.index);
     note_selection(best.gain);
     if (!tracker.can_add(best.index)) {  // part now full: retire its peers
-      const std::size_t part = candidates[best.index].strategy.type;
+      const std::size_t part = matroid.part_of(best.index);
       for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (candidates[i].strategy.type == part) taken[i] = true;
+        if (matroid.part_of(i) == part) taken[i] = true;
       }
     }
   }
-  finish(scenario, candidates, result, state, workers);
+  finish(scenario, objective, result, state, workers);
   return result;
 }
 
 GreedyResult greedy_lazy(const model::Scenario& scenario,
                          std::span<const pdcs::Candidate> candidates,
-                         ObjectiveKind kind, parallel::ThreadPool* workers) {
-  const ChargingObjective objective(scenario, candidates, kind);
+                         ObjectiveKind kind, GainEngine engine,
+                         parallel::ThreadPool* workers) {
+  const ChargingObjective objective(scenario, candidates, kind, engine);
   ChargingObjective::State state(objective);
-  const PartitionMatroid matroid = placement_matroid(scenario, candidates);
+  state.enable_incremental();
+  const PartitionMatroid matroid = placement_matroid(scenario, objective);
   PartitionMatroid::Tracker tracker(matroid);
   GreedyResult result;
 
@@ -176,6 +196,12 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
   parallel::chunked_for(workers, candidates.size(), [&](std::size_t i) {
     initial[i] = state.gain(i);
   });
+  if (obs::metrics_enabled()) [[unlikely]] {
+    // The heap build is the lazy variant's one full row scan; count it so
+    // coverage.rows_scanned reflects work done under every greedy mode.
+    static obs::Counter& rows = obs::counter("coverage.rows_scanned");
+    rows.add(candidates.size());
+  }
   std::priority_queue<Entry> heap;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     if (initial[i] > kMinGain) heap.push({initial[i], i, 0});
@@ -216,7 +242,7 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
     note_selection(top.gain);
     ++round;
   }
-  finish(scenario, candidates, result, state, workers);
+  finish(scenario, objective, result, state, workers);
   return result;
 }
 
@@ -225,14 +251,15 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
 GreedyResult select_strategies(const model::Scenario& scenario,
                                std::span<const pdcs::Candidate> candidates,
                                GreedyMode mode, ObjectiveKind kind,
-                               parallel::ThreadPool* workers) {
+                               parallel::ThreadPool* workers,
+                               GainEngine engine) {
   switch (mode) {
     case GreedyMode::kPerType:
-      return greedy_per_type(scenario, candidates, kind, workers);
+      return greedy_per_type(scenario, candidates, kind, engine, workers);
     case GreedyMode::kGlobal:
-      return greedy_global(scenario, candidates, kind, workers);
+      return greedy_global(scenario, candidates, kind, engine, workers);
     case GreedyMode::kLazyGlobal:
-      return greedy_lazy(scenario, candidates, kind, workers);
+      return greedy_lazy(scenario, candidates, kind, engine, workers);
   }
   HIPO_ASSERT_MSG(false, "unknown greedy mode");
   return {};

@@ -42,6 +42,13 @@ struct GreedyResult {
 PartitionMatroid placement_matroid(const model::Scenario& scenario,
                                    std::span<const pdcs::Candidate> candidates);
 
+/// Same matroid, read off an objective's row metadata (the CSR strategy
+/// arena under kFlatCsr) instead of the candidate structs. Identical
+/// output; this is what the greedy drivers use so the selection loop never
+/// touches the vector-of-vectors representation.
+PartitionMatroid placement_matroid(const model::Scenario& scenario,
+                                   const ChargingObjective& objective);
+
 /// Select strategies greedily. Stops early when no remaining candidate has
 /// positive gain and every budget is either filled or its part exhausted.
 /// `kind` selects the per-device transform (kLogUtility gives the
@@ -49,10 +56,16 @@ PartitionMatroid placement_matroid(const model::Scenario& scenario,
 /// given, the per-round argmax, the lazy heap build, and the exact-utility
 /// evaluation run on the pool; the chunked deterministic reduction makes
 /// the result bit-identical for any worker count (including none).
+/// `engine` picks the gain-evaluation storage: kFlatCsr (default) packs the
+/// pool into a CoverageMatrix and runs the dirty-gain incremental argmax,
+/// kLegacy is the vector-of-vectors full rescan. Both return bit-identical
+/// results — the engines evaluate identical expressions in identical order
+/// (ctest-asserted); kLegacy exists as the A/B baseline.
 GreedyResult select_strategies(const model::Scenario& scenario,
                                std::span<const pdcs::Candidate> candidates,
                                GreedyMode mode = GreedyMode::kPerType,
                                ObjectiveKind kind = ObjectiveKind::kUtility,
-                               parallel::ThreadPool* workers = nullptr);
+                               parallel::ThreadPool* workers = nullptr,
+                               GainEngine engine = GainEngine::kFlatCsr);
 
 }  // namespace hipo::opt

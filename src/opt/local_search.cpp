@@ -22,7 +22,8 @@ LocalSearchResult local_search_improve(
     std::span<const pdcs::Candidate> candidates, const GreedyResult& start,
     ObjectiveKind kind, const LocalSearchOptions& options) {
   HIPO_REQUIRE(options.max_rounds >= 0, "max_rounds must be >= 0");
-  const ChargingObjective objective(scenario, candidates, kind);
+  const ChargingObjective objective(scenario, candidates, kind,
+                                    options.engine);
 
   LocalSearchResult out;
   out.result = start;
@@ -36,7 +37,7 @@ LocalSearchResult local_search_improve(
   // Candidate pool per charger type (swap partners).
   std::vector<std::vector<std::size_t>> pools(scenario.num_charger_types());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    pools[candidates[i].strategy.type].push_back(i);
+    pools[objective.strategy(i).type].push_back(i);
   }
 
   double current = value_of(objective, selected);
@@ -48,7 +49,7 @@ LocalSearchResult local_search_improve(
 
     for (std::size_t slot = 0; slot < selected.size(); ++slot) {
       const std::size_t out_idx = selected[slot];
-      const std::size_t q = candidates[out_idx].strategy.type;
+      const std::size_t q = objective.strategy(out_idx).type;
       for (std::size_t in_idx : pools[q]) {
         if (taken[in_idx]) continue;
         selected[slot] = in_idx;  // tentative swap
@@ -73,7 +74,7 @@ LocalSearchResult local_search_improve(
   out.result.approx_utility = current;
   out.result.placement.clear();
   for (std::size_t i : selected) {
-    out.result.placement.push_back(candidates[i].strategy);
+    out.result.placement.push_back(objective.strategy(i));
   }
   model::LosCache cache(scenario);
   out.result.exact_utility = cache.placement_utility(out.result.placement);

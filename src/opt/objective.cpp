@@ -3,14 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::opt {
 
 ChargingObjective::ChargingObjective(
     const model::Scenario& scenario,
-    std::span<const pdcs::Candidate> candidates, ObjectiveKind kind)
+    std::span<const pdcs::Candidate> candidates, ObjectiveKind kind,
+    GainEngine engine)
     : scenario_(&scenario), candidates_(candidates), kind_(kind) {
+  if (engine == GainEngine::kFlatCsr) {
+    matrix_ =
+        std::make_unique<CoverageMatrix>(candidates, scenario.num_devices());
+  }
   p_th_.reserve(scenario.num_devices());
   weight_.reserve(scenario.num_devices());
   for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
@@ -23,6 +29,14 @@ ChargingObjective::ChargingObjective(
 const pdcs::Candidate& ChargingObjective::candidate(std::size_t i) const {
   HIPO_ASSERT(i < candidates_.size());
   return candidates_[i];
+}
+
+const model::Strategy& ChargingObjective::strategy(std::size_t i) const {
+  if (matrix_) {
+    HIPO_ASSERT(i < matrix_->num_rows());
+    return matrix_->strategy(i);
+  }
+  return candidate(i).strategy;
 }
 
 double ChargingObjective::device_score(std::size_t j, double x) const {
@@ -39,40 +53,144 @@ double ChargingObjective::value(std::span<const std::size_t> selected) const {
 ChargingObjective::State::State(const ChargingObjective& objective)
     : objective_(&objective), power_(objective.p_th_.size(), 0.0) {}
 
-double ChargingObjective::State::gain(std::size_t i) const {
-  const auto& cand = objective_->candidate(i);
-  if (objective_->p_th_.empty()) return 0.0;
+void ChargingObjective::State::enable_incremental() {
+  if (objective_->matrix_ == nullptr || !dirty_.empty()) return;
+  const std::size_t n = objective_->num_candidates();
+  if (n == 0) return;
+  cached_gain_.assign(n, 0.0);
+  dirty_.assign(n, 1);  // nothing cached yet: every row starts stale
+}
+
+double ChargingObjective::State::recompute_gain(std::size_t i) const {
+  const ChargingObjective& o = *objective_;
+  // Early-outs ahead of any candidate lookup: a device-free scenario has no
+  // utility to gain, and a zero total weight would divide by zero below.
+  if (o.p_th_.empty() || o.weight_total_ <= 0.0) return 0.0;
   double delta = 0.0;
-  for (std::size_t k = 0; k < cand.covered.size(); ++k) {
-    const std::size_t j = cand.covered[k];
-    delta += objective_->device_score(j, power_[j] + cand.powers[k]) -
-             objective_->device_score(j, power_[j]);
+  if (o.matrix_) {
+    HIPO_ASSERT(i < o.matrix_->num_rows());
+    const auto covered = o.matrix_->covered(i);
+    const auto powers = o.matrix_->powers(i);
+    for (std::size_t k = 0; k < covered.size(); ++k) {
+      const std::size_t j = covered[k];
+      delta += o.device_score(j, power_[j] + powers[k]) -
+               o.device_score(j, power_[j]);
+    }
+  } else {
+    const auto& cand = o.candidate(i);
+    for (std::size_t k = 0; k < cand.covered.size(); ++k) {
+      const std::size_t j = cand.covered[k];
+      delta += o.device_score(j, power_[j] + cand.powers[k]) -
+               o.device_score(j, power_[j]);
+    }
   }
-  return delta / objective_->weight_total_;
+  return delta / o.weight_total_;
+}
+
+double ChargingObjective::State::gain(std::size_t i) const {
+  if (!dirty_.empty()) {
+    if (dirty_[i]) {
+      // Same expressions, same fold order as every other evaluation of
+      // this row — the refreshed cache entry is bit-identical to what a
+      // cache-free State would compute.
+      const double g = recompute_gain(i);
+      cached_gain_[i] = g;
+      dirty_[i] = 0;
+      if (obs::metrics_enabled()) [[unlikely]] {
+        static obs::Counter& recomputes =
+            obs::counter("coverage.gain_recomputes");
+        recomputes.bump();
+      }
+      return g;
+    }
+    if (obs::metrics_enabled()) [[unlikely]] {
+      static obs::Counter& avoided = obs::counter("coverage.reevals_avoided");
+      avoided.bump();
+    }
+    return cached_gain_[i];
+  }
+  return recompute_gain(i);
 }
 
 BestGain ChargingObjective::State::best_gain(
     std::span<const std::size_t> pool, std::size_t begin, std::size_t end,
     const std::vector<bool>& taken) const {
   BestGain best;
-  for (std::size_t k = begin; k < end; ++k) {
-    const std::size_t i = pool[k];
-    if (taken[i]) continue;
-    const double g = gain(i);
-    if (g <= kMinGain) continue;  // not worth a charger
-    if (g > best.gain) {  // strict: exact ties keep the earlier index
-      best.gain = g;
-      best.index = i;
+  std::size_t clean_hits = 0;
+  if (!dirty_.empty()) {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = pool[k];
+      if (dirty_[i] == 0) {
+        // Clean fast path — with a warmed-up cache this branch is ~all of
+        // the scan, so its cost *is* the argmax floor: one byte load, one
+        // double load, one (almost always false) compare. No call, no
+        // per-row counter check, and crucially no vector<bool> bit test:
+        // the taken check is deferred into the would-win branch, which is
+        // correct because skipping it can only ever *admit* a row, and a
+        // taken row is vetoed right there before it can become the
+        // incumbent.
+        ++clean_hits;
+        const double g = cached_gain_[i];
+        if (g > best.gain && g > kMinGain && !taken[i]) {
+          best.gain = g;
+          best.index = i;
+        }
+        continue;
+      }
+      if (taken[i]) continue;  // stays dirty; never selectable again
+      const double g = gain(i);
+      if (g <= kMinGain) continue;  // not worth a charger
+      if (g > best.gain) {  // strict: exact ties keep the earlier index
+        best.gain = g;
+        best.index = i;
+      }
     }
+  } else {
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = pool[k];
+      if (taken[i]) continue;
+      const double g = gain(i);
+      if (g <= kMinGain) continue;  // not worth a charger
+      if (g > best.gain) {  // strict: exact ties keep the earlier index
+        best.gain = g;
+        best.index = i;
+      }
+    }
+  }
+  if (obs::metrics_enabled()) [[unlikely]] {
+    // Bulk-bump once per argmax chunk.
+    static obs::Counter& rows = obs::counter("coverage.rows_scanned");
+    static obs::Counter& avoided = obs::counter("coverage.reevals_avoided");
+    rows.add(end - begin);
+    avoided.add(clean_hits);
   }
   return best;
 }
 
 void ChargingObjective::State::add(std::size_t i) {
   value_ += gain(i);
-  const auto& cand = objective_->candidate(i);
-  for (std::size_t k = 0; k < cand.covered.size(); ++k) {
-    power_[cand.covered[k]] += cand.powers[k];
+  const ChargingObjective& o = *objective_;
+  if (o.matrix_) {
+    HIPO_ASSERT(i < o.matrix_->num_rows());
+    const auto covered = o.matrix_->covered(i);
+    const auto powers = o.matrix_->powers(i);
+    for (std::size_t k = 0; k < covered.size(); ++k) {
+      power_[covered[k]] += powers[k];
+    }
+    if (!dirty_.empty()) {
+      // Dirty propagation: only rows sharing a covered device with i can
+      // see a different marginal gain — exactly the union of the inverted
+      // index's lists for i's devices. Everything else keeps its cached
+      // gain, bit-identical to a fresh recomputation.
+      for (std::uint32_t j : covered) {
+        for (std::uint32_t r : o.matrix_->rows_covering(j)) dirty_[r] = 1;
+      }
+    }
+  } else {
+    const auto& cand = o.candidate(i);
+    for (std::size_t k = 0; k < cand.covered.size(); ++k) {
+      power_[cand.covered[k]] += cand.powers[k];
+    }
   }
 }
 

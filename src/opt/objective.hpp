@@ -10,13 +10,25 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "src/model/scenario.hpp"
+#include "src/opt/coverage_matrix.hpp"
 #include "src/pdcs/candidate.hpp"
 
 namespace hipo::opt {
+
+/// Storage the gain evaluation runs on:
+///   kFlatCsr — candidates packed into a CoverageMatrix (contiguous arenas,
+///              inverted device index, incremental dirty-gain support);
+///   kLegacy  — the original per-candidate vector-of-vectors walk.
+/// Both engines evaluate the identical expressions in the identical order,
+/// so every gain — and therefore every selection — is bit-identical; kLegacy
+/// is kept as the A/B baseline for the equivalence tests and benchmarks.
+enum class GainEngine { kFlatCsr, kLegacy };
 
 /// Per-device transform of the utility (both keep f monotone submodular):
 ///   kUtility    — P1/P3's Σ U_j (Eq. 4);
@@ -55,13 +67,24 @@ inline BestGain better_gain(BestGain a, BestGain b) {
 
 class ChargingObjective {
  public:
-  /// Both references must outlive the objective.
+  /// Both references must outlive the objective. With kFlatCsr the
+  /// candidates are additionally packed into an owned CoverageMatrix and
+  /// the gain loops run on its arenas.
   ChargingObjective(const model::Scenario& scenario,
                     std::span<const pdcs::Candidate> candidates,
-                    ObjectiveKind kind = ObjectiveKind::kUtility);
+                    ObjectiveKind kind = ObjectiveKind::kUtility,
+                    GainEngine engine = GainEngine::kFlatCsr);
 
   std::size_t num_candidates() const { return candidates_.size(); }
   const pdcs::Candidate& candidate(std::size_t i) const;
+  /// Strategy of candidate i, served from the CSR row metadata when the
+  /// flat engine is active (candidate(i).strategy otherwise — identical).
+  const model::Strategy& strategy(std::size_t i) const;
+  GainEngine engine() const {
+    return matrix_ ? GainEngine::kFlatCsr : GainEngine::kLegacy;
+  }
+  /// The packed coverage structure; nullptr under kLegacy.
+  const CoverageMatrix* matrix() const { return matrix_.get(); }
 
   /// f(X) for an explicit index set (recomputed from scratch).
   double value(std::span<const std::size_t> selected) const;
@@ -82,14 +105,46 @@ class ChargingObjective {
     /// the per-chunk map of the parallel greedy argmax.
     BestGain best_gain(std::span<const std::size_t> pool, std::size_t begin,
                        std::size_t end, const std::vector<bool>& taken) const;
-    /// Add candidate i to X.
+    /// Add candidate i to X. With incremental tracking on, also marks
+    /// dirty exactly the rows reachable from i's covered devices via the
+    /// inverted index — the only candidates whose gain can have changed.
     void add(std::size_t i);
     const std::vector<double>& device_power() const { return power_; }
+
+    /// Switch on cached-gain / dirty-set tracking (flat engine only; a
+    /// no-op under kLegacy or with an empty pool). Opt-in because it costs
+    /// two O(n) arrays per State: the greedy drivers want it, while
+    /// exhaustive search and local search construct/copy States far too
+    /// often to pay for it.
+    ///
+    /// Thread-safety: gain() then writes cache entries through `mutable`
+    /// members. Concurrent gain() calls are safe iff they target distinct
+    /// candidates — which the chunked argmax guarantees (disjoint pool
+    /// ranges per worker, and a candidate appears in a pool once). The
+    /// cached value is bit-identical to a fresh recomputation by
+    /// construction, so determinism across worker counts is unaffected.
+    void enable_incremental();
+    bool incremental() const { return !dirty_.empty(); }
+    /// True when i's cached gain is stale (or tracking is off): the next
+    /// gain(i) will recompute. Exposed for the dirty-invariant tests.
+    bool is_dirty(std::size_t i) const {
+      return dirty_.empty() || dirty_[i] != 0;
+    }
+    /// Fresh marginal gain, bypassing the cache — the test oracle for the
+    /// cached-gain ≡ recomputed-gain invariant.
+    double recompute_gain(std::size_t i) const;
 
    private:
     const ChargingObjective* objective_;
     std::vector<double> power_;
     double value_ = 0.0;
+    /// Incremental tracking (empty unless enable_incremental ran):
+    /// cached_gain_[i] is valid iff dirty_[i] == 0. Plain bytes, not packed
+    /// bits — parallel argmax chunks clear flags of different candidates,
+    /// and distinct vector<uint8_t> elements are distinct memory locations
+    /// while bits of a shared word are not.
+    mutable std::vector<double> cached_gain_;
+    mutable std::vector<std::uint8_t> dirty_;
   };
 
   const model::Scenario& scenario() const { return *scenario_; }
@@ -104,6 +159,9 @@ class ChargingObjective {
 
   const model::Scenario* scenario_;
   std::span<const pdcs::Candidate> candidates_;
+  /// Flat engine storage (null under kLegacy). unique_ptr keeps the
+  /// objective cheaply movable and the legacy configuration allocation-free.
+  std::unique_ptr<CoverageMatrix> matrix_;
   std::vector<double> p_th_;    // per-device thresholds (cache)
   std::vector<double> weight_;  // per-device weights (cache)
   double weight_total_ = 0.0;

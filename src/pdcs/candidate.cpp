@@ -65,13 +65,26 @@ std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
 
   std::vector<Candidate> kept;
   std::vector<CoverageMask> kept_masks;
+  // Inverted device→kept-candidate index, grown as survivors are admitted.
+  // A dominator must cover *every* device of `cand`, so it is enough to
+  // test the kept candidates covering cand's least-popular covered device:
+  // pairs with non-overlapping coverage never reach the O(words) mask test,
+  // and the scan shrinks from |kept| to the shortest inverted list. The
+  // lists are appended in kept order, so the existential outcome (and thus
+  // the survivor set) is identical to the full scan.
+  std::vector<std::vector<std::uint32_t>> kept_by_device(num_devices);
   for (std::size_t idx : order) {
     Candidate& cand = candidates[idx];
     if (cand.covers_nothing()) continue;
     CoverageMask mask(num_devices);
     for (std::size_t j : cand.covered) mask.set(j);
+    std::size_t rarest = cand.covered.front();
+    for (std::size_t j : cand.covered) {
+      HIPO_ASSERT(j < num_devices);
+      if (kept_by_device[j].size() < kept_by_device[rarest].size()) rarest = j;
+    }
     bool dominated = false;
-    for (std::size_t k = 0; k < kept.size(); ++k) {
+    for (std::uint32_t k : kept_by_device[rarest]) {
       if (!mask.is_subset_of(kept_masks[k])) continue;
       if (dominated_by(cand, kept[k])) {
         dominated = true;
@@ -79,6 +92,8 @@ std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
       }
     }
     if (!dominated) {
+      const auto id = static_cast<std::uint32_t>(kept.size());
+      for (std::size_t j : cand.covered) kept_by_device[j].push_back(id);
       kept.push_back(std::move(cand));
       kept_masks.push_back(std::move(mask));
     }

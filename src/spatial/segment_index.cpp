@@ -505,7 +505,21 @@ bool SegmentIndex::poly_contains_interior(std::uint32_t pi, Vec2 p) const {
 
 
 bool SegmentIndex::point_in_any_cold(Vec2 p) const {
-  for (std::uint32_t pi : polys_in_cell(cell_of(p))) {
+  const auto cell = polys_in_cell(cell_of(p));
+  // Density cutover: clustered obstacle sets can register most polygons in
+  // p's cell, and then the gather through the cell list only adds an
+  // indirection per polygon over the straight scan. Scanning *all* flat
+  // bboxes is safe — any polygon able to pass the bbox gate at p is
+  // registered in p's cell, so the extra rows fail the gate — and cheaper
+  // once the cell covers half the set.
+  if (cell.size() * 2 >= polygons_.size()) {
+    for (std::uint32_t pi = 0; pi < polygons_.size(); ++pi) {
+      if (poly_bbox_[pi].contains(p, kMargin) && polygons_[pi].contains(p))
+        return true;
+    }
+    return false;
+  }
+  for (std::uint32_t pi : cell) {
     if (poly_bbox_[pi].contains(p, kMargin) && polygons_[pi].contains(p))
       return true;
   }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+
 #include "src/util/rng.hpp"
 
 namespace hipo::pdcs {
@@ -149,6 +152,79 @@ TEST_P(FilterPropertyTest, SoundAndComplete) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, FilterPropertyTest, ::testing::Range(0, 15));
+
+/// Reference implementation of the dominance filter: the same sort followed
+/// by a full scan of all kept candidates (the pre-inverted-index
+/// algorithm). The production filter prunes the scan to the kept list of
+/// the candidate's least-popular device; survivors must be identical.
+std::vector<Candidate> filter_dominated_reference(
+    std::vector<Candidate> candidates, std::size_t num_devices) {
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> total_power(candidates.size(), 0.0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (double p : candidates[i].powers) total_power[i] += p;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (candidates[x].covered.size() != candidates[y].covered.size())
+      return candidates[x].covered.size() > candidates[y].covered.size();
+    if (total_power[x] != total_power[y]) return total_power[x] > total_power[y];
+    return x < y;
+  });
+  std::vector<Candidate> kept;
+  std::vector<CoverageMask> kept_masks;
+  for (std::size_t idx : order) {
+    Candidate& cand = candidates[idx];
+    if (cand.covers_nothing()) continue;
+    CoverageMask mask(num_devices);
+    for (std::size_t j : cand.covered) mask.set(j);
+    bool dominated = false;
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      if (mask.is_subset_of(kept_masks[k]) && dominated_by(cand, kept[k])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      kept.push_back(std::move(cand));
+      kept_masks.push_back(std::move(mask));
+    }
+  }
+  return kept;
+}
+
+class FilterEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterEquivalenceTest, MatchesFullScanReference) {
+  hipo::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 5);
+  const std::size_t num_devices = 1 + rng.below(20);
+  std::vector<Candidate> input;
+  const int n = 1 + static_cast<int>(rng.below(80));
+  for (int i = 0; i < n; ++i) {
+    Candidate c;
+    c.strategy.type = 0;
+    for (std::size_t j = 0; j < num_devices; ++j) {
+      if (rng.uniform() < 0.4) {
+        c.covered.push_back(j);
+        c.powers.push_back(0.05 * static_cast<double>(1 + rng.below(4)));
+      }
+    }
+    input.push_back(c);
+  }
+  auto a = input;
+  auto b = input;
+  const auto fast = filter_dominated(std::move(a), num_devices);
+  const auto reference = filter_dominated_reference(std::move(b), num_devices);
+
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].covered, reference[i].covered) << "survivor " << i;
+    EXPECT_EQ(fast[i].powers, reference[i].powers) << "survivor " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FilterEquivalenceTest,
+                         ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace hipo::pdcs

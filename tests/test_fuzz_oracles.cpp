@@ -105,6 +105,26 @@ TEST(FuzzShrink, KeepsViolationNameStable) {
   EXPECT_EQ(result.config.devices.size(), 3u);
 }
 
+TEST(FuzzCorpus, DeviceFreeScenarioRunsClean) {
+  // The fully shrunken shape of fuzz-coverage-seed8752293627032535368: a
+  // zero-budget charger type and no devices at all. Scenario *files* may no
+  // longer be device-free (read_scenario rejects zero total device weight),
+  // so the original reproducer is pinned here by direct construction — the
+  // Scenario model itself still admits it and the whole pipeline must stay
+  // graceful on it.
+  model::Scenario::Config cfg;
+  cfg.region = {{0.0, 0.0}, {32.540560520827874, 21.977738833193222}};
+  cfg.eps1 = 0.4285714285714286;
+  cfg.charger_types.push_back(
+      {0.050000000000000003, 0.0, 11.490863303251409});
+  cfg.charger_counts.push_back(0);
+  cfg.device_types.push_back({6.2831853071795862});
+  cfg.pair_params.push_back({65.145431877569365, 16.982660583388586});
+  const model::Scenario scenario(std::move(cfg));
+  const auto v = run_all(scenario, 1);
+  EXPECT_FALSE(v.has_value()) << "[" << v->oracle << "] " << v->detail;
+}
+
 TEST(FuzzCorpus, AllPinnedCasesPass) {
   // Every shrunken reproducer in tests/corpus must stay green: each pins a
   // fixed bug (replayed with its recorded seed baked into the filename).

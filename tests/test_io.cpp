@@ -82,6 +82,28 @@ TEST(ScenarioIo, MissingPairEntryThrows) {
   EXPECT_THROW(read_scenario(buffer), hipo::ConfigError);
 }
 
+TEST(ScenarioIo, ZeroTotalDeviceWeightThrows) {
+  // Structurally valid but device-free: total device weight is zero, so the
+  // normalized objective (Eq. 4's 1/N_o weighting) is undefined. Rejected
+  // at the I/O boundary with a named ConfigError rather than producing
+  // constant-zero utilities downstream.
+  std::stringstream buffer(
+      "hipo-scenario v1\n"
+      "region 0 0 10 10\n"
+      "eps1 0.3\n"
+      "charger_type 1.0 1.0 5.0 2\n"
+      "device_type 3.0\n"
+      "pair 0 0 100 40\n");
+  try {
+    read_scenario(buffer);
+    FAIL() << "expected ConfigError for zero total device weight";
+  } catch (const hipo::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("total device weight"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ScenarioIo, TruncatedObstacleThrows) {
   std::stringstream buffer(
       "hipo-scenario v1\n"

@@ -5,6 +5,8 @@
 //   hipo_solve --scenario field.hipo [--out placement.hipo] [--svg out.svg]
 //              [--algorithm hipo|gppdcs|gpad|gpar|rpad|rpar]
 //              [--grid square|triangle] [--local-search] [--seed N]
+//              [--gain-engine flat|legacy]  (CSR dirty-gain engine vs the
+//                                      full-rescan baseline; same placement)
 //              [--threads N]          (0 = hardware concurrency, the default;
 //                                      output is identical for any N)
 //              [--demo paper|field]   (generate a built-in scenario instead)
@@ -53,11 +55,18 @@ model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
   Rng rng(static_cast<std::uint64_t>(cli.get_or("seed", 1)) ^
           0x9e3779b97f4a7c15ULL);
 
+  const std::string engine_name =
+      cli.get_or("gain-engine", std::string("flat"));
+  HIPO_REQUIRE(engine_name == "flat" || engine_name == "legacy",
+               "--gain-engine expects 'flat' or 'legacy'");
+
   if (name == "hipo") {
     parallel::ThreadPool pool(static_cast<std::size_t>(threads));
     core::SolveOptions opts;
     opts.local_search = cli.has("local-search");
     opts.pool = &pool;
+    opts.gain_engine = engine_name == "flat" ? opt::GainEngine::kFlatCsr
+                                             : opt::GainEngine::kLegacy;
     return core::solve(scenario, opts).placement;
   }
   if (name == "gppdcs") return baselines::place_gppdcs(scenario, grid, rng);
