@@ -22,7 +22,8 @@ SolveResult solve(const model::Scenario& scenario,
                                            options.greedy,
                                            opt::ObjectiveKind::kUtility,
                                            options.pool,
-                                           options.gain_engine);
+                                           options.gain_engine,
+                                           options.gain_quantize);
   }
   if (options.local_search) {
     obs::ScopedPhase phase("local_search");

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "src/geometry/sector_ring.hpp"
 #include "src/opt/exhaustive.hpp"
 #include "src/opt/greedy.hpp"
+#include "src/opt/simd/gain_kernels.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/pdcs/point_case.hpp"
@@ -596,13 +598,115 @@ std::optional<Violation> check_determinism(const Scenario& scenario,
   return std::nullopt;
 }
 
+namespace {
+
+/// Pin the kernel ISA for a scope, restoring the previous dispatch on exit.
+class IsaGuard {
+ public:
+  IsaGuard() : saved_(opt::simd::active_isa()) {}
+  ~IsaGuard() { opt::simd::force_isa(saved_); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+
+ private:
+  opt::simd::Isa saved_;
+};
+
+std::uint64_t utility_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::optional<Violation> check_simd_identity(const Scenario& scenario,
+                                             std::uint64_t seed) {
+  (void)seed;
+  if (!extraction_tractable(scenario)) return std::nullopt;
+  const auto extraction = pdcs::extract_all(scenario);
+  const auto& cands = extraction.candidates;
+  if (cands.empty() || cands.size() > 400 || scenario.num_chargers() > 8) {
+    return std::nullopt;
+  }
+
+  IsaGuard guard;
+  const bool have_avx2 =
+      opt::simd::avx2_compiled() && opt::simd::cpu_has_avx2();
+
+  for (const auto mode : {opt::GreedyMode::kPerType, opt::GreedyMode::kGlobal,
+                          opt::GreedyMode::kLazyGlobal}) {
+    for (const auto kind :
+         {opt::ObjectiveKind::kUtility, opt::ObjectiveKind::kLogUtility}) {
+      opt::simd::force_isa(opt::simd::Isa::kScalar);
+      const auto base = opt::select_strategies(scenario, cands, mode, kind);
+
+      // Variants that must match the scalar flat non-quantized baseline
+      // bit for bit: quantized dense argmax, the legacy engine, and (when
+      // available) the same trio on the AVX2 kernels.
+      struct Variant {
+        const char* name;
+        opt::simd::Isa isa;
+        opt::GainEngine engine;
+        bool quantize;
+      };
+      std::vector<Variant> variants{
+          {"scalar+quantize", opt::simd::Isa::kScalar,
+           opt::GainEngine::kFlatCsr, true},
+          {"scalar legacy", opt::simd::Isa::kScalar, opt::GainEngine::kLegacy,
+           false},
+      };
+      if (have_avx2) {
+        variants.push_back({"avx2", opt::simd::Isa::kAvx2,
+                            opt::GainEngine::kFlatCsr, false});
+        variants.push_back({"avx2+quantize", opt::simd::Isa::kAvx2,
+                            opt::GainEngine::kFlatCsr, true});
+        variants.push_back({"avx2 legacy", opt::simd::Isa::kAvx2,
+                            opt::GainEngine::kLegacy, false});
+      }
+      for (const Variant& v : variants) {
+        opt::simd::force_isa(v.isa);
+        const auto run = opt::select_strategies(scenario, cands, mode, kind,
+                                                nullptr, v.engine, v.quantize);
+        const char* mode_name =
+            mode == opt::GreedyMode::kPerType   ? "per-type"
+            : mode == opt::GreedyMode::kGlobal ? "global"
+                                               : "lazy-global";
+        const char* kind_name =
+            kind == opt::ObjectiveKind::kUtility ? "utility" : "log-utility";
+        if (run.selected != base.selected) {
+          return fail("simd", std::string(v.name) + " selection differs from "
+                                  "scalar baseline (mode " +
+                                  mode_name + ", kind " + kind_name + ")");
+        }
+        if (utility_bits(run.approx_utility) !=
+                utility_bits(base.approx_utility) ||
+            utility_bits(run.exact_utility) !=
+                utility_bits(base.exact_utility)) {
+          return fail("simd",
+                      std::string(v.name) +
+                          " utilities not bit-identical to scalar baseline "
+                          "(mode " +
+                          mode_name + ", kind " + kind_name + "): approx " +
+                          fmt(run.approx_utility) + " vs " +
+                          fmt(base.approx_utility) + ", exact " +
+                          fmt(run.exact_utility) + " vs " +
+                          fmt(base.exact_utility));
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::span<const NamedOracle> all_oracles() {
-  static constexpr std::array<NamedOracle, 5> kOracles{{
+  static constexpr std::array<NamedOracle, 6> kOracles{{
       {"line_of_sight", &check_line_of_sight},
       {"coverage", &check_coverage},
       {"piecewise", &check_piecewise},
       {"greedy", &check_greedy_bound},
       {"determinism", &check_determinism},
+      {"simd", &check_simd_identity},
   }};
   return kOracles;
 }

@@ -33,7 +33,7 @@ struct NamedOracle {
   Oracle fn;
 };
 
-/// The five oracles, in fixed execution order.
+/// The six oracles, in fixed execution order.
 std::span<const NamedOracle> all_oracles();
 
 /// (1) SegmentIndex line-of-sight / containment vs. the brute-force
@@ -66,6 +66,14 @@ std::optional<Violation> check_greedy_bound(const model::Scenario& scenario,
 /// workers must produce bit-identical placements and utilities.
 std::optional<Violation> check_determinism(const model::Scenario& scenario,
                                            std::uint64_t seed);
+
+/// (6) Gain-kernel dispatch identity: greedy selections and utilities must
+/// be bit-identical across forced scalar vs. AVX2 kernels (when compiled
+/// and supported), quantized vs. plain dense argmax, and flat vs. legacy
+/// engine, for every greedy mode and objective kind. Restores the
+/// previously active ISA on exit.
+std::optional<Violation> check_simd_identity(const model::Scenario& scenario,
+                                             std::uint64_t seed);
 
 /// Run one oracle, converting any exception that escapes the pipeline (an
 /// InvariantError from a tripped internal assertion, a std::logic_error, a

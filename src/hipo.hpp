@@ -39,6 +39,7 @@
 #include "src/opt/local_search.hpp"
 #include "src/opt/matroid.hpp"
 #include "src/opt/objective.hpp"
+#include "src/opt/simd/gain_kernels.hpp"
 #include "src/parallel/lpt.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/pdcs/arrangement.hpp"

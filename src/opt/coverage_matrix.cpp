@@ -12,6 +12,11 @@ CoverageMatrix::CoverageMatrix(std::span<const pdcs::Candidate> candidates,
   for (const auto& c : candidates) nnz += c.covered.size();
   HIPO_REQUIRE(nnz <= std::numeric_limits<std::uint32_t>::max(),
                "coverage matrix exceeds u32 entry capacity");
+  // The AVX2 row kernels gather per-device data with *signed* 32-bit
+  // indices, so device ids must stay below 2^31. Far above any realistic
+  // scenario (ids are u32 anyway), but enforced rather than assumed.
+  HIPO_REQUIRE(num_devices < (std::size_t{1} << 31),
+               "coverage matrix device count exceeds i32 gather range");
 
   row_start_.reserve(candidates.size() + 1);
   device_arena_.reserve(nnz);

@@ -47,6 +47,14 @@ namespace {
 /// candidates split into enough chunks to balance 4–16 workers.
 constexpr std::size_t kArgmaxGrain = 128;
 
+/// Chunk size of the dense (SIMD-kernel) argmax. Larger than kArgmaxGrain:
+/// a dense chunk is a straight-line vector scan over contiguous lanes, so
+/// per-chunk dispatch overhead matters more and per-row cost matters less.
+/// Fixed for the same determinism reason — though the dense reduction's
+/// winner is chunking-invariant anyway (exact compares, lowest index wins
+/// across any chunk boundary).
+constexpr std::size_t kDenseGrain = 1024;
+
 /// Marginal-gain buckets: the utility objective is normalized to [0, 1], so
 /// accepted gains live on a log-ish scale below 1.
 constexpr double kGainBounds[] = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
@@ -78,6 +86,21 @@ BestGain best_gain(const ChargingObjective::State& state,
       [](BestGain a, BestGain b) { return better_gain(a, b); }, kArgmaxGrain);
 }
 
+/// Dense variant: blocked SoA scan over every candidate row, eligibility
+/// filtering instead of pool indirection. Used whenever incremental
+/// tracking is on (the flat engine); the pooled scan remains the legacy
+/// engine's path and the A/B baseline the benchmarks compare against.
+BestGain best_gain_dense(const ChargingObjective::State& state,
+                         std::size_t num_candidates,
+                         parallel::ThreadPool* workers) {
+  return parallel::chunked_reduce(
+      workers, num_candidates, BestGain{},
+      [&](std::size_t begin, std::size_t end) {
+        return state.best_gain_dense(begin, end);
+      },
+      [](BestGain a, BestGain b) { return better_gain(a, b); }, kDenseGrain);
+}
+
 void finish(const model::Scenario& scenario,
             const ChargingObjective& objective, GreedyResult& result,
             const ChargingObjective::State& state,
@@ -99,14 +122,33 @@ void finish(const model::Scenario& scenario,
 GreedyResult greedy_per_type(const model::Scenario& scenario,
                              std::span<const pdcs::Candidate> candidates,
                              ObjectiveKind kind, GainEngine engine,
-                             parallel::ThreadPool* workers) {
+                             bool quantize, parallel::ThreadPool* workers) {
   const ChargingObjective objective(scenario, candidates, kind, engine);
   ChargingObjective::State state(objective);
-  state.enable_incremental();
+  state.enable_incremental(quantize);
   GreedyResult result;
   std::vector<bool> taken(candidates.size(), false);
 
   for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
+    if (state.incremental()) {
+      // Dense path: one eligibility reset per type phase replaces the
+      // per-phase pool build — the argmax then scans contiguous lanes.
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        state.set_eligible(i, objective.strategy(i).type == q && !taken[i]);
+      }
+      const auto budget = static_cast<std::size_t>(scenario.charger_count(q));
+      for (std::size_t pick = 0; pick < budget; ++pick) {
+        const BestGain best =
+            best_gain_dense(state, candidates.size(), workers);
+        if (!best.found()) break;  // nothing left with positive gain
+        taken[best.index] = true;
+        state.mark_ineligible(best.index);
+        state.add(best.index);
+        result.selected.push_back(best.index);
+        note_selection(best.gain);
+      }
+      continue;
+    }
     std::vector<std::size_t> pool;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (objective.strategy(i).type == q) pool.push_back(i);
@@ -128,10 +170,11 @@ GreedyResult greedy_per_type(const model::Scenario& scenario,
 GreedyResult greedy_global(const model::Scenario& scenario,
                            std::span<const pdcs::Candidate> candidates,
                            ObjectiveKind kind, GainEngine engine,
-                           parallel::ThreadPool* workers) {
+                           bool quantize, parallel::ThreadPool* workers) {
   const ChargingObjective objective(scenario, candidates, kind, engine);
   ChargingObjective::State state(objective);
-  state.enable_incremental();
+  state.enable_incremental(quantize);
+  const bool dense = state.incremental();
   const PartitionMatroid matroid = placement_matroid(scenario, objective);
   PartitionMatroid::Tracker tracker(matroid);
   GreedyResult result;
@@ -140,17 +183,24 @@ GreedyResult greedy_global(const model::Scenario& scenario,
   // single flag test. Candidates of zero-budget parts are infeasible from
   // the start — without this pre-marking the argmax could pick one and trip
   // the tracker's capacity assertion before any retirement pass ran.
+  // Under the dense path the eligibility lane mirrors `taken` exactly.
   std::vector<bool> taken(candidates.size(), false);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (!tracker.can_add(i)) taken[i] = true;
+    if (!tracker.can_add(i)) {
+      taken[i] = true;
+      state.mark_ineligible(i);
+    }
   }
   std::vector<std::size_t> all(candidates.size());
   std::iota(all.begin(), all.end(), std::size_t{0});
 
   while (!tracker.saturated()) {
-    const BestGain best = best_gain(state, all, taken, workers);
+    const BestGain best =
+        dense ? best_gain_dense(state, candidates.size(), workers)
+              : best_gain(state, all, taken, workers);
     if (!best.found()) break;
     taken[best.index] = true;
+    state.mark_ineligible(best.index);
     tracker.add(best.index);
     state.add(best.index);
     result.selected.push_back(best.index);
@@ -158,7 +208,10 @@ GreedyResult greedy_global(const model::Scenario& scenario,
     if (!tracker.can_add(best.index)) {  // part now full: retire its peers
       const std::size_t part = matroid.part_of(best.index);
       for (std::size_t i = 0; i < candidates.size(); ++i) {
-        if (matroid.part_of(i) == part) taken[i] = true;
+        if (matroid.part_of(i) == part) {
+          taken[i] = true;
+          state.mark_ineligible(i);
+        }
       }
     }
   }
@@ -172,6 +225,8 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
                          parallel::ThreadPool* workers) {
   const ChargingObjective objective(scenario, candidates, kind, engine);
   ChargingObjective::State state(objective);
+  // Quantization only affects the dense argmax; the lazy driver is
+  // heap-ordered and never scans the quant lane, so it is not maintained.
   state.enable_incremental();
   const PartitionMatroid matroid = placement_matroid(scenario, objective);
   PartitionMatroid::Tracker tracker(matroid);
@@ -252,12 +307,14 @@ GreedyResult select_strategies(const model::Scenario& scenario,
                                std::span<const pdcs::Candidate> candidates,
                                GreedyMode mode, ObjectiveKind kind,
                                parallel::ThreadPool* workers,
-                               GainEngine engine) {
+                               GainEngine engine, bool quantize) {
   switch (mode) {
     case GreedyMode::kPerType:
-      return greedy_per_type(scenario, candidates, kind, engine, workers);
+      return greedy_per_type(scenario, candidates, kind, engine, quantize,
+                             workers);
     case GreedyMode::kGlobal:
-      return greedy_global(scenario, candidates, kind, engine, workers);
+      return greedy_global(scenario, candidates, kind, engine, quantize,
+                           workers);
     case GreedyMode::kLazyGlobal:
       return greedy_lazy(scenario, candidates, kind, engine, workers);
   }

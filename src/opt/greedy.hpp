@@ -57,15 +57,20 @@ PartitionMatroid placement_matroid(const model::Scenario& scenario,
 /// evaluation run on the pool; the chunked deterministic reduction makes
 /// the result bit-identical for any worker count (including none).
 /// `engine` picks the gain-evaluation storage: kFlatCsr (default) packs the
-/// pool into a CoverageMatrix and runs the dirty-gain incremental argmax,
-/// kLegacy is the vector-of-vectors full rescan. Both return bit-identical
-/// results — the engines evaluate identical expressions in identical order
-/// (ctest-asserted); kLegacy exists as the A/B baseline.
+/// pool into a CoverageMatrix and runs the dirty-gain incremental argmax on
+/// the SIMD-dispatched dense kernels, kLegacy is the vector-of-vectors full
+/// rescan. Both return bit-identical results — every engine routes each
+/// row's gain through one canonical kernel expression and fold order
+/// (ctest-asserted); kLegacy exists as the A/B baseline. `quantize` turns
+/// on the u16 quantized top-k shortlist inside the dense argmax (per-type
+/// and global modes; the lazy heap has no dense scan): a bandwidth
+/// optimization whose exact-recheck keeps placements bit-identical too.
 GreedyResult select_strategies(const model::Scenario& scenario,
                                std::span<const pdcs::Candidate> candidates,
                                GreedyMode mode = GreedyMode::kPerType,
                                ObjectiveKind kind = ObjectiveKind::kUtility,
                                parallel::ThreadPool* workers = nullptr,
-                               GainEngine engine = GainEngine::kFlatCsr);
+                               GainEngine engine = GainEngine::kFlatCsr,
+                               bool quantize = false);
 
 }  // namespace hipo::opt

@@ -9,7 +9,9 @@ namespace hipo::opt {
 
 namespace {
 
-/// Objective value of an explicit selection (fresh evaluation).
+/// Objective value of an explicit selection (fresh evaluation — each add
+/// runs on the dispatched SIMD row kernels, so swap evaluations here are
+/// bit-comparable with the greedy's gains for any active ISA).
 double value_of(const ChargingObjective& objective,
                 const std::vector<std::size_t>& selected) {
   return objective.value(selected);

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "src/obs/metrics.hpp"
+#include "src/opt/simd/gain_kernels.hpp"
 #include "src/util/error.hpp"
 
 namespace hipo::opt {
@@ -19,9 +21,12 @@ ChargingObjective::ChargingObjective(
   }
   p_th_.reserve(scenario.num_devices());
   weight_.reserve(scenario.num_devices());
+  weight_over_pth_.reserve(scenario.num_devices());
   for (std::size_t j = 0; j < scenario.num_devices(); ++j) {
     p_th_.push_back(scenario.device(j).p_th);
     weight_.push_back(scenario.device(j).weight);
+    weight_over_pth_.push_back(scenario.device(j).weight /
+                               scenario.device(j).p_th);
     weight_total_ += scenario.device(j).weight;
   }
 }
@@ -39,11 +44,6 @@ const model::Strategy& ChargingObjective::strategy(std::size_t i) const {
   return candidate(i).strategy;
 }
 
-double ChargingObjective::device_score(std::size_t j, double x) const {
-  const double u = std::min(x, p_th_[j]) / p_th_[j];
-  return weight_[j] * (kind_ == ObjectiveKind::kUtility ? u : std::log1p(u));
-}
-
 double ChargingObjective::value(std::span<const std::size_t> selected) const {
   State state(*this);
   for (std::size_t i : selected) state.add(i);
@@ -53,12 +53,37 @@ double ChargingObjective::value(std::span<const std::size_t> selected) const {
 ChargingObjective::State::State(const ChargingObjective& objective)
     : objective_(&objective), power_(objective.p_th_.size(), 0.0) {}
 
-void ChargingObjective::State::enable_incremental() {
+void ChargingObjective::State::enable_incremental(bool quantize) {
   if (objective_->matrix_ == nullptr || !dirty_.empty()) return;
   const std::size_t n = objective_->num_candidates();
   if (n == 0) return;
   cached_gain_.assign(n, 0.0);
   dirty_.assign(n, 1);  // nothing cached yet: every row starts stale
+  eligible_.assign(n, 1);
+  quantize_ = quantize;
+  if (quantize_) quant_.assign(n, 0);
+}
+
+void ChargingObjective::State::mark_ineligible(std::size_t i) {
+  if (eligible_.empty()) return;
+  eligible_[i] = 0;
+  // Invariant the quantized scan relies on: ineligible ⟹ quant == 0, so a
+  // u16 lane maximum ≥ 1 only ever points at eligible rows.
+  if (quantize_) quant_[i] = 0;
+}
+
+void ChargingObjective::State::set_eligible(std::size_t i, bool eligible) {
+  if (eligible_.empty()) return;
+  if (!eligible) {
+    mark_ineligible(i);
+    return;
+  }
+  eligible_[i] = 1;
+  // Re-admitted rows re-enter the quantized lane: from the clean cache if
+  // valid, else the dirty pre-pass will refresh both on the next scan.
+  if (quantize_ && dirty_[i] == 0) {
+    quant_[i] = simd::quantize_gain(cached_gain_[i], kMinGain);
+  }
 }
 
 double ChargingObjective::State::recompute_gain(std::size_t i) const {
@@ -66,23 +91,35 @@ double ChargingObjective::State::recompute_gain(std::size_t i) const {
   // Early-outs ahead of any candidate lookup: a device-free scenario has no
   // utility to gain, and a zero total weight would divide by zero below.
   if (o.p_th_.empty() || o.weight_total_ <= 0.0) return 0.0;
+  // Every engine (flat and legacy) routes through the same dispatched
+  // kernel table, which guarantees one canonical expression and fold order
+  // per row — the source of the flat ≡ legacy ≡ scalar ≡ AVX2 bit-identity.
+  const simd::GainKernels& k = simd::kernels();
+  const bool utility = o.kind_ == ObjectiveKind::kUtility;
   double delta = 0.0;
   if (o.matrix_) {
     HIPO_ASSERT(i < o.matrix_->num_rows());
     const auto covered = o.matrix_->covered(i);
     const auto powers = o.matrix_->powers(i);
-    for (std::size_t k = 0; k < covered.size(); ++k) {
-      const std::size_t j = covered[k];
-      delta += o.device_score(j, power_[j] + powers[k]) -
-               o.device_score(j, power_[j]);
-    }
+    delta = utility
+                ? k.row_gain_utility_u32(covered.data(), powers.data(),
+                                         covered.size(), power_.data(),
+                                         o.p_th_.data(),
+                                         o.weight_over_pth_.data())
+                : k.row_gain_log_u32(covered.data(), powers.data(),
+                                     covered.size(), power_.data(),
+                                     o.p_th_.data(), o.weight_.data());
   } else {
     const auto& cand = o.candidate(i);
-    for (std::size_t k = 0; k < cand.covered.size(); ++k) {
-      const std::size_t j = cand.covered[k];
-      delta += o.device_score(j, power_[j] + cand.powers[k]) -
-               o.device_score(j, power_[j]);
-    }
+    delta = utility
+                ? k.row_gain_utility_u64(cand.covered.data(),
+                                         cand.powers.data(),
+                                         cand.covered.size(), power_.data(),
+                                         o.p_th_.data(),
+                                         o.weight_over_pth_.data())
+                : k.row_gain_log_u64(cand.covered.data(), cand.powers.data(),
+                                     cand.covered.size(), power_.data(),
+                                     o.p_th_.data(), o.weight_.data());
   }
   return delta / o.weight_total_;
 }
@@ -95,6 +132,10 @@ double ChargingObjective::State::gain(std::size_t i) const {
       // cache-free State would compute.
       const double g = recompute_gain(i);
       cached_gain_[i] = g;
+      if (quantize_) {
+        quant_[i] =
+            eligible_[i] != 0 ? simd::quantize_gain(g, kMinGain) : 0;
+      }
       dirty_[i] = 0;
       if (obs::metrics_enabled()) [[unlikely]] {
         static obs::Counter& recomputes =
@@ -163,6 +204,70 @@ BestGain ChargingObjective::State::best_gain(
     static obs::Counter& avoided = obs::counter("coverage.reevals_avoided");
     rows.add(end - begin);
     avoided.add(clean_hits);
+  }
+  return best;
+}
+
+BestGain ChargingObjective::State::best_gain_dense(std::size_t begin,
+                                                   std::size_t end) const {
+  HIPO_ASSERT_MSG(!dirty_.empty(),
+                  "best_gain_dense needs enable_incremental()");
+  // Dirty pre-pass: refresh stale eligible rows so the kernels scan a fully
+  // valid gain lane. The dirty lane is read eight flags at a word — after
+  // the first few rounds almost every word is zero, so the pre-pass is a
+  // pure sequential read at memory speed. Ineligible rows stay dirty; their
+  // stale cache entries are never read (the eligibility mask — or the
+  // quant == 0 invariant — screens them out).
+  std::size_t i = begin;
+  while (i < end) {
+    if (end - i >= 8) {
+      std::uint64_t word;
+      std::memcpy(&word, dirty_.data() + i, 8);
+      if (word == 0) {
+        i += 8;
+        continue;
+      }
+    }
+    const std::size_t stop = std::min(end, i + 8);
+    for (; i < stop; ++i) {
+      if (dirty_[i] != 0 && eligible_[i] != 0) (void)gain(i);
+    }
+  }
+
+  const simd::GainKernels& k = simd::kernels();
+  simd::ArgmaxHit hit;
+  std::uint64_t rechecks = 0;
+  if (quantize_) {
+    // Quantized top-k: one u16 max-reduce shortlists the rows whose gains
+    // round up to the lane maximum, then only those few are compared in
+    // double. The quantization is monotone, so every row attaining the
+    // exact maximum quantizes to qmax — the shortlist is a superset of the
+    // exact argmax set (ties included) and the recheck returns the same
+    // winner the full-precision scan would.
+    const std::uint16_t qmax = k.max_u16(quant_.data(), begin, end);
+    if (qmax != 0) {
+      hit = k.argmax_f64_where_u16(quant_.data(), qmax, cached_gain_.data(),
+                                   begin, end, kMinGain, &rechecks);
+    }
+  } else {
+    hit = k.argmax_f64(cached_gain_.data(), eligible_.data(), begin, end,
+                       kMinGain);
+  }
+
+  if (obs::metrics_enabled()) [[unlikely]] {
+    static obs::Counter& rows = obs::counter("coverage.rows_scanned");
+    static obs::Counter& simd_rows = obs::counter("coverage.simd_rows");
+    static obs::Counter& quant_rechecks =
+        obs::counter("gain.quantized_rechecks");
+    rows.add(end - begin);
+    simd_rows.add(end - begin);
+    quant_rechecks.add(rechecks);
+  }
+
+  BestGain best;
+  if (hit.index != simd::kNoIndex) {
+    best.gain = hit.gain;
+    best.index = hit.index;
   }
   return best;
 }

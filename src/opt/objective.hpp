@@ -17,6 +17,7 @@
 
 #include "src/model/scenario.hpp"
 #include "src/opt/coverage_matrix.hpp"
+#include "src/opt/simd/aligned.hpp"
 #include "src/pdcs/candidate.hpp"
 
 namespace hipo::opt {
@@ -113,9 +114,14 @@ class ChargingObjective {
 
     /// Switch on cached-gain / dirty-set tracking (flat engine only; a
     /// no-op under kLegacy or with an empty pool). Opt-in because it costs
-    /// two O(n) arrays per State: the greedy drivers want it, while
+    /// a few O(n) arrays per State: the greedy drivers want it, while
     /// exhaustive search and local search construct/copy States far too
     /// often to pay for it.
+    ///
+    /// With `quantize` set, a u16 fixed-point image of each cached gain is
+    /// maintained alongside it and best_gain_dense() scans that lane first
+    /// (see the quantized top-k notes there). Placements are bit-identical
+    /// either way; quantize is purely a bandwidth optimization.
     ///
     /// Thread-safety: gain() then writes cache entries through `mutable`
     /// members. Concurrent gain() calls are safe iff they target distinct
@@ -123,8 +129,30 @@ class ChargingObjective {
     /// ranges per worker, and a candidate appears in a pool once). The
     /// cached value is bit-identical to a fresh recomputation by
     /// construction, so determinism across worker counts is unaffected.
-    void enable_incremental();
+    void enable_incremental(bool quantize = false);
     bool incremental() const { return !dirty_.empty(); }
+    bool quantized() const { return quantize_; }
+
+    /// Eligibility lane for the dense argmax: ineligible rows (taken, or
+    /// outside the current per-type phase / matroid-feasible set) are
+    /// skipped by best_gain_dense without any per-row indirection. Only
+    /// meaningful after enable_incremental(); call between argmax rounds,
+    /// never concurrently with one.
+    void mark_ineligible(std::size_t i);
+    void set_eligible(std::size_t i, bool eligible);
+    bool is_eligible(std::size_t i) const {
+      return !eligible_.empty() && eligible_[i] != 0;
+    }
+
+    /// Blocked SoA argmax over candidate rows [begin, end): the dense
+    /// replacement for the pooled best_gain() when incremental tracking is
+    /// on. A word-scan dirty pre-pass refreshes stale eligible gains, then
+    /// the dispatched kernel scans the contiguous gain lane (or, when
+    /// quantize is on, max-reduces the u16 lane and exact-rechecks the
+    /// shortlist in double). Same semantics as best_gain: gains above
+    /// kMinGain, strict improvement, lowest index on exact ties — and
+    /// bit-identical to it per chunk, for any dispatched ISA.
+    BestGain best_gain_dense(std::size_t begin, std::size_t end) const;
     /// True when i's cached gain is stale (or tracking is off): the next
     /// gain(i) will recompute. Exposed for the dirty-invariant tests.
     bool is_dirty(std::size_t i) const {
@@ -142,9 +170,16 @@ class ChargingObjective {
     /// cached_gain_[i] is valid iff dirty_[i] == 0. Plain bytes, not packed
     /// bits — parallel argmax chunks clear flags of different candidates,
     /// and distinct vector<uint8_t> elements are distinct memory locations
-    /// while bits of a shared word are not.
-    mutable std::vector<double> cached_gain_;
-    mutable std::vector<std::uint8_t> dirty_;
+    /// while bits of a shared word are not. All lanes are 32-byte aligned
+    /// for the SIMD scans.
+    mutable simd::avec<double> cached_gain_;
+    mutable simd::avec<std::uint8_t> dirty_;
+    /// Dense-argmax lanes: eligible_[i] gates the scan; quant_[i] is the
+    /// u16 image of cached_gain_[i] (0 for ineligible or non-positive
+    /// rows), maintained only when quantize_ is set.
+    simd::avec<std::uint8_t> eligible_;
+    mutable simd::avec<std::uint16_t> quant_;
+    bool quantize_ = false;
   };
 
   const model::Scenario& scenario() const { return *scenario_; }
@@ -153,17 +188,18 @@ class ChargingObjective {
 
  private:
   friend class State;
-  /// Per-device contribution given accumulated power x (already includes
-  /// the 1/N_o normalization factor applied by the caller).
-  double device_score(std::size_t j, double x) const;
 
   const model::Scenario* scenario_;
   std::span<const pdcs::Candidate> candidates_;
   /// Flat engine storage (null under kLegacy). unique_ptr keeps the
   /// objective cheaply movable and the legacy configuration allocation-free.
   std::unique_ptr<CoverageMatrix> matrix_;
-  std::vector<double> p_th_;    // per-device thresholds (cache)
-  std::vector<double> weight_;  // per-device weights (cache)
+  /// Per-device caches the row kernels gather from. weight_over_pth_
+  /// pre-divides weight/p_th so the utility kernel's per-element delta is
+  /// division-free: (min(acc+q, th) − min(acc, th)) · (w/th).
+  std::vector<double> p_th_;
+  std::vector<double> weight_;
+  std::vector<double> weight_over_pth_;
   double weight_total_ = 0.0;
   ObjectiveKind kind_;
 };

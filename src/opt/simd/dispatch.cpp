@@ -1,0 +1,90 @@
+// Runtime ISA dispatch for the gain kernels.
+//
+// Resolution order: an explicit force_isa() pin wins; otherwise the
+// HIPO_SIMD environment variable (scalar|avx2|auto) read at first use;
+// otherwise the best variant the build AND the CPU both support. The active
+// choice is a single relaxed-atomic int, so kernels() costs one load on the
+// hot path.
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "src/opt/simd/gain_kernels.hpp"
+#include "src/opt/simd/table_decls.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::opt::simd {
+namespace {
+
+constexpr int kUnresolved = -1;
+std::atomic<int> g_isa{kUnresolved};
+
+void require_available(Isa isa) {
+  if (isa != Isa::kAvx2) return;
+  HIPO_REQUIRE(avx2_compiled(),
+               "avx2 gain kernels were not compiled into this binary");
+  HIPO_REQUIRE(cpu_has_avx2(), "this CPU does not report AVX2 support");
+}
+
+Isa detect() {
+  const char* env = std::getenv("HIPO_SIMD");
+  const std::string value = env == nullptr ? "auto" : env;
+  if (value == "scalar") return Isa::kScalar;
+  if (value == "avx2") {
+    require_available(Isa::kAvx2);
+    return Isa::kAvx2;
+  }
+  HIPO_REQUIRE(value == "auto" || value.empty(),
+               "HIPO_SIMD expects scalar|avx2|auto, got '" + value + "'");
+  return avx2_compiled() && cpu_has_avx2() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+Isa resolve() {
+  int current = g_isa.load(std::memory_order_relaxed);
+  if (current == kUnresolved) {
+    int expected = kUnresolved;
+    g_isa.compare_exchange_strong(expected, static_cast<int>(detect()),
+                                  std::memory_order_relaxed);
+    current = g_isa.load(std::memory_order_relaxed);
+  }
+  return static_cast<Isa>(current);
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool avx2_compiled() { return detail::avx2_table() != nullptr; }
+
+Isa active_isa() { return resolve(); }
+
+void force_isa(Isa isa) {
+  require_available(isa);
+  g_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void reset_isa() { g_isa.store(kUnresolved, std::memory_order_relaxed); }
+
+const GainKernels& kernels(Isa isa) {
+  if (isa == Isa::kAvx2) {
+    const GainKernels* table = detail::avx2_table();
+    HIPO_REQUIRE(table != nullptr,
+                 "avx2 gain kernels were not compiled into this binary");
+    return *table;
+  }
+  return *detail::scalar_table();
+}
+
+const GainKernels& kernels() { return kernels(resolve()); }
+
+}  // namespace hipo::opt::simd

@@ -47,11 +47,12 @@ TEST(FuzzOracles, AllPassOnHandBuiltScenarios) {
   EXPECT_FALSE(run_all(test::blocked_scenario(), 7).has_value());
 }
 
-TEST(FuzzOracles, AllFiveRegistered) {
+TEST(FuzzOracles, AllSixRegistered) {
   const auto oracles = all_oracles();
-  ASSERT_EQ(oracles.size(), 5u);
+  ASSERT_EQ(oracles.size(), 6u);
   EXPECT_STREQ(oracles[0].name, "line_of_sight");
   EXPECT_STREQ(oracles[4].name, "determinism");
+  EXPECT_STREQ(oracles[5].name, "simd");
 }
 
 TEST(FuzzOracles, RunOracleConvertsEscapedExceptions) {

@@ -7,10 +7,11 @@
 //   hipo_fuzz --replay-dir tests/corpus       # replay a whole corpus
 //
 // Each iteration generates one scenario from the iteration's seed and runs
-// the five oracles (line_of_sight, coverage, piecewise, greedy,
-// determinism). A violation is auto-shrunk to a locally minimal config,
-// written to --corpus as a replay file, and reported; the exit status is
-// the number of distinct violations (0 = clean).
+// the six oracles (line_of_sight, coverage, piecewise, greedy, determinism,
+// simd). A violation is auto-shrunk to a locally minimal config, written to
+// --corpus as a replay file, and reported; the exit status is the number of
+// distinct violations (0 = clean). --simd scalar|avx2 pins the gain-kernel
+// ISA for the whole run (e.g. CI forcing the SIMD engine on).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -24,6 +25,7 @@
 #include "src/fuzz/shrink.hpp"
 #include "src/model/io.hpp"
 #include "src/model/scenario.hpp"
+#include "src/opt/simd/gain_kernels.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/error.hpp"
 #include "src/util/rng.hpp"
@@ -75,7 +77,16 @@ int main(int argc, char** argv) {
   const std::string corpus_dir = cli.get_or("corpus", "");
   const auto replay = cli.get("replay");
   const std::string replay_dir = cli.get_or("replay-dir", "");
+  const std::string simd = cli.get_or("simd", "auto");
   cli.finish();
+
+  if (simd == "scalar") {
+    hipo::opt::simd::force_isa(hipo::opt::simd::Isa::kScalar);
+  } else if (simd == "avx2") {
+    hipo::opt::simd::force_isa(hipo::opt::simd::Isa::kAvx2);
+  } else {
+    HIPO_REQUIRE(simd == "auto", "--simd expects auto|scalar|avx2");
+  }
 
   const auto oracles = selected_oracles(oracle_name);
 

@@ -7,6 +7,12 @@
 //              [--grid square|triangle] [--local-search] [--seed N]
 //              [--gain-engine flat|legacy]  (CSR dirty-gain engine vs the
 //                                      full-rescan baseline; same placement)
+//              [--greedy lazy|global|per-type]  (selection mode; lazy is the
+//                                      default, all three same guarantee)
+//              [--gain-quantize]      (u16 top-k shortlist in the dense
+//                                      argmax; placement bit-identical)
+//              [--simd auto|scalar|avx2]  (pin the gain-kernel ISA; also
+//                                      settable via HIPO_SIMD env var)
 //              [--threads N]          (0 = hardware concurrency, the default;
 //                                      output is identical for any N)
 //              [--demo paper|field]   (generate a built-in scenario instead)
@@ -59,6 +65,10 @@ model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
       cli.get_or("gain-engine", std::string("flat"));
   HIPO_REQUIRE(engine_name == "flat" || engine_name == "legacy",
                "--gain-engine expects 'flat' or 'legacy'");
+  const std::string greedy_name = cli.get_or("greedy", std::string("lazy"));
+  HIPO_REQUIRE(greedy_name == "lazy" || greedy_name == "global" ||
+                   greedy_name == "per-type",
+               "--greedy expects 'lazy', 'global', or 'per-type'");
 
   if (name == "hipo") {
     parallel::ThreadPool pool(static_cast<std::size_t>(threads));
@@ -67,6 +77,10 @@ model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
     opts.pool = &pool;
     opts.gain_engine = engine_name == "flat" ? opt::GainEngine::kFlatCsr
                                              : opt::GainEngine::kLegacy;
+    opts.greedy = greedy_name == "lazy"     ? opt::GreedyMode::kLazyGlobal
+                  : greedy_name == "global" ? opt::GreedyMode::kGlobal
+                                            : opt::GreedyMode::kPerType;
+    opts.gain_quantize = cli.has("gain-quantize");
     return core::solve(scenario, opts).placement;
   }
   if (name == "gppdcs") return baselines::place_gppdcs(scenario, grid, rng);
@@ -107,6 +121,15 @@ int main(int argc, char** argv) {
       std::cout << obs::build_info_json() << "\n";
       return 0;
     }
+    if (const auto simd = cli.get("simd")) {
+      if (*simd == "scalar") {
+        opt::simd::force_isa(opt::simd::Isa::kScalar);
+      } else if (*simd == "avx2") {
+        opt::simd::force_isa(opt::simd::Isa::kAvx2);
+      } else {
+        HIPO_REQUIRE(*simd == "auto", "--simd expects auto|scalar|avx2");
+      }
+    }
     const auto trace_path = cli.get("trace");
     const auto metrics_path = cli.get("metrics-json");
     const bool report = cli.has("report");
@@ -126,6 +149,8 @@ int main(int argc, char** argv) {
     std::cout << "scenario: " << scenario.num_devices() << " devices, "
               << scenario.num_chargers() << " charger budget, "
               << scenario.num_obstacles() << " obstacles\n";
+    std::cout << "gain kernels: "
+              << opt::simd::isa_name(opt::simd::active_isa()) << "\n";
     std::cout << "placement: " << placement.size() << " chargers, utility "
               << format_double(scenario.placement_utility(placement), 4)
               << "\n";
