@@ -8,8 +8,11 @@ namespace hipo::ext {
 
 AssignmentResult hungarian(const std::vector<double>& cost, std::size_t rows,
                            std::size_t cols) {
-  HIPO_REQUIRE(rows >= 1 && cols >= rows, "hungarian needs 1 <= rows <= cols");
+  HIPO_REQUIRE(cols >= rows, "hungarian needs rows <= cols");
   HIPO_REQUIRE(cost.size() == rows * cols, "cost matrix size mismatch");
+  // Zero rows is a valid degenerate instance (redeploying a type with no
+  // chargers): the empty assignment, trivially feasible.
+  if (rows == 0) return AssignmentResult{};
 
   // Standard O(n³) Jonker-style shortest-augmenting-path formulation with
   // dual potentials; 1-based internal indexing with a virtual column 0.

@@ -28,7 +28,8 @@ struct TypeGroup {
 
 std::vector<TypeGroup> group_by_type(const Placement& from,
                                      const Placement& to,
-                                     std::size_t num_types) {
+                                     std::size_t num_types,
+                                     bool require_equal_counts = true) {
   std::vector<TypeGroup> groups(num_types);
   for (std::size_t i = 0; i < from.size(); ++i) {
     HIPO_REQUIRE(from[i].type < num_types, "charger type out of range");
@@ -38,10 +39,12 @@ std::vector<TypeGroup> group_by_type(const Placement& from,
     HIPO_REQUIRE(to[i].type < num_types, "charger type out of range");
     groups[to[i].type].to_idx.push_back(i);
   }
-  for (std::size_t q = 0; q < num_types; ++q) {
-    HIPO_REQUIRE(groups[q].from_idx.size() == groups[q].to_idx.size(),
-                 "from/to deploy different counts of charger type " +
-                     std::to_string(q));
+  if (require_equal_counts) {
+    for (std::size_t q = 0; q < num_types; ++q) {
+      HIPO_REQUIRE(groups[q].from_idx.size() == groups[q].to_idx.size(),
+                   "from/to deploy different counts of charger type " +
+                       std::to_string(q));
+    }
   }
   return groups;
 }
@@ -145,6 +148,50 @@ RedeployPlan redeploy_min_max(const Placement& from, const Placement& to,
                              weights[lo] + 1e-12);
   HIPO_ASSERT(plan.has_value());
   return *plan;
+}
+
+BestEffortPlan redeploy_best_effort(const Placement& from, const Placement& to,
+                                    std::size_t num_types,
+                                    const SwitchCostModel& model) {
+  BestEffortPlan plan;
+  plan.to_of.assign(from.size(), kUnassigned);
+  plan.from_of.assign(to.size(), kUnassigned);
+  const auto groups =
+      group_by_type(from, to, num_types, /*require_equal_counts=*/false);
+  for (const auto& g : groups) {
+    const std::size_t m = g.from_idx.size();
+    const std::size_t k = g.to_idx.size();
+    if (m == 0 || k == 0) continue;
+    // Hungarian assigns every row; make the smaller side the rows so the
+    // min(m, k) transfers are the ones minimizing total cost.
+    const bool from_rows = m <= k;
+    const std::size_t rows = from_rows ? m : k;
+    const std::size_t cols = from_rows ? k : m;
+    std::vector<double> cost(rows * cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::size_t fi = g.from_idx[from_rows ? r : c];
+        const std::size_t ti = g.to_idx[from_rows ? c : r];
+        cost[r * cols + c] = model.cost(from[fi], to[ti]);
+      }
+    }
+    const auto assignment = hungarian(cost, rows, cols);
+    HIPO_ASSERT(assignment.feasible);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t c = assignment.col_of[r];
+      const std::size_t fi = g.from_idx[from_rows ? r : c];
+      const std::size_t ti = g.to_idx[from_rows ? c : r];
+      plan.to_of[fi] = ti;
+      plan.from_of[ti] = fi;
+      const double w = cost[r * cols + c];
+      plan.total_cost += w;
+      plan.max_cost = std::max(plan.max_cost, w);
+    }
+  }
+  for (const std::size_t t : plan.to_of) plan.transferred += (t != kUnassigned);
+  plan.recalled = from.size() - plan.transferred;
+  plan.deployed = to.size() - plan.transferred;
+  return plan;
 }
 
 }  // namespace hipo::ext

@@ -49,4 +49,33 @@ RedeployPlan redeploy_min_max(const model::Placement& from,
                               std::size_t num_types,
                               const SwitchCostModel& model = {});
 
+/// Sentinel for BestEffortPlan: no counterpart on the other side.
+inline constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+/// Redeployment when the two placements deploy *different* charger counts
+/// (dynamic scenarios: the greedy stops early once no candidate has positive
+/// gain, so device churn changes how many chargers are worth deploying).
+/// Per type, the min(|from|, |to|) transfers minimize total switching cost;
+/// the leftovers are recalled (surplus `from`) or deployed fresh (surplus
+/// `to`).
+struct BestEffortPlan {
+  /// to_of[i] = index into `to` assigned to from[i], or kUnassigned
+  /// (charger recalled).
+  std::vector<std::size_t> to_of;
+  /// from_of[i] = index into `from` assigned to to[i], or kUnassigned
+  /// (fresh deployment).
+  std::vector<std::size_t> from_of;
+  std::size_t transferred = 0;
+  std::size_t recalled = 0;
+  std::size_t deployed = 0;
+  /// Switching cost over the transferred chargers only.
+  double total_cost = 0.0;
+  double max_cost = 0.0;
+};
+
+BestEffortPlan redeploy_best_effort(const model::Placement& from,
+                                    const model::Placement& to,
+                                    std::size_t num_types,
+                                    const SwitchCostModel& model = {});
+
 }  // namespace hipo::ext

@@ -11,6 +11,8 @@
 #include "src/core/solver.hpp"
 #include "src/geometry/angles.hpp"
 #include "src/geometry/sector_ring.hpp"
+#include "src/opt/coverage_matrix.hpp"
+#include "src/opt/delta.hpp"
 #include "src/opt/exhaustive.hpp"
 #include "src/opt/greedy.hpp"
 #include "src/opt/simd/gain_kernels.hpp"
@@ -699,14 +701,155 @@ std::optional<Violation> check_simd_identity(const Scenario& scenario,
   return std::nullopt;
 }
 
+std::optional<Violation> check_delta(const Scenario& scenario,
+                                     std::uint64_t seed) {
+  if (!extraction_tractable(scenario)) return std::nullopt;
+  Rng rng(seed_combine(seed, 0x40B));
+
+  opt::DeltaSolver delta(scenario.to_config());
+
+  // Reference: the cold pipeline over the mutated config, exactly the
+  // defaults DeltaSolver runs warm (lazy-global, utility, flat CSR).
+  const auto against_cold =
+      [&](const std::string& when) -> std::optional<Violation> {
+    const Scenario cold{model::Scenario::Config(delta.config())};
+    const auto extraction = pdcs::extract_all(cold);
+    const opt::CoverageMatrix matrix(
+        std::span<const pdcs::Candidate>(extraction.candidates),
+        cold.num_devices());
+    if (!delta.matrix().same_as(matrix)) {
+      return fail("delta", "patched coverage matrix not bit-identical to a "
+                           "cold build " + when);
+    }
+    const auto ref = opt::select_strategies(cold, extraction.candidates,
+                                            opt::GreedyMode::kLazyGlobal);
+    const auto& warm = delta.result();
+    if (warm.selected != ref.selected) {
+      return fail("delta", "warm selection differs from cold solve " + when);
+    }
+    if (utility_bits(warm.approx_utility) != utility_bits(ref.approx_utility) ||
+        utility_bits(warm.exact_utility) != utility_bits(ref.exact_utility)) {
+      return fail("delta", "warm utilities not bit-identical to cold solve " +
+                               when + ": approx " + fmt(warm.approx_utility) +
+                               " vs " + fmt(ref.approx_utility) + ", exact " +
+                               fmt(warm.exact_utility) + " vs " +
+                               fmt(ref.exact_utility));
+    }
+    if (warm.placement.size() != ref.placement.size()) {
+      return fail("delta", "warm placement size differs " + when);
+    }
+    for (std::size_t i = 0; i < warm.placement.size(); ++i) {
+      const Strategy& a = warm.placement[i];
+      const Strategy& b = ref.placement[i];
+      if (utility_bits(a.pos.x) != utility_bits(b.pos.x) ||
+          utility_bits(a.pos.y) != utility_bits(b.pos.y) ||
+          utility_bits(a.orientation) != utility_bits(b.orientation) ||
+          a.type != b.type) {
+        return fail("delta", "warm strategy " + std::to_string(i) +
+                                 " not bit-identical " + when + ": " +
+                                 fmt(a.pos) + " vs " + fmt(b.pos));
+      }
+    }
+    return std::nullopt;
+  };
+
+  if (auto v = against_cold("after warm construction")) return v;
+
+  for (int step = 0; step < 5; ++step) {
+    opt::DeltaOp op;
+    bool ready = false;
+    for (int attempt = 0; attempt < 16 && !ready; ++attempt) {
+      op = opt::DeltaOp{};
+      const auto& cfg = delta.config();
+      switch (rng.below(5)) {
+        case 0: {  // add_device (capped to keep extraction tractable)
+          if (cfg.devices.size() >= 12) break;
+          const auto pos = feasible_position(delta.scenario(), rng);
+          if (!pos) break;
+          op.kind = opt::DeltaOp::Kind::kAddDevice;
+          op.device.pos = *pos;
+          op.device.orientation = rng.angle();
+          op.device.type = rng.below(cfg.device_types.size());
+          op.device.p_th =
+              cfg.devices.empty()
+                  ? 0.05
+                  : cfg.devices[rng.below(cfg.devices.size())].p_th;
+          op.device.weight = 1.0;
+          ready = true;
+          break;
+        }
+        case 1: {  // remove_device
+          if (cfg.devices.empty()) break;
+          op.kind = opt::DeltaOp::Kind::kRemoveDevice;
+          op.index = rng.below(cfg.devices.size());
+          ready = true;
+          break;
+        }
+        case 2: {  // move_device
+          if (cfg.devices.empty()) break;
+          const auto pos = feasible_position(delta.scenario(), rng);
+          if (!pos) break;
+          op.kind = opt::DeltaOp::Kind::kMoveDevice;
+          op.index = rng.below(cfg.devices.size());
+          op.pos = *pos;
+          if (rng.below(2) == 0) {
+            op.has_orientation = true;
+            op.orientation = rng.angle();
+          }
+          ready = true;
+          break;
+        }
+        case 3: {  // add_obstacle: a small rect not swallowing any device
+          const auto center = feasible_position(delta.scenario(), rng);
+          if (!center) break;
+          const Vec2 ext = delta.scenario().region().extent();
+          const double hx = rng.uniform(0.01, 0.05) * ext.x;
+          const double hy = rng.uniform(0.01, 0.05) * ext.y;
+          const std::vector<Vec2> rect = {{center->x - hx, center->y - hy},
+                                          {center->x + hx, center->y - hy},
+                                          {center->x + hx, center->y + hy},
+                                          {center->x - hx, center->y + hy}};
+          const geom::Polygon poly(rect);
+          bool swallows = false;
+          for (const auto& d : cfg.devices) {
+            if (poly.contains_interior(d.pos)) {
+              swallows = true;
+              break;
+            }
+          }
+          if (swallows) break;
+          op.kind = opt::DeltaOp::Kind::kAddObstacle;
+          op.obstacle = rect;
+          ready = true;
+          break;
+        }
+        case 4: {  // remove_obstacle
+          if (cfg.obstacles.empty()) break;
+          op.kind = opt::DeltaOp::Kind::kRemoveObstacle;
+          op.index = rng.below(cfg.obstacles.size());
+          ready = true;
+          break;
+        }
+      }
+    }
+    if (!ready) continue;
+    delta.apply(op);
+    if (auto v = against_cold("after churn step " + std::to_string(step))) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
 std::span<const NamedOracle> all_oracles() {
-  static constexpr std::array<NamedOracle, 6> kOracles{{
+  static constexpr std::array<NamedOracle, 7> kOracles{{
       {"line_of_sight", &check_line_of_sight},
       {"coverage", &check_coverage},
       {"piecewise", &check_piecewise},
       {"greedy", &check_greedy_bound},
       {"determinism", &check_determinism},
       {"simd", &check_simd_identity},
+      {"delta", &check_delta},
   }};
   return kOracles;
 }

@@ -33,7 +33,7 @@ struct NamedOracle {
   Oracle fn;
 };
 
-/// The six oracles, in fixed execution order.
+/// The seven oracles, in fixed execution order.
 std::span<const NamedOracle> all_oracles();
 
 /// (1) SegmentIndex line-of-sight / containment vs. the brute-force
@@ -74,6 +74,14 @@ std::optional<Violation> check_determinism(const model::Scenario& scenario,
 /// previously active ISA on exit.
 std::optional<Violation> check_simd_identity(const model::Scenario& scenario,
                                              std::uint64_t seed);
+
+/// (7) Incremental re-solve: a random churn sequence (device add / remove /
+/// move, obstacle add / remove) applied through opt::DeltaSolver must be
+/// bit-identical to a cold solve of the mutated scenario after every prefix
+/// — patched coverage matrix, selection, placement, and both utilities.
+/// Skips (returns nullopt) when extraction is intractable.
+std::optional<Violation> check_delta(const model::Scenario& scenario,
+                                     std::uint64_t seed);
 
 /// Run one oracle, converting any exception that escapes the pipeline (an
 /// InvariantError from a tripped internal assertion, a std::logic_error, a

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "src/baselines/baselines.hpp"
+#include "src/core/replan.hpp"
 #include "src/core/solver.hpp"
 #include "src/discretize/feasible_region.hpp"
 #include "src/discretize/shadow_map.hpp"
@@ -35,6 +36,7 @@
 #include "src/model/scenario_gen.hpp"
 #include "src/model/types.hpp"
 #include "src/opt/greedy.hpp"
+#include "src/opt/delta.hpp"
 #include "src/opt/exhaustive.hpp"
 #include "src/opt/local_search.hpp"
 #include "src/opt/matroid.hpp"

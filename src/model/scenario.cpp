@@ -70,6 +70,19 @@ Scenario::Scenario(Config config)
   }
 }
 
+Scenario::Config Scenario::to_config() const {
+  Config cfg;
+  cfg.charger_types = charger_types_;
+  cfg.device_types = device_types_;
+  cfg.pair_params = pair_params_;
+  cfg.charger_counts = charger_counts_;
+  cfg.devices = devices_;
+  cfg.obstacles = obstacle_index_.polygons();
+  cfg.region = region_;
+  cfg.eps1 = eps1_;
+  return cfg;
+}
+
 std::size_t Scenario::num_chargers() const {
   std::size_t total = 0;
   for (int c : charger_counts_) total += static_cast<std::size_t>(c);

@@ -43,6 +43,12 @@ class Scenario {
 
   explicit Scenario(Config config);
 
+  /// Reconstruct a Config describing this scenario — the starting point for
+  /// mutation (opt::DeltaSolver). Round-trips everything except
+  /// accelerate_obstacles, which is not stored and comes back as the
+  /// default (true); results are identical either way.
+  Config to_config() const;
+
   // --- structure ------------------------------------------------------
   std::size_t num_charger_types() const { return charger_types_.size(); }
   std::size_t num_device_types() const { return device_types_.size(); }

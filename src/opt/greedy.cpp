@@ -120,26 +120,24 @@ void finish(const model::Scenario& scenario,
 }
 
 GreedyResult greedy_per_type(const model::Scenario& scenario,
-                             std::span<const pdcs::Candidate> candidates,
-                             ObjectiveKind kind, GainEngine engine,
-                             bool quantize, parallel::ThreadPool* workers) {
-  const ChargingObjective objective(scenario, candidates, kind, engine);
+                             const ChargingObjective& objective, bool quantize,
+                             parallel::ThreadPool* workers) {
+  const std::size_t n = objective.num_candidates();
   ChargingObjective::State state(objective);
   state.enable_incremental(quantize);
   GreedyResult result;
-  std::vector<bool> taken(candidates.size(), false);
+  std::vector<bool> taken(n, false);
 
   for (std::size_t q = 0; q < scenario.num_charger_types(); ++q) {
     if (state.incremental()) {
       // Dense path: one eligibility reset per type phase replaces the
       // per-phase pool build — the argmax then scans contiguous lanes.
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (std::size_t i = 0; i < n; ++i) {
         state.set_eligible(i, objective.strategy(i).type == q && !taken[i]);
       }
       const auto budget = static_cast<std::size_t>(scenario.charger_count(q));
       for (std::size_t pick = 0; pick < budget; ++pick) {
-        const BestGain best =
-            best_gain_dense(state, candidates.size(), workers);
+        const BestGain best = best_gain_dense(state, n, workers);
         if (!best.found()) break;  // nothing left with positive gain
         taken[best.index] = true;
         state.mark_ineligible(best.index);
@@ -150,7 +148,7 @@ GreedyResult greedy_per_type(const model::Scenario& scenario,
       continue;
     }
     std::vector<std::size_t> pool;
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       if (objective.strategy(i).type == q) pool.push_back(i);
     }
     const auto budget = static_cast<std::size_t>(scenario.charger_count(q));
@@ -168,10 +166,9 @@ GreedyResult greedy_per_type(const model::Scenario& scenario,
 }
 
 GreedyResult greedy_global(const model::Scenario& scenario,
-                           std::span<const pdcs::Candidate> candidates,
-                           ObjectiveKind kind, GainEngine engine,
-                           bool quantize, parallel::ThreadPool* workers) {
-  const ChargingObjective objective(scenario, candidates, kind, engine);
+                           const ChargingObjective& objective, bool quantize,
+                           parallel::ThreadPool* workers) {
+  const std::size_t n = objective.num_candidates();
   ChargingObjective::State state(objective);
   state.enable_incremental(quantize);
   const bool dense = state.incremental();
@@ -184,20 +181,19 @@ GreedyResult greedy_global(const model::Scenario& scenario,
   // the start — without this pre-marking the argmax could pick one and trip
   // the tracker's capacity assertion before any retirement pass ran.
   // Under the dense path the eligibility lane mirrors `taken` exactly.
-  std::vector<bool> taken(candidates.size(), false);
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
+  std::vector<bool> taken(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
     if (!tracker.can_add(i)) {
       taken[i] = true;
       state.mark_ineligible(i);
     }
   }
-  std::vector<std::size_t> all(candidates.size());
+  std::vector<std::size_t> all(n);
   std::iota(all.begin(), all.end(), std::size_t{0});
 
   while (!tracker.saturated()) {
-    const BestGain best =
-        dense ? best_gain_dense(state, candidates.size(), workers)
-              : best_gain(state, all, taken, workers);
+    const BestGain best = dense ? best_gain_dense(state, n, workers)
+                                : best_gain(state, all, taken, workers);
     if (!best.found()) break;
     taken[best.index] = true;
     state.mark_ineligible(best.index);
@@ -207,7 +203,7 @@ GreedyResult greedy_global(const model::Scenario& scenario,
     note_selection(best.gain);
     if (!tracker.can_add(best.index)) {  // part now full: retire its peers
       const std::size_t part = matroid.part_of(best.index);
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
+      for (std::size_t i = 0; i < n; ++i) {
         if (matroid.part_of(i) == part) {
           taken[i] = true;
           state.mark_ineligible(i);
@@ -220,10 +216,9 @@ GreedyResult greedy_global(const model::Scenario& scenario,
 }
 
 GreedyResult greedy_lazy(const model::Scenario& scenario,
-                         std::span<const pdcs::Candidate> candidates,
-                         ObjectiveKind kind, GainEngine engine,
+                         const ChargingObjective& objective,
                          parallel::ThreadPool* workers) {
-  const ChargingObjective objective(scenario, candidates, kind, engine);
+  const std::size_t n = objective.num_candidates();
   ChargingObjective::State state(objective);
   // Quantization only affects the dense argmax; the lazy driver is
   // heap-ordered and never scans the quant lane, so it is not maintained.
@@ -247,18 +242,18 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
   // Initial gains are independent of each other (the state is empty), so
   // they parallelize element-wise; the heap is then built in index order,
   // identical to the sequential construction.
-  std::vector<double> initial(candidates.size());
-  parallel::chunked_for(workers, candidates.size(), [&](std::size_t i) {
+  std::vector<double> initial(n);
+  parallel::chunked_for(workers, n, [&](std::size_t i) {
     initial[i] = state.gain(i);
   });
   if (obs::metrics_enabled()) [[unlikely]] {
     // The heap build is the lazy variant's one full row scan; count it so
     // coverage.rows_scanned reflects work done under every greedy mode.
     static obs::Counter& rows = obs::counter("coverage.rows_scanned");
-    rows.add(candidates.size());
+    rows.add(n);
   }
   std::priority_queue<Entry> heap;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (initial[i] > kMinGain) heap.push({initial[i], i, 0});
   }
 
@@ -301,6 +296,24 @@ GreedyResult greedy_lazy(const model::Scenario& scenario,
   return result;
 }
 
+/// Dispatch on mode over a ready objective — shared by both public entry
+/// points, so the warm-matrix path runs the exact same driver code (and
+/// therefore the exact same selection) as the cold span path.
+GreedyResult run_greedy(const model::Scenario& scenario,
+                        const ChargingObjective& objective, GreedyMode mode,
+                        parallel::ThreadPool* workers, bool quantize) {
+  switch (mode) {
+    case GreedyMode::kPerType:
+      return greedy_per_type(scenario, objective, quantize, workers);
+    case GreedyMode::kGlobal:
+      return greedy_global(scenario, objective, quantize, workers);
+    case GreedyMode::kLazyGlobal:
+      return greedy_lazy(scenario, objective, workers);
+  }
+  HIPO_ASSERT_MSG(false, "unknown greedy mode");
+  return {};
+}
+
 }  // namespace
 
 GreedyResult select_strategies(const model::Scenario& scenario,
@@ -308,18 +321,16 @@ GreedyResult select_strategies(const model::Scenario& scenario,
                                GreedyMode mode, ObjectiveKind kind,
                                parallel::ThreadPool* workers,
                                GainEngine engine, bool quantize) {
-  switch (mode) {
-    case GreedyMode::kPerType:
-      return greedy_per_type(scenario, candidates, kind, engine, quantize,
-                             workers);
-    case GreedyMode::kGlobal:
-      return greedy_global(scenario, candidates, kind, engine, quantize,
-                           workers);
-    case GreedyMode::kLazyGlobal:
-      return greedy_lazy(scenario, candidates, kind, engine, workers);
-  }
-  HIPO_ASSERT_MSG(false, "unknown greedy mode");
-  return {};
+  const ChargingObjective objective(scenario, candidates, kind, engine);
+  return run_greedy(scenario, objective, mode, workers, quantize);
+}
+
+GreedyResult select_strategies(const model::Scenario& scenario,
+                               const CoverageMatrix& matrix, GreedyMode mode,
+                               ObjectiveKind kind,
+                               parallel::ThreadPool* workers, bool quantize) {
+  const ChargingObjective objective(scenario, matrix, kind);
+  return run_greedy(scenario, objective, mode, workers, quantize);
 }
 
 }  // namespace hipo::opt

@@ -73,4 +73,16 @@ GreedyResult select_strategies(const model::Scenario& scenario,
                                GainEngine engine = GainEngine::kFlatCsr,
                                bool quantize = false);
 
+/// Warm-matrix overload (the delta path): run the same greedy drivers over
+/// a caller-owned, already-built CoverageMatrix — no packing, no candidate
+/// span. Selection indices are matrix row indices. Because the drivers are
+/// shared with the span overload, a warm matrix that is bit-identical to
+/// the one the span overload would build yields a bit-identical result.
+GreedyResult select_strategies(const model::Scenario& scenario,
+                               const CoverageMatrix& matrix,
+                               GreedyMode mode = GreedyMode::kPerType,
+                               ObjectiveKind kind = ObjectiveKind::kUtility,
+                               parallel::ThreadPool* workers = nullptr,
+                               bool quantize = false);
+
 }  // namespace hipo::opt

@@ -18,7 +18,21 @@ ChargingObjective::ChargingObjective(
   if (engine == GainEngine::kFlatCsr) {
     matrix_ =
         std::make_unique<CoverageMatrix>(candidates, scenario.num_devices());
+    mat_ = matrix_.get();
   }
+  init_device_caches(scenario);
+}
+
+ChargingObjective::ChargingObjective(const model::Scenario& scenario,
+                                     const CoverageMatrix& prebuilt,
+                                     ObjectiveKind kind)
+    : scenario_(&scenario), mat_(&prebuilt), kind_(kind) {
+  HIPO_REQUIRE(prebuilt.num_devices() == scenario.num_devices(),
+               "prebuilt coverage matrix does not match the scenario");
+  init_device_caches(scenario);
+}
+
+void ChargingObjective::init_device_caches(const model::Scenario& scenario) {
   p_th_.reserve(scenario.num_devices());
   weight_.reserve(scenario.num_devices());
   weight_over_pth_.reserve(scenario.num_devices());
@@ -37,9 +51,9 @@ const pdcs::Candidate& ChargingObjective::candidate(std::size_t i) const {
 }
 
 const model::Strategy& ChargingObjective::strategy(std::size_t i) const {
-  if (matrix_) {
-    HIPO_ASSERT(i < matrix_->num_rows());
-    return matrix_->strategy(i);
+  if (mat_) {
+    HIPO_ASSERT(i < mat_->num_rows());
+    return mat_->strategy(i);
   }
   return candidate(i).strategy;
 }
@@ -54,7 +68,7 @@ ChargingObjective::State::State(const ChargingObjective& objective)
     : objective_(&objective), power_(objective.p_th_.size(), 0.0) {}
 
 void ChargingObjective::State::enable_incremental(bool quantize) {
-  if (objective_->matrix_ == nullptr || !dirty_.empty()) return;
+  if (objective_->mat_ == nullptr || !dirty_.empty()) return;
   const std::size_t n = objective_->num_candidates();
   if (n == 0) return;
   cached_gain_.assign(n, 0.0);
@@ -97,10 +111,10 @@ double ChargingObjective::State::recompute_gain(std::size_t i) const {
   const simd::GainKernels& k = simd::kernels();
   const bool utility = o.kind_ == ObjectiveKind::kUtility;
   double delta = 0.0;
-  if (o.matrix_) {
-    HIPO_ASSERT(i < o.matrix_->num_rows());
-    const auto covered = o.matrix_->covered(i);
-    const auto powers = o.matrix_->powers(i);
+  if (o.mat_) {
+    HIPO_ASSERT(i < o.mat_->num_rows());
+    const auto covered = o.mat_->covered(i);
+    const auto powers = o.mat_->powers(i);
     delta = utility
                 ? k.row_gain_utility_u32(covered.data(), powers.data(),
                                          covered.size(), power_.data(),
@@ -275,10 +289,10 @@ BestGain ChargingObjective::State::best_gain_dense(std::size_t begin,
 void ChargingObjective::State::add(std::size_t i) {
   value_ += gain(i);
   const ChargingObjective& o = *objective_;
-  if (o.matrix_) {
-    HIPO_ASSERT(i < o.matrix_->num_rows());
-    const auto covered = o.matrix_->covered(i);
-    const auto powers = o.matrix_->powers(i);
+  if (o.mat_) {
+    HIPO_ASSERT(i < o.mat_->num_rows());
+    const auto covered = o.mat_->covered(i);
+    const auto powers = o.mat_->powers(i);
     for (std::size_t k = 0; k < covered.size(); ++k) {
       power_[covered[k]] += powers[k];
     }
@@ -288,7 +302,7 @@ void ChargingObjective::State::add(std::size_t i) {
       // index's lists for i's devices. Everything else keeps its cached
       // gain, bit-identical to a fresh recomputation.
       for (std::uint32_t j : covered) {
-        for (std::uint32_t r : o.matrix_->rows_covering(j)) dirty_[r] = 1;
+        for (std::uint32_t r : o.mat_->rows_covering(j)) dirty_[r] = 1;
       }
     }
   } else {

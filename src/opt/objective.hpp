@@ -76,16 +76,27 @@ class ChargingObjective {
                     ObjectiveKind kind = ObjectiveKind::kUtility,
                     GainEngine engine = GainEngine::kFlatCsr);
 
-  std::size_t num_candidates() const { return candidates_.size(); }
+  /// Flat-engine objective over a caller-owned, already-built matrix (the
+  /// delta path's warm arenas): no packing work, no candidate span — every
+  /// row read is served from the borrowed CSR. The matrix must outlive the
+  /// objective and match the scenario's device count.
+  ChargingObjective(const model::Scenario& scenario,
+                    const CoverageMatrix& prebuilt,
+                    ObjectiveKind kind = ObjectiveKind::kUtility);
+
+  std::size_t num_candidates() const {
+    return mat_ ? mat_->num_rows() : candidates_.size();
+  }
   const pdcs::Candidate& candidate(std::size_t i) const;
   /// Strategy of candidate i, served from the CSR row metadata when the
   /// flat engine is active (candidate(i).strategy otherwise — identical).
   const model::Strategy& strategy(std::size_t i) const;
   GainEngine engine() const {
-    return matrix_ ? GainEngine::kFlatCsr : GainEngine::kLegacy;
+    return mat_ ? GainEngine::kFlatCsr : GainEngine::kLegacy;
   }
-  /// The packed coverage structure; nullptr under kLegacy.
-  const CoverageMatrix* matrix() const { return matrix_.get(); }
+  /// The packed coverage structure (owned or borrowed); nullptr under
+  /// kLegacy.
+  const CoverageMatrix* matrix() const { return mat_; }
 
   /// f(X) for an explicit index set (recomputed from scratch).
   double value(std::span<const std::size_t> selected) const;
@@ -189,11 +200,16 @@ class ChargingObjective {
  private:
   friend class State;
 
+  void init_device_caches(const model::Scenario& scenario);
+
   const model::Scenario* scenario_;
   std::span<const pdcs::Candidate> candidates_;
   /// Flat engine storage (null under kLegacy). unique_ptr keeps the
   /// objective cheaply movable and the legacy configuration allocation-free.
   std::unique_ptr<CoverageMatrix> matrix_;
+  /// The matrix the gain loops actually read: matrix_.get() when owned,
+  /// the caller's matrix when borrowed, nullptr under kLegacy.
+  const CoverageMatrix* mat_ = nullptr;
   /// Per-device caches the row kernels gather from. weight_over_pth_
   /// pre-divides weight/p_th so the utility kernel's per-element delta is
   /// division-free: (min(acc+q, th) − min(acc, th)) · (w/th).

@@ -46,24 +46,46 @@ bool dominated_by(const Candidate& a, const Candidate& b, double eps) {
   return true;
 }
 
-std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
-                                        std::size_t num_devices) {
+std::vector<std::size_t> filter_dominated_indices(
+    std::span<const Candidate* const> candidates, std::size_t num_devices) {
   // Sort by decreasing coverage size, then decreasing total power: a
   // candidate can only be dominated by one at or before it in this order.
   std::vector<std::size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::vector<double> total_power(candidates.size(), 0.0);
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    for (double p : candidates[i].powers) total_power[i] += p;
+    HIPO_ASSERT(candidates[i] != nullptr);
+    for (double p : candidates[i]->powers) total_power[i] += p;
   }
   std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
-    if (candidates[x].covered.size() != candidates[y].covered.size())
-      return candidates[x].covered.size() > candidates[y].covered.size();
+    if (candidates[x]->covered.size() != candidates[y]->covered.size())
+      return candidates[x]->covered.size() > candidates[y]->covered.size();
     if (total_power[x] != total_power[y]) return total_power[x] > total_power[y];
     return x < y;
   });
 
-  std::vector<Candidate> kept;
+  // Dense local universe: the distinct devices actually covered by this
+  // pool. Masks and the inverted index are sized by it instead of
+  // `num_devices`, so a per-task filter over a handful of devices costs
+  // O(pool), not O(total devices) — extract_all calls this once per device
+  // task, and sizing by the global count made extraction quadratic in the
+  // scenario. Subset tests and the rarest-device probe are invariant under
+  // the (order-preserving) remap, so the survivor set is unchanged.
+  std::vector<std::size_t> universe;
+  for (const Candidate* c : candidates) {
+    universe.insert(universe.end(), c->covered.begin(), c->covered.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  const auto local_id = [&](std::size_t j) {
+    HIPO_ASSERT(j < num_devices);
+    return static_cast<std::size_t>(
+        std::lower_bound(universe.begin(), universe.end(), j) -
+        universe.begin());
+  };
+
+  std::vector<std::size_t> kept;
   std::vector<CoverageMask> kept_masks;
   // Inverted device→kept-candidate index, grown as survivors are admitted.
   // A dominator must cover *every* device of `cand`, so it is enough to
@@ -72,32 +94,47 @@ std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
   // and the scan shrinks from |kept| to the shortest inverted list. The
   // lists are appended in kept order, so the existential outcome (and thus
   // the survivor set) is identical to the full scan.
-  std::vector<std::vector<std::uint32_t>> kept_by_device(num_devices);
+  std::vector<std::vector<std::uint32_t>> kept_by_device(universe.size());
+  std::vector<std::size_t> local;
   for (std::size_t idx : order) {
-    Candidate& cand = candidates[idx];
+    const Candidate& cand = *candidates[idx];
     if (cand.covers_nothing()) continue;
-    CoverageMask mask(num_devices);
-    for (std::size_t j : cand.covered) mask.set(j);
-    std::size_t rarest = cand.covered.front();
-    for (std::size_t j : cand.covered) {
-      HIPO_ASSERT(j < num_devices);
+    local.clear();
+    for (std::size_t j : cand.covered) local.push_back(local_id(j));
+    CoverageMask mask(universe.size());
+    for (std::size_t j : local) mask.set(j);
+    std::size_t rarest = local.front();
+    for (std::size_t j : local) {
       if (kept_by_device[j].size() < kept_by_device[rarest].size()) rarest = j;
     }
     bool dominated = false;
     for (std::uint32_t k : kept_by_device[rarest]) {
       if (!mask.is_subset_of(kept_masks[k])) continue;
-      if (dominated_by(cand, kept[k])) {
+      if (dominated_by(cand, *candidates[kept[k]])) {
         dominated = true;
         break;
       }
     }
     if (!dominated) {
       const auto id = static_cast<std::uint32_t>(kept.size());
-      for (std::size_t j : cand.covered) kept_by_device[j].push_back(id);
-      kept.push_back(std::move(cand));
+      for (std::size_t j : local) kept_by_device[j].push_back(id);
+      kept.push_back(idx);
       kept_masks.push_back(std::move(mask));
     }
   }
+  return kept;
+}
+
+std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
+                                        std::size_t num_devices) {
+  std::vector<const Candidate*> ptrs;
+  ptrs.reserve(candidates.size());
+  for (const auto& c : candidates) ptrs.push_back(&c);
+  const std::vector<std::size_t> kept_idx =
+      filter_dominated_indices(ptrs, num_devices);
+  std::vector<Candidate> kept;
+  kept.reserve(kept_idx.size());
+  for (std::size_t idx : kept_idx) kept.push_back(std::move(candidates[idx]));
   return kept;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/model/types.hpp"
@@ -52,5 +53,16 @@ bool dominated_by(const Candidate& a, const Candidate& b, double eps = 1e-12);
 /// their relative order of first appearance among equals.
 std::vector<Candidate> filter_dominated(std::vector<Candidate> candidates,
                                         std::size_t num_devices);
+
+/// Index form of the same filter, over a borrowed pointer pool: returns the
+/// positions of the survivors *in survivor order* (the admission order of
+/// the internal size/power/index sort — the order filter_dominated returns
+/// them in). The key property the delta layer builds on: the outcome for a
+/// candidate depends only on the multiset of candidates and the relative
+/// input order of exact size/power ties, so a pool edit that preserves the
+/// relative order of untouched candidates preserves their survivor-order
+/// positions relative to each other. Null entries are not allowed.
+std::vector<std::size_t> filter_dominated_indices(
+    std::span<const Candidate* const> candidates, std::size_t num_devices);
 
 }  // namespace hipo::pdcs

@@ -226,5 +226,29 @@ TEST_P(FilterEquivalenceTest, MatchesFullScanReference) {
 INSTANTIATE_TEST_SUITE_P(Random, FilterEquivalenceTest,
                          ::testing::Range(0, 20));
 
+TEST(FilterDominated, SparseUniverseMatchesReference) {
+  // The filter remaps covered ids onto their dense local universe so its
+  // cost scales with the pool, not `num_devices` (extract_all runs it once
+  // per device task against the global count). Survivors must still match
+  // the reference when the covered ids are a scattered handful out of a
+  // huge id space, including the last representable device.
+  const std::size_t num_devices = 1'000'000;
+  std::vector<Candidate> input;
+  input.push_back(make_candidate({123, 500'000, 999'999}, {0.3, 0.3, 0.3}));
+  input.push_back(make_candidate({123, 999'999}, {0.2, 0.2}));   // dominated
+  input.push_back(make_candidate({123, 500'000}, {0.9, 0.1}));   // kept
+  input.push_back(make_candidate({777'777}, {0.4}));             // disjoint
+  input.push_back(make_candidate({123, 500'000, 999'999}, {0.3, 0.3, 0.3}));
+  auto a = input;
+  auto b = input;
+  const auto fast = filter_dominated(std::move(a), num_devices);
+  const auto reference = filter_dominated_reference(std::move(b), num_devices);
+  ASSERT_EQ(fast.size(), reference.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].covered, reference[i].covered) << "survivor " << i;
+    EXPECT_EQ(fast[i].powers, reference[i].powers) << "survivor " << i;
+  }
+}
+
 }  // namespace
 }  // namespace hipo::pdcs

@@ -1,0 +1,427 @@
+// opt::DeltaSolver: the incremental re-solve path. The headline contract is
+// bit-identity — after every prefix of a delta sequence the warm solver's
+// matrix, selection, placement, and utilities are byte-for-byte equal to a
+// cold solve of the mutated scenario — plus the JSONL script parser and the
+// op validation semantics.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/opt/coverage_matrix.hpp"
+#include "src/opt/delta.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/pdcs/extract.hpp"
+#include "src/util/error.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_results_identical(const opt::GreedyResult& warm,
+                              const opt::GreedyResult& cold,
+                              const std::string& label) {
+  EXPECT_EQ(warm.selected, cold.selected) << label;
+  EXPECT_EQ(bits(warm.approx_utility), bits(cold.approx_utility)) << label;
+  EXPECT_EQ(bits(warm.exact_utility), bits(cold.exact_utility)) << label;
+  ASSERT_EQ(warm.placement.size(), cold.placement.size()) << label;
+  for (std::size_t i = 0; i < warm.placement.size(); ++i) {
+    EXPECT_EQ(bits(warm.placement[i].pos.x), bits(cold.placement[i].pos.x))
+        << label << " slot " << i;
+    EXPECT_EQ(bits(warm.placement[i].pos.y), bits(cold.placement[i].pos.y))
+        << label << " slot " << i;
+    EXPECT_EQ(bits(warm.placement[i].orientation),
+              bits(cold.placement[i].orientation))
+        << label << " slot " << i;
+    EXPECT_EQ(warm.placement[i].type, cold.placement[i].type)
+        << label << " slot " << i;
+  }
+}
+
+/// Cold reference: fresh extraction + the span-based greedy, exactly the
+/// configuration DeltaSolver defaults to.
+void expect_matches_cold(const opt::DeltaSolver& delta,
+                         const std::string& label) {
+  const model::Scenario cold_scenario{model::Scenario::Config(delta.config())};
+  const auto extraction = pdcs::extract_all(cold_scenario);
+  const opt::CoverageMatrix cold_matrix(
+      std::span<const pdcs::Candidate>(extraction.candidates),
+      cold_scenario.num_devices());
+  EXPECT_TRUE(delta.matrix().same_as(cold_matrix)) << label << " (matrix)";
+  const auto cold = opt::select_strategies(
+      cold_scenario, extraction.candidates, opt::GreedyMode::kLazyGlobal,
+      opt::ObjectiveKind::kUtility);
+  expect_results_identical(delta.result(), cold, label);
+}
+
+/// Deterministic grid scan for the skip-th position no obstacle interior
+/// contains (valid for devices and obstacle centers alike).
+geom::Vec2 free_spot(const model::Scenario::Config& cfg, std::size_t skip) {
+  const geom::Vec2 ext = cfg.region.extent();
+  std::size_t seen = 0;
+  for (int gy = 1; gy < 10; ++gy) {
+    for (int gx = 1; gx < 10; ++gx) {
+      const geom::Vec2 p{cfg.region.lo.x + ext.x * gx / 10.0,
+                         cfg.region.lo.y + ext.y * gy / 10.0};
+      bool free = true;
+      for (const auto& h : cfg.obstacles) {
+        if (h.contains_interior(p, 1e-6)) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) continue;
+      if (seen++ == skip) return p;
+    }
+  }
+  ADD_FAILURE() << "no free spot found";
+  return cfg.region.lo;
+}
+
+/// Small axis-aligned square around `center`, nudged sideways until it
+/// swallows no device.
+std::vector<geom::Vec2> obstacle_rect_at(const model::Scenario::Config& cfg,
+                                         geom::Vec2 center, double half) {
+  for (const auto& d : cfg.devices) {
+    if (std::abs(d.pos.x - center.x) <= half + 1e-6 &&
+        std::abs(d.pos.y - center.y) <= half + 1e-6) {
+      return obstacle_rect_at(cfg, {center.x + 2.5 * half, center.y}, half);
+    }
+  }
+  return {{center.x - half, center.y - half},
+          {center.x + half, center.y - half},
+          {center.x + half, center.y + half},
+          {center.x - half, center.y + half}};
+}
+
+opt::DeltaOp add_device_op(geom::Vec2 p, std::size_t type = 0) {
+  opt::DeltaOp op;
+  op.kind = opt::DeltaOp::Kind::kAddDevice;
+  op.device = test::device_at(p.x, p.y, 0.0, type);
+  return op;
+}
+
+opt::DeltaOp remove_device_op(std::size_t index) {
+  opt::DeltaOp op;
+  op.kind = opt::DeltaOp::Kind::kRemoveDevice;
+  op.index = index;
+  return op;
+}
+
+opt::DeltaOp move_device_op(std::size_t index, geom::Vec2 p) {
+  opt::DeltaOp op;
+  op.kind = opt::DeltaOp::Kind::kMoveDevice;
+  op.index = index;
+  op.pos = p;
+  return op;
+}
+
+opt::DeltaOp add_obstacle_op(std::vector<geom::Vec2> vertices) {
+  opt::DeltaOp op;
+  op.kind = opt::DeltaOp::Kind::kAddObstacle;
+  op.obstacle = std::move(vertices);
+  return op;
+}
+
+opt::DeltaOp remove_obstacle_op(std::size_t index) {
+  opt::DeltaOp op;
+  op.kind = opt::DeltaOp::Kind::kRemoveObstacle;
+  op.index = index;
+  return op;
+}
+
+/// A spread-out scenario where the 4·d_max invalidation disk is small
+/// relative to the region — deltas in one corner must not touch the rest.
+model::Scenario::Config spread_config() {
+  auto cfg = test::simple_config();  // one type, d_max = 5 → radius ≈ 20
+  cfg.region.lo = {0.0, 0.0};
+  cfg.region.hi = {100.0, 100.0};
+  cfg.charger_counts = {4};
+  for (const double x : {5.0, 50.0, 95.0}) {
+    for (const double y : {5.0, 50.0, 95.0}) {
+      cfg.devices.push_back(test::device_at(x, y));
+      cfg.devices.push_back(test::device_at(x + 2.0, y + 1.0));
+    }
+  }
+  cfg.obstacles = {geom::make_rect({48.0, 44.0}, {54.0, 46.0}),
+                   geom::make_rect({8.0, 90.0}, {11.0, 94.0})};
+  return cfg;
+}
+
+TEST(DeltaSolver, ColdConstructionMatchesColdSolve) {
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(12, 10),
+                 test::device_at(10, 13), test::device_at(4, 4)};
+  cfg.obstacles = {geom::make_rect({11.0, 9.5}, {12.0, 10.5})};
+  const opt::DeltaSolver delta{model::Scenario::Config(cfg)};
+  expect_matches_cold(delta, "cold construction");
+  EXPECT_GT(delta.num_candidates(), 0u);
+}
+
+TEST(DeltaSolver, DeviceChurnBitIdenticalAfterEveryPrefix) {
+  const auto scenario = test::small_paper_scenario(5);
+  opt::DeltaSolver delta(scenario.to_config());
+  expect_matches_cold(delta, "prefix 0 (cold)");
+
+  std::vector<opt::DeltaOp> ops;
+  ops.push_back(add_device_op(free_spot(delta.config(), 0)));
+  ops.push_back(move_device_op(0, free_spot(delta.config(), 7)));
+  ops.push_back(remove_device_op(1));
+  ops.push_back(add_device_op(free_spot(delta.config(), 12),
+                              delta.config().device_types.size() - 1));
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const auto stats = delta.apply(ops[k]);
+    EXPECT_EQ(stats.tasks_total, delta.config().devices.size());
+    expect_matches_cold(delta, "device prefix " + std::to_string(k + 1));
+  }
+  // One more computed against the mutated state: move the appended device.
+  const std::size_t last = delta.config().devices.size() - 1;
+  delta.apply(move_device_op(last, free_spot(delta.config(), 3)));
+  expect_matches_cold(delta, "device prefix tail");
+}
+
+TEST(DeltaSolver, MoveWithOrientationBitIdentical) {
+  const auto scenario = test::small_paper_scenario(11);
+  opt::DeltaSolver delta(scenario.to_config());
+  opt::DeltaOp op = move_device_op(2, free_spot(delta.config(), 9));
+  op.has_orientation = true;
+  op.orientation = 1.25;
+  delta.apply(op);
+  EXPECT_EQ(bits(delta.config().devices[2].orientation), bits(1.25));
+  expect_matches_cold(delta, "move with orientation");
+}
+
+TEST(DeltaSolver, ObstacleChurnBitIdenticalAfterEveryPrefix) {
+  const auto scenario = test::small_paper_scenario(7);
+  opt::DeltaSolver delta(scenario.to_config());
+
+  const auto rect = obstacle_rect_at(delta.config(),
+                                     free_spot(delta.config(), 5), 1.5);
+  delta.apply(add_obstacle_op(rect));
+  expect_matches_cold(delta, "obstacle add");
+
+  ASSERT_GE(delta.config().obstacles.size(), 2u);
+  delta.apply(remove_obstacle_op(0));  // a pre-existing obstacle
+  expect_matches_cold(delta, "obstacle remove first");
+
+  delta.apply(remove_obstacle_op(delta.config().obstacles.size() - 1));
+  expect_matches_cold(delta, "obstacle remove added");
+}
+
+TEST(DeltaSolver, ThreadCountInvariance) {
+  const auto scenario = test::small_paper_scenario(13);
+  parallel::ThreadPool pool1(1);
+  parallel::ThreadPool pool4(4);
+  opt::DeltaOptions seq;
+  opt::DeltaOptions one;
+  one.workers = &pool1;
+  opt::DeltaOptions four;
+  four.workers = &pool4;
+
+  opt::DeltaSolver a(scenario.to_config(), seq);
+  opt::DeltaSolver b(scenario.to_config(), one);
+  opt::DeltaSolver c(scenario.to_config(), four);
+  std::vector<opt::DeltaOp> ops;
+  ops.push_back(add_device_op(free_spot(a.config(), 2)));
+  ops.push_back(move_device_op(1, free_spot(a.config(), 8)));
+  ops.push_back(remove_device_op(0));
+  ops.push_back(add_obstacle_op(
+      obstacle_rect_at(a.config(), free_spot(a.config(), 14), 1.0)));
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    a.apply(ops[k]);
+    b.apply(ops[k]);
+    c.apply(ops[k]);
+    const std::string label = "threads prefix " + std::to_string(k + 1);
+    EXPECT_TRUE(a.matrix().same_as(b.matrix())) << label;
+    EXPECT_TRUE(a.matrix().same_as(c.matrix())) << label;
+    expect_results_identical(b.result(), a.result(), label + " (1 vs 0)");
+    expect_results_identical(c.result(), a.result(), label + " (4 vs 0)");
+  }
+  expect_matches_cold(c, "threads final vs cold");
+}
+
+TEST(DeltaSolver, RemoveToEmptyAndRegrow) {
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(14, 11)};
+  opt::DeltaSolver delta{model::Scenario::Config(cfg)};
+
+  delta.apply(remove_device_op(1));
+  expect_matches_cold(delta, "down to one device");
+  delta.apply(remove_device_op(0));
+  EXPECT_EQ(delta.config().devices.size(), 0u);
+  EXPECT_EQ(delta.num_candidates(), 0u);
+  EXPECT_TRUE(delta.result().placement.empty());
+  delta.apply(add_device_op({8.0, 9.0}));
+  expect_matches_cold(delta, "regrown from empty");
+}
+
+TEST(DeltaSolver, ForcedFullRebuildIsStillBitIdentical) {
+  const auto scenario = test::small_paper_scenario(17);
+  opt::DeltaOptions always_rebuild;
+  always_rebuild.rebuild_fraction = 0.0;
+  opt::DeltaSolver forced(scenario.to_config(), always_rebuild);
+  opt::DeltaSolver incremental(scenario.to_config());
+
+  const auto op = move_device_op(3, free_spot(forced.config(), 6));
+  const auto fstats = forced.apply(op);
+  const auto istats = incremental.apply(op);
+  EXPECT_TRUE(fstats.full_rebuild);
+  EXPECT_EQ(fstats.tasks_regenerated, fstats.tasks_total);
+  EXPECT_TRUE(forced.matrix().same_as(incremental.matrix()));
+  expect_results_identical(forced.result(), incremental.result(),
+                           "forced vs incremental");
+  EXPECT_EQ(fstats.rows_erased + fstats.rows_kept,
+            istats.rows_erased + istats.rows_kept);
+}
+
+TEST(DeltaSolver, LocalDeltaRegeneratesOnlyTheNeighborhood) {
+  opt::DeltaSolver delta{spread_config()};
+  const std::size_t rows_before = delta.matrix().num_rows();
+
+  // Move a corner device by one meter: only the corner cluster (2 devices
+  // plus nothing else within the 4·d_max ≈ 20 m disk) may re-extract.
+  const auto stats = delta.apply(move_device_op(0, {6.0, 6.0}));
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_EQ(stats.tasks_total, 18u);
+  EXPECT_LE(stats.tasks_regenerated, 4u);
+  EXPECT_GT(stats.rows_kept, 0u);
+  EXPECT_LT(stats.rows_erased + stats.rows_inserted, rows_before);
+  expect_matches_cold(delta, "local move");
+
+  // An obstacle appearing in the middle leaves the corners untouched.
+  const auto obst_stats = delta.apply(add_obstacle_op(
+      obstacle_rect_at(delta.config(), {60.0, 55.0}, 2.0)));
+  EXPECT_FALSE(obst_stats.full_rebuild);
+  EXPECT_LT(obst_stats.tasks_regenerated, obst_stats.tasks_total);
+  expect_matches_cold(delta, "local obstacle");
+}
+
+TEST(DeltaSolver, InvalidOpsThrowAndLeaveTheSolverUsable) {
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(12, 12)};
+  cfg.obstacles = {geom::make_rect({5.0, 5.0}, {6.0, 6.0})};
+  opt::DeltaSolver delta{model::Scenario::Config(cfg)};
+
+  EXPECT_THROW(delta.apply(remove_device_op(2)), ConfigError);
+  EXPECT_THROW(delta.apply(move_device_op(7, {1.0, 1.0})), ConfigError);
+  EXPECT_THROW(delta.apply(move_device_op(0, {999.0, 1.0})), ConfigError);
+  EXPECT_THROW(delta.apply(move_device_op(0, {5.5, 5.5})), ConfigError);
+  EXPECT_THROW(delta.apply(remove_obstacle_op(1)), ConfigError);
+  EXPECT_THROW(delta.apply(add_obstacle_op({{0.0, 0.0}, {1.0, 0.0}})),
+               ConfigError);
+  // Obstacle swallowing a device.
+  EXPECT_THROW(delta.apply(add_obstacle_op(
+                   {{9.0, 9.0}, {11.0, 9.0}, {11.0, 11.0}, {9.0, 11.0}})),
+               ConfigError);
+  opt::DeltaOp bad_device = add_device_op({15.0, 15.0});
+  bad_device.device.p_th = 0.0;
+  EXPECT_THROW(delta.apply(bad_device), ConfigError);
+  bad_device.device.p_th = 0.05;
+  bad_device.device.type = 9;
+  EXPECT_THROW(delta.apply(bad_device), ConfigError);
+
+  // The rejected ops mutated nothing: the solver still matches cold.
+  expect_matches_cold(delta, "after rejected ops");
+  delta.apply(move_device_op(0, {11.0, 10.0}));
+  expect_matches_cold(delta, "good op after rejected ops");
+}
+
+TEST(DeltaScript, ParsesEveryOpKindWithDefaults) {
+  const std::string text =
+      "# churn script\n"
+      "\n"
+      "{\"op\":\"add_device\",\"x\":1.5,\"y\":2.5}\n"
+      "{\"op\":\"add_device\",\"x\":1,\"y\":2,\"orientation\":0.5,"
+      "\"type\":2,\"p_th\":0.1,\"weight\":3.0}\n"
+      "{\"op\":\"remove_device\",\"index\":4}\n"
+      "{\"op\":\"move_device\",\"index\":1,\"x\":-3.25,\"y\":8}\n"
+      "{\"op\":\"move_device\",\"index\":0,\"x\":1,\"y\":1,"
+      "\"orientation\":2.5}\n"
+      "{\"op\":\"add_obstacle\",\"vertices\":[[0,0],[2,0],[1,2]]}\n"
+      "{\"op\":\"remove_obstacle\",\"index\":0}\n";
+  const auto ops = opt::parse_delta_script(text);
+  ASSERT_EQ(ops.size(), 7u);
+
+  EXPECT_EQ(ops[0].kind, opt::DeltaOp::Kind::kAddDevice);
+  EXPECT_EQ(bits(ops[0].device.pos.x), bits(1.5));
+  EXPECT_EQ(bits(ops[0].device.pos.y), bits(2.5));
+  EXPECT_EQ(ops[0].device.type, 0u);
+  EXPECT_EQ(bits(ops[0].device.p_th), bits(0.05));
+  EXPECT_EQ(bits(ops[0].device.weight), bits(1.0));
+
+  EXPECT_EQ(ops[1].device.type, 2u);
+  EXPECT_EQ(bits(ops[1].device.orientation), bits(0.5));
+  EXPECT_EQ(bits(ops[1].device.p_th), bits(0.1));
+  EXPECT_EQ(bits(ops[1].device.weight), bits(3.0));
+
+  EXPECT_EQ(ops[2].kind, opt::DeltaOp::Kind::kRemoveDevice);
+  EXPECT_EQ(ops[2].index, 4u);
+
+  EXPECT_EQ(ops[3].kind, opt::DeltaOp::Kind::kMoveDevice);
+  EXPECT_FALSE(ops[3].has_orientation);
+  EXPECT_EQ(bits(ops[3].pos.x), bits(-3.25));
+
+  EXPECT_TRUE(ops[4].has_orientation);
+  EXPECT_EQ(bits(ops[4].orientation), bits(2.5));
+
+  EXPECT_EQ(ops[5].kind, opt::DeltaOp::Kind::kAddObstacle);
+  ASSERT_EQ(ops[5].obstacle.size(), 3u);
+  EXPECT_EQ(bits(ops[5].obstacle[2].y), bits(2.0));
+
+  EXPECT_EQ(ops[6].kind, opt::DeltaOp::Kind::kRemoveObstacle);
+  EXPECT_EQ(ops[6].index, 0u);
+}
+
+TEST(DeltaScript, RejectsMalformedLinesNamingThem) {
+  const auto expect_fails = [](const std::string& line,
+                               const std::string& needle) {
+    try {
+      opt::parse_delta_script(line);
+      ADD_FAILURE() << "accepted: " << line;
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_fails("{\"op\":\"warp_device\",\"index\":0}", "unknown op");
+  expect_fails("{\"x\":1,\"y\":2}", "missing \"op\"");
+  expect_fails("{\"op\":\"add_device\",\"x\":1}", "missing \"y\"");
+  expect_fails("{\"op\":\"remove_device\",\"index\":-1}",
+               "non-negative integer");
+  expect_fails("{\"op\":\"remove_device\",\"index\":1.5}",
+               "non-negative integer");
+  expect_fails("{\"op\":\"remove_device\",\"index\":1} trailing", "trailing");
+  expect_fails("{\"op\":\"add_device\",\"x\":nope,\"y\":2}", "number");
+  expect_fails("{\"op\":\"add_device\",\"x\":1,\"x\":2,\"y\":3}",
+               "duplicate key");
+  expect_fails("{\"op\":\"add_obstacle\"}", "vertices");
+  expect_fails("{\"op\":\"add_device\",\"x\":1e999,\"y\":0}", "finite");
+  expect_fails("{\"op\":\"move_device\"", "expected");
+}
+
+TEST(DeltaScript, ScriptDrivenChurnMatchesDirectOps) {
+  auto cfg = test::simple_config();
+  cfg.devices = {test::device_at(10, 10), test::device_at(13, 9)};
+  const std::string text =
+      "{\"op\":\"add_device\",\"x\":6,\"y\":12}\n"
+      "{\"op\":\"move_device\",\"index\":1,\"x\":14,\"y\":12}\n"
+      "{\"op\":\"add_obstacle\",\"vertices\":[[11,10.5],[12,10.5],"
+      "[12,11.5],[11,11.5]]}\n"
+      "{\"op\":\"remove_device\",\"index\":0}\n";
+  opt::DeltaSolver delta{model::Scenario::Config(cfg)};
+  for (const auto& op : opt::parse_delta_script(text)) delta.apply(op);
+  expect_matches_cold(delta, "script-driven churn");
+}
+
+}  // namespace
+}  // namespace hipo

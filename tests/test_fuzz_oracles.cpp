@@ -47,12 +47,24 @@ TEST(FuzzOracles, AllPassOnHandBuiltScenarios) {
   EXPECT_FALSE(run_all(test::blocked_scenario(), 7).has_value());
 }
 
-TEST(FuzzOracles, AllSixRegistered) {
+TEST(FuzzOracles, AllSevenRegistered) {
   const auto oracles = all_oracles();
-  ASSERT_EQ(oracles.size(), 6u);
+  ASSERT_EQ(oracles.size(), 7u);
   EXPECT_STREQ(oracles[0].name, "line_of_sight");
   EXPECT_STREQ(oracles[4].name, "determinism");
   EXPECT_STREQ(oracles[5].name, "simd");
+  EXPECT_STREQ(oracles[6].name, "delta");
+}
+
+TEST(FuzzOracles, DeltaOracleExercisesTractableScenarios) {
+  // simple_scenario is well inside the tractability gate (one charger type,
+  // a handful of devices), so the delta oracle's churn loop genuinely runs —
+  // this pins the oracle against silently skipping everything.
+  for (std::uint64_t seed : {1ull, 9ull, 1234ull}) {
+    const auto v = check_delta(test::simple_scenario(), seed);
+    EXPECT_FALSE(v.has_value())
+        << "seed " << seed << ": [" << v->oracle << "] " << v->detail;
+  }
 }
 
 TEST(FuzzOracles, RunOracleConvertsEscapedExceptions) {

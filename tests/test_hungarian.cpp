@@ -112,5 +112,30 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair(std::size_t{3}, std::size_t{6}),
                       std::make_pair(std::size_t{5}, std::size_t{8})));
 
+
+TEST(Hungarian, ZeroRowsIsEmptyAndFeasible) {
+  // Degenerate redeploy instance: a charger type with nothing deployed.
+  const auto square = hungarian({}, 0, 0);
+  EXPECT_TRUE(square.feasible);
+  EXPECT_TRUE(square.col_of.empty());
+  EXPECT_DOUBLE_EQ(square.total_cost, 0.0);
+
+  const auto wide = hungarian({}, 0, 3);
+  EXPECT_TRUE(wide.feasible);
+  EXPECT_TRUE(wide.col_of.empty());
+  EXPECT_DOUBLE_EQ(wide.total_cost, 0.0);
+}
+
+TEST(Hungarian, AllEqualCostsAssignDistinctColumns) {
+  // Fully degenerate duals: any permutation is optimal, but the columns
+  // must still be distinct and the total exact.
+  std::vector<double> cost(4 * 4, 2.5);
+  const auto r = hungarian(cost, 4, 4);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.total_cost, 10.0);
+  const std::set<std::size_t> cols(r.col_of.begin(), r.col_of.end());
+  EXPECT_EQ(cols.size(), 4u);
+}
+
 }  // namespace
 }  // namespace hipo::ext

@@ -125,6 +125,94 @@ TEST(RedeployEmpty, NoChargers) {
   EXPECT_EQ(plan.max_cost, 0.0);
 }
 
+TEST(RedeployEmpty, MinTotalNoChargers) {
+  // Regression guard for the weights.size()-1 underflow family: both
+  // objectives must take the empty early-out, not index an empty list.
+  const auto plan = redeploy_min_total({}, {}, 3);
+  EXPECT_TRUE(plan.to_of.empty());
+  EXPECT_EQ(plan.total_cost, 0.0);
+}
+
+TEST(RedeployDegenerate, IdenticalPlacementsCostNothing) {
+  // from == to with duplicate positions: every weight is 0 and the minimax
+  // binary search runs over the single deduplicated weight.
+  const Placement p = {strat(3, 3, 0.5, 0), strat(3, 3, 0.5, 0),
+                       strat(7, 1, 2.0, 1)};
+  for (const auto& plan : {redeploy_min_total(p, p, 2),
+                           redeploy_min_max(p, p, 2)}) {
+    EXPECT_NEAR(plan.total_cost, 0.0, 1e-12);
+    EXPECT_NEAR(plan.max_cost, 0.0, 1e-12);
+  }
+}
+
+TEST(RedeployBestEffort, EqualCountsMatchMinTotal) {
+  hipo::Rng rng(77);
+  Placement from, to;
+  for (std::size_t q = 0; q < 2; ++q) {
+    for (int i = 0; i < 3; ++i) {
+      from.push_back(strat(rng.uniform(0, 20), rng.uniform(0, 20),
+                           rng.angle(), q));
+      to.push_back(strat(rng.uniform(0, 20), rng.uniform(0, 20),
+                         rng.angle(), q));
+    }
+  }
+  const SwitchCostModel m;
+  const auto exact = redeploy_min_total(from, to, 2, m);
+  const auto lenient = redeploy_best_effort(from, to, 2, m);
+  EXPECT_NEAR(lenient.total_cost, exact.total_cost, 1e-9);
+  EXPECT_EQ(lenient.to_of, exact.to_of);
+  EXPECT_EQ(lenient.transferred, from.size());
+  EXPECT_EQ(lenient.recalled, 0u);
+  EXPECT_EQ(lenient.deployed, 0u);
+}
+
+TEST(RedeployBestEffort, SurplusFromRecallsTheFarCharger) {
+  // Two old chargers, one new slot: the nearer one transfers, the other is
+  // recalled (to_of = kUnassigned).
+  const Placement from = {strat(0, 0, 0, 0), strat(10, 0, 0, 0)};
+  const Placement to = {strat(9, 0, 0, 0)};
+  const auto plan = redeploy_best_effort(from, to, 1);
+  EXPECT_EQ(plan.to_of[0], kUnassigned);
+  EXPECT_EQ(plan.to_of[1], 0u);
+  EXPECT_EQ(plan.from_of[0], 1u);
+  EXPECT_EQ(plan.transferred, 1u);
+  EXPECT_EQ(plan.recalled, 1u);
+  EXPECT_EQ(plan.deployed, 0u);
+  EXPECT_NEAR(plan.total_cost, 1.0, 1e-12);
+}
+
+TEST(RedeployBestEffort, SurplusToDeploysFresh) {
+  const Placement from = {strat(0, 0, 0, 0)};
+  const Placement to = {strat(20, 0, 0, 0), strat(1, 0, 0, 0)};
+  const auto plan = redeploy_best_effort(from, to, 1);
+  EXPECT_EQ(plan.to_of[0], 1u);
+  EXPECT_EQ(plan.from_of[0], kUnassigned);
+  EXPECT_EQ(plan.from_of[1], 0u);
+  EXPECT_EQ(plan.transferred, 1u);
+  EXPECT_EQ(plan.recalled, 0u);
+  EXPECT_EQ(plan.deployed, 1u);
+  EXPECT_NEAR(plan.max_cost, 1.0, 1e-12);
+}
+
+TEST(RedeployBestEffort, TypesNeverMixAndEmptySidesWork) {
+  // Type 0 only on the from side, type 1 only on the to side: nothing can
+  // transfer across types.
+  const Placement from = {strat(0, 0, 0, 0), strat(1, 1, 0, 0)};
+  const Placement to = {strat(0, 0, 0, 1)};
+  const auto plan = redeploy_best_effort(from, to, 2);
+  EXPECT_EQ(plan.transferred, 0u);
+  EXPECT_EQ(plan.recalled, 2u);
+  EXPECT_EQ(plan.deployed, 1u);
+  EXPECT_EQ(plan.to_of[0], kUnassigned);
+  EXPECT_EQ(plan.to_of[1], kUnassigned);
+  EXPECT_EQ(plan.from_of[0], kUnassigned);
+  EXPECT_DOUBLE_EQ(plan.total_cost, 0.0);
+
+  const auto empty = redeploy_best_effort({}, {}, 2);
+  EXPECT_EQ(empty.transferred, 0u);
+  EXPECT_TRUE(empty.to_of.empty());
+}
+
 // Property: both objectives match brute force on random instances with
 // heterogeneous types.
 class RedeployOracleTest : public ::testing::TestWithParam<int> {};

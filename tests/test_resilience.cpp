@@ -116,5 +116,31 @@ TEST(ExpectedFailure, ValidatesArguments) {
       hipo::ConfigError);
 }
 
+
+TEST(WorstCase, SingleChargerSingleFailure) {
+  const auto s = test::simple_scenario();
+  const model::Placement placement = {{{13.0, 10.0}, geom::kPi, 0}};
+  const auto impact = worst_case_failure(s, placement, 1);
+  ASSERT_EQ(impact.failed.size(), 1u);
+  EXPECT_EQ(impact.failed[0], 0u);
+  EXPECT_DOUBLE_EQ(impact.utility, 0.0);
+  EXPECT_DOUBLE_EQ(impact.drop, s.placement_utility(placement));
+}
+
+TEST(ExpectedFailure, CertainFailureIsEmptyPlacement) {
+  const auto s = test::simple_scenario();
+  const auto placement = two_charger_placement();
+  hipo::Rng rng(5);
+  const double u = expected_failure_utility(s, placement, 1.0, rng, 4);
+  EXPECT_DOUBLE_EQ(u, s.placement_utility({}));
+}
+
+TEST(WorstCase, EmptyPlacementZeroFailures) {
+  const auto s = test::simple_scenario();
+  const auto impact = worst_case_failure(s, {}, 0);
+  EXPECT_TRUE(impact.failed.empty());
+  EXPECT_DOUBLE_EQ(impact.drop, 0.0);
+}
+
 }  // namespace
 }  // namespace hipo::ext

@@ -141,5 +141,27 @@ TEST(DeploymentRoute, UsesPlacementPositions) {
   EXPECT_NEAR(t.length, 20.0, 1e-12);  // out and back along the x-axis
 }
 
+
+TEST(Tour, DuplicateStopsVisitEachIndexOnce) {
+  // Coincident stops (two chargers sharing a position after a degenerate
+  // placement) must still each appear exactly once, at zero marginal cost.
+  const std::vector<Vec2> stops = {{3, 4}, {3, 4}, {3, 4}};
+  const auto t = plan_tour({0, 0}, stops);
+  std::set<std::size_t> visited(t.order.begin(), t.order.end());
+  EXPECT_EQ(visited.size(), 3u);
+  EXPECT_NEAR(t.length, 10.0, 1e-12);
+
+  const auto opt = optimal_tour({0, 0}, stops);
+  EXPECT_EQ(opt.order.size(), 3u);
+  EXPECT_NEAR(opt.length, 10.0, 1e-12);
+}
+
+TEST(OptimalTour, SingleAndEmpty) {
+  EXPECT_DOUBLE_EQ(optimal_tour({1, 1}, {}).length, 0.0);
+  const auto one = optimal_tour({0, 0}, {{0, 7}});
+  ASSERT_EQ(one.order.size(), 1u);
+  EXPECT_NEAR(one.length, 14.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace hipo::ext

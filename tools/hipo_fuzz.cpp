@@ -7,8 +7,9 @@
 //   hipo_fuzz --replay-dir tests/corpus       # replay a whole corpus
 //
 // Each iteration generates one scenario from the iteration's seed and runs
-// the six oracles (line_of_sight, coverage, piecewise, greedy, determinism,
-// simd). A violation is auto-shrunk to a locally minimal config, written to
+// the seven oracles (line_of_sight, coverage, piecewise, greedy, determinism,
+// simd, delta). A violation is auto-shrunk to a locally minimal config,
+// written to
 // --corpus as a replay file, and reported; the exit status is the number of
 // distinct violations (0 = clean). --simd scalar|avx2 pins the gain-kernel
 // ISA for the whole run (e.g. CI forcing the SIMD engine on).

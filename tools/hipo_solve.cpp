@@ -16,6 +16,15 @@
 //              [--threads N]          (0 = hardware concurrency, the default;
 //                                      output is identical for any N)
 //              [--demo paper|field]   (generate a built-in scenario instead)
+//              [--deltas FILE]        (JSONL delta script, schema in
+//                                      docs/FORMATS.md: replay device /
+//                                      obstacle churn through the warm
+//                                      incremental solver after the cold
+//                                      solve; hipo algorithm only)
+//              [--deltas-verify]      (after every delta, cold-solve the
+//                                      mutated scenario and require the warm
+//                                      placement to be bit-identical — the
+//                                      CI incremental-vs-cold check)
 //              [--trace FILE]         (Chrome/Perfetto trace-event JSON)
 //              [--metrics-json FILE]  (metrics + build provenance JSON)
 //              [--report]             (per-phase wall time / counter tables)
@@ -23,9 +32,11 @@
 //
 // Observability never changes results: placements are bit-identical with
 // --trace/--metrics-json/--report on or off, for any --threads value.
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <utility>
 
 #include "src/hipo.hpp"
 
@@ -45,6 +56,96 @@ model::Scenario load_scenario(Cli& cli) {
   const auto path = cli.get("scenario");
   HIPO_REQUIRE(path.has_value(), "pass --scenario <file> or --demo paper|field");
   return model::read_scenario_file(*path);
+}
+
+/// The hipo-pipeline options shared by `core::solve` and the delta flow.
+core::SolveOptions hipo_options(Cli& cli, parallel::ThreadPool& pool) {
+  const std::string engine_name =
+      cli.get_or("gain-engine", std::string("flat"));
+  const std::string greedy_name = cli.get_or("greedy", std::string("lazy"));
+  core::SolveOptions opts;
+  opts.local_search = cli.has("local-search");
+  opts.pool = &pool;
+  opts.gain_engine = engine_name == "flat" ? opt::GainEngine::kFlatCsr
+                                           : opt::GainEngine::kLegacy;
+  opts.greedy = greedy_name == "lazy"     ? opt::GreedyMode::kLazyGlobal
+                : greedy_name == "global" ? opt::GreedyMode::kGlobal
+                                          : opt::GreedyMode::kPerType;
+  opts.gain_quantize = cli.has("gain-quantize");
+  return opts;
+}
+
+const char* delta_kind_name(opt::DeltaOp::Kind kind) {
+  switch (kind) {
+    case opt::DeltaOp::Kind::kAddDevice: return "add_device";
+    case opt::DeltaOp::Kind::kRemoveDevice: return "remove_device";
+    case opt::DeltaOp::Kind::kMoveDevice: return "move_device";
+    case opt::DeltaOp::Kind::kAddObstacle: return "add_obstacle";
+    case opt::DeltaOp::Kind::kRemoveObstacle: return "remove_obstacle";
+  }
+  return "?";
+}
+
+/// Replay a JSONL delta script through core::DeltaSession: cold solve, then
+/// one warm incremental re-solve + redeployment plan per op. Returns the
+/// final mutated scenario and its placement for the regular reporting path.
+std::pair<model::Scenario, model::Placement> run_deltas(
+    const model::Scenario& scenario, const std::string& path, Cli& cli) {
+  HIPO_REQUIRE(cli.get_or("algorithm", std::string("hipo")) == "hipo",
+               "--deltas is only supported with --algorithm hipo");
+  const int threads = cli.get_or("threads", 0);
+  HIPO_REQUIRE(threads >= 0, "--threads must be >= 0 (0 = hardware)");
+  parallel::ThreadPool pool(static_cast<std::size_t>(threads));
+  const core::SolveOptions opts = hipo_options(cli, pool);
+  const bool verify = cli.has("deltas-verify");
+
+  const auto ops = opt::read_delta_script_file(path);
+  core::DeltaSession session(scenario.to_config(), core::replan_options(opts));
+  std::cout << "cold solve: " << session.placement().size()
+            << " chargers, utility "
+            << format_double(session.solver().result().exact_utility, 4)
+            << "; replaying " << ops.size() << " delta(s) from " << path
+            << "\n";
+
+  Table deltas({"#", "op", "tasks", "rows -/+/=", "utility", "moved",
+                "recalled", "deployed", "switch cost"});
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const auto r = session.apply(ops[k]);
+    deltas.row()
+        .add(std::to_string(k + 1))
+        .add(delta_kind_name(ops[k].kind))
+        .add(std::to_string(r.stats.tasks_regenerated) + "/" +
+             std::to_string(r.stats.tasks_total) +
+             (r.stats.full_rebuild ? " (rebuild)" : ""))
+        .add(std::to_string(r.stats.rows_erased) + "/" +
+             std::to_string(r.stats.rows_inserted) + "/" +
+             std::to_string(r.stats.rows_kept))
+        .add(r.utility, 4)
+        .add(std::to_string(r.redeploy.transferred))
+        .add(std::to_string(r.redeploy.recalled))
+        .add(std::to_string(r.redeploy.deployed))
+        .add(r.redeploy.total_cost, 3);
+    if (verify) {
+      const model::Scenario cold{
+          model::Scenario::Config(session.solver().config())};
+      const auto reference = core::solve(cold, opts).placement;
+      HIPO_ASSERT_MSG(
+          reference.size() == r.placement.size() &&
+              std::memcmp(reference.data(), r.placement.data(),
+                          reference.size() * sizeof(model::Strategy)) == 0,
+          "--deltas-verify: warm placement diverged from the cold solve "
+          "after delta " +
+              std::to_string(k + 1) + " (" + delta_kind_name(ops[k].kind) +
+              ")");
+    }
+  }
+  deltas.print(std::cout);
+  if (verify) {
+    std::cout << "deltas verified: all " << ops.size()
+              << " warm placement(s) bit-identical to cold solves\n";
+  }
+  return {model::Scenario(session.solver().config()),
+          session.placement()};
 }
 
 model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
@@ -72,15 +173,7 @@ model::Placement run_algorithm(const model::Scenario& scenario, Cli& cli) {
 
   if (name == "hipo") {
     parallel::ThreadPool pool(static_cast<std::size_t>(threads));
-    core::SolveOptions opts;
-    opts.local_search = cli.has("local-search");
-    opts.pool = &pool;
-    opts.gain_engine = engine_name == "flat" ? opt::GainEngine::kFlatCsr
-                                             : opt::GainEngine::kLegacy;
-    opts.greedy = greedy_name == "lazy"     ? opt::GreedyMode::kLazyGlobal
-                  : greedy_name == "global" ? opt::GreedyMode::kGlobal
-                                            : opt::GreedyMode::kPerType;
-    opts.gain_quantize = cli.has("gain-quantize");
+    const core::SolveOptions opts = hipo_options(cli, pool);
     return core::solve(scenario, opts).placement;
   }
   if (name == "gppdcs") return baselines::place_gppdcs(scenario, grid, rng);
@@ -137,8 +230,16 @@ int main(int argc, char** argv) {
     if (trace_path) obs::set_trace_enabled(true);
     if (metrics_path || report) obs::set_metrics_enabled(true);
 
-    const auto scenario = load_scenario(cli);
-    const auto placement = run_algorithm(scenario, cli);
+    auto scenario = load_scenario(cli);
+    model::Placement placement;
+    if (const auto deltas = cli.get("deltas")) {
+      // The delta flow mutates the scenario; report against the final state.
+      auto replayed = run_deltas(scenario, *deltas, cli);
+      scenario = std::move(replayed.first);
+      placement = std::move(replayed.second);
+    } else {
+      placement = run_algorithm(scenario, cli);
+    }
     const auto out = cli.get("out");
     const auto svg = cli.get("svg");
     const bool diagnose = cli.has("diagnose");
