@@ -49,6 +49,11 @@
 #include "src/pdcs/candidate_gen.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/pdcs/point_case.hpp"
+#include "src/serve/cache.hpp"
+#include "src/serve/hash.hpp"
+#include "src/serve/server.hpp"
+#include "src/serve/service.hpp"
+#include "src/serve/wire.hpp"
 #include "src/spatial/grid_index.hpp"
 #include "src/util/cli.hpp"
 

@@ -35,10 +35,12 @@ inline std::string json_escape(std::string_view s) {
   return out;
 }
 
-/// A double as a valid JSON number (17 significant digits round-trips;
-/// non-finite values have no JSON representation and become 0).
+/// A double as a valid JSON value (17 significant digits round-trips).
+/// Non-finite values have no JSON number representation; emitting them
+/// verbatim would corrupt the document and "0" would silently fabricate
+/// data, so they become `null` — parsers see "value absent", not a lie.
 inline std::string json_double(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) return "null";
   std::ostringstream os;
   os.precision(17);
   os << v;

@@ -457,6 +457,7 @@ DeltaOp parse_op_line(const std::string& line, std::size_t line_no) {
   LineParser parser(line, line_no);
   std::unordered_map<std::string, double> nums;
   std::string op_name;
+  bool has_op = false;
   std::vector<geom::Vec2> vertices;
   bool has_vertices = false;
 
@@ -466,8 +467,11 @@ DeltaOp parse_op_line(const std::string& line, std::size_t line_no) {
       const std::string key = parser.parse_string();
       parser.expect(':');
       if (key == "op") {
+        if (has_op) parser.fail("duplicate key \"op\"");
+        has_op = true;
         op_name = parser.parse_string();
       } else if (key == "vertices") {
+        if (has_vertices) parser.fail("duplicate key \"vertices\"");
         vertices = parser.parse_vertices();
         has_vertices = true;
       } else {
@@ -479,7 +483,19 @@ DeltaOp parse_op_line(const std::string& line, std::size_t line_no) {
     parser.expect('}');
   }
   if (!parser.at_end()) parser.fail("trailing characters after the object");
-  if (op_name.empty()) parser.fail("missing \"op\"");
+  if (!has_op) parser.fail("missing \"op\"");
+
+  // A typo'd or unknown field silently ignored is a delta that does not do
+  // what the script says — reject it, naming the field.
+  const auto require_known = [&](std::initializer_list<const char*> allowed) {
+    for (const auto& kv : nums) {
+      bool known = false;
+      for (const char* a : allowed) known = known || kv.first == a;
+      if (!known) {
+        parser.fail("unknown field \"" + kv.first + "\" for op " + op_name);
+      }
+    }
+  };
 
   const auto num = [&](const char* key) {
     const auto it = nums.find(key);
@@ -495,6 +511,7 @@ DeltaOp parse_op_line(const std::string& line, std::size_t line_no) {
 
   DeltaOp op;
   if (op_name == "add_device") {
+    require_known({"x", "y", "orientation", "type", "p_th", "weight"});
     op.kind = DeltaOp::Kind::kAddDevice;
     op.device.pos = {num("x"), num("y")};
     op.device.orientation = num_or("orientation", 0.0);
@@ -502,9 +519,11 @@ DeltaOp parse_op_line(const std::string& line, std::size_t line_no) {
     op.device.p_th = num_or("p_th", 0.05);
     op.device.weight = num_or("weight", 1.0);
   } else if (op_name == "remove_device") {
+    require_known({"index"});
     op.kind = DeltaOp::Kind::kRemoveDevice;
     op.index = parser.to_index(num("index"));
   } else if (op_name == "move_device") {
+    require_known({"index", "x", "y", "orientation"});
     op.kind = DeltaOp::Kind::kMoveDevice;
     op.index = parser.to_index(num("index"));
     op.pos = {num("x"), num("y")};
@@ -513,14 +532,19 @@ DeltaOp parse_op_line(const std::string& line, std::size_t line_no) {
       op.orientation = nums.at("orientation");
     }
   } else if (op_name == "add_obstacle") {
+    require_known({});
     op.kind = DeltaOp::Kind::kAddObstacle;
     if (!has_vertices) parser.fail("add_obstacle needs \"vertices\"");
     op.obstacle = std::move(vertices);
   } else if (op_name == "remove_obstacle") {
+    require_known({"index"});
     op.kind = DeltaOp::Kind::kRemoveObstacle;
     op.index = parser.to_index(num("index"));
   } else {
     parser.fail("unknown op \"" + op_name + "\"");
+  }
+  if (has_vertices && op.kind != DeltaOp::Kind::kAddObstacle) {
+    parser.fail("\"vertices\" is only valid for add_obstacle");
   }
   return op;
 }

@@ -1,0 +1,79 @@
+#include "src/serve/cache.hpp"
+
+#include "src/obs/metrics.hpp"
+
+namespace hipo::serve {
+
+std::shared_ptr<CacheEntry> ScenarioCache::find(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+std::shared_ptr<CacheEntry> ScenarioCache::insert(
+    const std::string& key, std::shared_ptr<CacheEntry> entry) {
+  if (capacity_ == 0) return entry;
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Replace in place (a concurrent miss on the same key lost the race);
+    // keep the newer entry, which holds the freshly built artifacts.
+    it->second->second = entry;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return entry;
+  }
+  lru_.emplace_front(key, entry);
+  index_.emplace(key, lru_.begin());
+  evict_overflow_locked();
+  return entry;
+}
+
+void ScenarioCache::rekey(const std::string& old_key,
+                          const std::string& new_key) {
+  if (old_key == new_key) return;
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(old_key);
+  if (it == index_.end()) return;
+  auto node = it->second;
+  index_.erase(it);
+  // A live entry under new_key is superseded: the rekeyed one just absorbed
+  // the delta and is the warmer artifact.
+  const auto existing = index_.find(new_key);
+  if (existing != index_.end()) {
+    lru_.erase(existing->second);
+    index_.erase(existing);
+    ++evictions_;
+    obs::counter("serve.evictions").add();
+  }
+  node->first = new_key;
+  index_.emplace(new_key, node);
+  lru_.splice(lru_.begin(), lru_, node);
+}
+
+CacheStats ScenarioCache::stats() const {
+  std::lock_guard lock(mutex_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void ScenarioCache::evict_overflow_locked() {
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    obs::counter("serve.evictions").add();
+  }
+}
+
+}  // namespace hipo::serve

@@ -1,0 +1,132 @@
+#include "src/serve/hash.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace hipo::serve {
+
+namespace {
+
+/// Field tags: one per semantic field so streams of equal bytes under
+/// different fields cannot collide (e.g. a device x swapped with a y).
+enum class Tag : std::uint8_t {
+  kRegionLoX = 1,
+  kRegionLoY,
+  kRegionHiX,
+  kRegionHiY,
+  kEps1,
+  kChargerAngle,
+  kChargerDMin,
+  kChargerDMax,
+  kChargerCount,
+  kDeviceTypeAngle,
+  kPairA,
+  kPairB,
+  kDevicePosX,
+  kDevicePosY,
+  kDeviceOrientation,
+  kDeviceType,
+  kDevicePTh,
+  kDeviceWeight,
+  kObstacleVertexX,
+  kObstacleVertexY,
+  kCountChargerTypes,
+  kCountDeviceTypes,
+  kCountDevices,
+  kCountObstacles,
+  kCountObstacleVertices,
+};
+
+class Fnv1a {
+ public:
+  void byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ULL;
+  }
+  void tag(Tag t) { byte(static_cast<std::uint8_t>(t)); }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(Tag t, double v) {
+    tag(t);
+    u64(std::bit_cast<std::uint64_t>(v));
+  }
+  void size(Tag t, std::size_t v) {
+    tag(t);
+    u64(static_cast<std::uint64_t>(v));
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+std::uint64_t scenario_hash(const model::Scenario& s) {
+  Fnv1a h;
+  const auto& region = s.region();
+  h.f64(Tag::kRegionLoX, region.lo.x);
+  h.f64(Tag::kRegionLoY, region.lo.y);
+  h.f64(Tag::kRegionHiX, region.hi.x);
+  h.f64(Tag::kRegionHiY, region.hi.y);
+  h.f64(Tag::kEps1, s.eps1());
+
+  h.size(Tag::kCountChargerTypes, s.num_charger_types());
+  for (std::size_t q = 0; q < s.num_charger_types(); ++q) {
+    const auto& ct = s.charger_type(q);
+    h.f64(Tag::kChargerAngle, ct.angle);
+    h.f64(Tag::kChargerDMin, ct.d_min);
+    h.f64(Tag::kChargerDMax, ct.d_max);
+    h.size(Tag::kChargerCount, static_cast<std::size_t>(s.charger_count(q)));
+  }
+
+  h.size(Tag::kCountDeviceTypes, s.num_device_types());
+  for (std::size_t t = 0; t < s.num_device_types(); ++t) {
+    h.f64(Tag::kDeviceTypeAngle, s.device_type(t).angle);
+  }
+
+  // Pair params in (q, t) row-major order — fully determined by the two
+  // type-table sizes already hashed above.
+  for (std::size_t q = 0; q < s.num_charger_types(); ++q) {
+    for (std::size_t t = 0; t < s.num_device_types(); ++t) {
+      const auto& pp = s.pair_params(q, t);
+      h.f64(Tag::kPairA, pp.a);
+      h.f64(Tag::kPairB, pp.b);
+    }
+  }
+
+  h.size(Tag::kCountDevices, s.num_devices());
+  for (std::size_t j = 0; j < s.num_devices(); ++j) {
+    const auto& d = s.device(j);
+    h.f64(Tag::kDevicePosX, d.pos.x);
+    h.f64(Tag::kDevicePosY, d.pos.y);
+    h.f64(Tag::kDeviceOrientation, d.orientation);
+    h.size(Tag::kDeviceType, d.type);
+    h.f64(Tag::kDevicePTh, d.p_th);
+    h.f64(Tag::kDeviceWeight, d.weight);
+  }
+
+  h.size(Tag::kCountObstacles, s.num_obstacles());
+  for (const auto& poly : s.obstacles()) {
+    h.size(Tag::kCountObstacleVertices, poly.size());
+    for (const auto& v : poly.vertices()) {
+      h.f64(Tag::kObstacleVertexX, v.x);
+      h.f64(Tag::kObstacleVertexY, v.y);
+    }
+  }
+  return h.value();
+}
+
+std::string hash_to_key(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf, 16);
+}
+
+std::string scenario_key(const model::Scenario& scenario) {
+  return hash_to_key(scenario_hash(scenario));
+}
+
+}  // namespace hipo::serve

@@ -1,0 +1,107 @@
+// The hipo_serve socket daemon: a length-prefixed-JSON framing loop on a
+// loopback TCP listener, delegating every request to serve::Service.
+//
+// Threading model: one acceptor (run() caller) plus one thread per live
+// connection, capped at `max_connections` (beyond the cap a connection is
+// answered with one `overloaded` error frame and closed). Connection
+// threads do framing and parsing only; compute batches onto the Service's
+// shared deterministic thread pool behind its admission limit.
+//
+// Shutdown (stop(), a `shutdown` request, or SIGINT/SIGTERM in the CLI)
+// drains: the listener closes, every idle connection is unblocked with
+// SHUT_RD (EOF on next read — responses still flush), in-flight requests
+// finish and their responses are written, then the threads join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/service.hpp"
+
+namespace hipo::serve {
+
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Hard cap on concurrently served connections.
+  std::size_t max_connections = 64;
+  /// Largest accepted request frame (responses are never larger than the
+  /// work they describe; requests carry whole scenarios).
+  std::size_t max_frame_bytes = 16u << 20;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (ConfigError on failure); serving starts
+  /// with run(). `service` must outlive the server.
+  Server(Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the chosen one when options.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Accept loop; returns after stop() (or a served `shutdown` request) has
+  /// drained every connection.
+  void run();
+
+  /// Run the accept loop on a background thread (tests, loopback bench).
+  void start();
+  /// Request shutdown and join; idempotent. Every in-flight request still
+  /// gets its response.
+  void stop();
+
+ private:
+  /// `fd` is written once before the thread starts and closed only after the
+  /// thread joins (reap/stop); the connection thread itself only shuts the
+  /// socket down, so stop() can SHUT_RD a live fd without racing a close.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void serve_connection(Connection& conn);
+  void reap_finished_locked();
+  void close_listener();
+
+  Service& service_;
+  ServerOptions options_;
+  /// Atomic: the accept loop reads it lock-free while close_listener()
+  /// (stop(), or a connection thread serving `shutdown`) swaps in -1.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+  std::atomic<bool> ran_{false};
+};
+
+/// Minimal blocking client for the wire protocol — the loopback side of
+/// tests, the CI request-mix driver, and bench_serve.
+class Client {
+ public:
+  /// Connects to 127.0.0.1:port (ConfigError on failure).
+  Client(std::uint16_t port, std::size_t max_frame_bytes = 16u << 20);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request frame and block for the response frame.
+  std::string call(std::string_view request_json);
+
+ private:
+  int fd_ = -1;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace hipo::serve

@@ -1,0 +1,100 @@
+// Request execution engine of hipo::serve — socket-free, so tests and the
+// bench drive it directly; the socket daemon (server.hpp) is a thin framing
+// loop around Service::handle.
+//
+// Request / response schema: docs/FORMATS.md, "Serve wire protocol".
+// Five request types:
+//   solve    — by inline scenario text or cached key; cache-miss builds the
+//              warm entry (cold pipeline), cache-hit runs the warm
+//              select_strategies over the entry's CoverageMatrix. Placement
+//              bytes are identical to `hipo_solve` on the same scenario.
+//   eval     — utility (+ per-device arrays) of a caller-given placement.
+//   delta    — a JSONL delta script (the --deltas schema) applied through
+//              opt::DeltaSolver against the cached entry; the entry is
+//              re-keyed under the mutated scenario's content hash.
+//   stats    — cache/admission/latency counters.
+//   shutdown — flags the daemon to stop accepting and drain.
+//
+// Admission: solve/eval/delta are compute requests; at most
+// `max_inflight` run (queued included) at once — beyond that the request is
+// rejected with an explicit `overloaded` error instead of buffering without
+// bound. Compute runs as a task on the shared deterministic thread pool;
+// the pipeline's chunked reductions make every response bit-identical to a
+// single-shot solve regardless of what else is in flight.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/parallel/thread_pool.hpp"
+#include "src/pdcs/candidate_gen.hpp"
+#include "src/serve/cache.hpp"
+#include "src/serve/wire.hpp"
+
+namespace hipo::serve {
+
+struct ServiceOptions {
+  /// Warm entries kept (LRU beyond this); 0 disables caching (always cold).
+  std::size_t cache_entries = 8;
+  /// Compute requests admitted concurrently (running + queued on the pool);
+  /// further ones get an `overloaded` error. 0 rejects all compute — the
+  /// drain-only configuration.
+  std::size_t max_inflight = 4;
+  /// Shared deterministic pool; required (the daemon owns one).
+  parallel::ThreadPool* pool = nullptr;
+  /// Extraction options are daemon-wide: they shape the cached artifacts,
+  /// so they are part of the server configuration, not the request.
+  pdcs::ExtractOptions extract;
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t solves_cold = 0;
+  std::uint64_t solves_warm = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t deltas = 0;
+  CacheStats cache;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+
+  /// Execute one request (a JSON document) and return the response JSON.
+  /// Never throws: every failure becomes an `{"ok":false,...}` response.
+  std::string handle(std::string_view request_text);
+
+  ServiceStats stats() const;
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Json dispatch(const Json& request);
+  Json do_solve(const Json& request);
+  Json do_eval(const Json& request);
+  Json do_delta(const Json& request);
+  Json do_stats() const;
+
+  /// RAII admission slot; admitted() false means overloaded.
+  class AdmissionSlot;
+
+  ServiceOptions options_;
+  ScenarioCache cache_;
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> solves_cold_{0};
+  std::atomic<std::uint64_t> solves_warm_{0};
+  std::atomic<std::uint64_t> evals_{0};
+  std::atomic<std::uint64_t> deltas_{0};
+};
+
+}  // namespace hipo::serve

@@ -407,6 +407,36 @@ TEST(DeltaScript, RejectsMalformedLinesNamingThem) {
   expect_fails("{\"op\":\"add_obstacle\"}", "vertices");
   expect_fails("{\"op\":\"add_device\",\"x\":1e999,\"y\":0}", "finite");
   expect_fails("{\"op\":\"move_device\"", "expected");
+  expect_fails("{\"op\":\"remove_device\",\"op\":\"add_device\",\"index\":0}",
+               "duplicate key \"op\"");
+  expect_fails(
+      "{\"op\":\"add_obstacle\",\"vertices\":[[0,0],[1,0],[0,1]],"
+      "\"vertices\":[[2,2],[3,2],[2,3]]}",
+      "duplicate key \"vertices\"");
+  expect_fails("{\"op\":\"remove_device\",\"idx\":1}",
+               "unknown field \"idx\"");
+  expect_fails("{\"op\":\"add_device\",\"x\":1,\"y\":2,\"pth\":0.1}",
+               "unknown field \"pth\"");
+  expect_fails(
+      "{\"op\":\"move_device\",\"index\":0,\"x\":1,\"y\":2,"
+      "\"vertices\":[[0,0],[1,0],[0,1]]}",
+      "only valid for add_obstacle");
+}
+
+TEST(DeltaScript, ErrorsCarryTheOneBasedLineNumber) {
+  const std::string text =
+      "# comment\n"
+      "{\"op\":\"remove_device\",\"index\":0}\n"
+      "\n"
+      "{\"op\":\"remove_device\",\"index\":0,\"bogus\":1}\n";
+  try {
+    opt::parse_delta_script(text);
+    ADD_FAILURE() << "accepted a script with an unknown field";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("\"bogus\""), std::string::npos) << what;
+  }
 }
 
 TEST(DeltaScript, ScriptDrivenChurnMatchesDirectOps) {

@@ -3,9 +3,13 @@
 // build-info provenance stamp.
 #include "src/obs/obs.hpp"
 
+#include "src/obs/json.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -126,6 +130,30 @@ TEST(JsonChecker, SelfTest) {
   EXPECT_FALSE(json_valid(R"({"a":1,})"));
   EXPECT_FALSE(json_valid(R"({"a":1)"));
   EXPECT_FALSE(json_valid(R"({"a" 1})"));
+}
+
+// json_double feeds every hand-rolled emitter (metrics, trace, bench, the
+// serve wire). NaN/Inf have no JSON number form; they must come out as
+// `null` — never as bare nan/inf (invalid JSON) and never as a fabricated
+// finite value.
+TEST(JsonDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_double(std::nan("")), "null");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_double(0.0), "0");
+  EXPECT_EQ(json_double(1.5), "1.5");
+}
+
+TEST(JsonDouble, NonFiniteMetricsStillEmitValidJson) {
+  reset_metrics();
+  set_metrics_enabled(true);
+  gauge("test.poisoned_gauge").set(std::nan(""));
+  accum("test.poisoned_accum").add(std::numeric_limits<double>::infinity());
+  const std::string json = metrics_json(metrics_snapshot());
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"test.poisoned_gauge\":null"), std::string::npos)
+      << json;
+  reset_metrics();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,221 @@
+// hipo_serve — the cached, batched solver daemon, plus its loopback client.
+//
+// Daemon mode (default):
+//   hipo_serve [--port N]            (0 = ephemeral, default)
+//              [--port-file FILE]    (write the bound port, for CI/scripts)
+//              [--threads N]         (solver pool workers; 0 = hardware)
+//              [--cache-entries N]   (warm LRU capacity, default 8)
+//              [--max-inflight N]    (admission limit, default 4)
+//              [--max-connections N] (connection cap, default 64)
+//              [--max-request-bytes N]
+//              [--metrics-json FILE] (write metrics at shutdown)
+//
+// Runs until SIGINT/SIGTERM or a `shutdown` request, then drains: every
+// admitted request still gets its response before the process exits.
+//
+// Client mode (--connect): replay a JSONL request script against a running
+// daemon and print one response per line to stdout.
+//   hipo_serve --connect PORT --script FILE [--strict]
+//
+// Script lines are wire requests plus client-side keys (stripped before
+// sending):
+//   "scenario_file": PATH  — inline the file's text as "scenario"
+//   "script_file":   PATH  — inline the file's text as "script" (deltas)
+//   "save_placement": PATH — write the response's placement_text to PATH
+//   "expect_error":  true  — this request is supposed to fail
+// With --strict the exit status is 1 unless every response's ok matches its
+// expectation (ok:true normally, ok:false under expect_error).
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/hipo.hpp"
+
+namespace {
+
+using namespace hipo;
+
+std::atomic<bool> g_signalled{false};
+
+void on_signal(int) { g_signalled.store(true, std::memory_order_release); }
+
+std::string read_file_or_throw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file_or_throw(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ConfigError("cannot write " + path);
+  out << text;
+}
+
+int run_daemon(Cli& cli) {
+  const int port = cli.get_or("port", 0);
+  const auto port_file = cli.get("port-file");
+  const int threads = cli.get_or("threads", 0);
+  const int cache_entries = cli.get_or("cache-entries", 8);
+  const int max_inflight = cli.get_or("max-inflight", 4);
+  const int max_connections = cli.get_or("max-connections", 64);
+  const int max_request_bytes =
+      cli.get_or("max-request-bytes", 16 * 1024 * 1024);
+  const auto metrics_path = cli.get("metrics-json");
+  cli.finish();
+  if (metrics_path) obs::set_metrics_enabled(true);
+  HIPO_REQUIRE(port >= 0 && port <= 65535, "--port must be 0..65535");
+  HIPO_REQUIRE(cache_entries >= 0, "--cache-entries must be >= 0");
+  HIPO_REQUIRE(max_inflight >= 1, "--max-inflight must be >= 1");
+  HIPO_REQUIRE(max_connections >= 1, "--max-connections must be >= 1");
+  HIPO_REQUIRE(max_request_bytes >= 64,
+               "--max-request-bytes must be >= 64");
+
+  parallel::ThreadPool pool(static_cast<std::size_t>(threads));
+
+  serve::ServiceOptions sopts;
+  sopts.cache_entries = static_cast<std::size_t>(cache_entries);
+  sopts.max_inflight = static_cast<std::size_t>(max_inflight);
+  sopts.pool = &pool;
+  serve::Service service(sopts);
+
+  serve::ServerOptions ropts;
+  ropts.port = static_cast<std::uint16_t>(port);
+  ropts.max_connections = static_cast<std::size_t>(max_connections);
+  ropts.max_frame_bytes = static_cast<std::size_t>(max_request_bytes);
+  serve::Server server(service, ropts);
+
+  if (port_file) {
+    write_file_or_throw(*port_file, std::to_string(server.port()) + "\n");
+  }
+  std::cout << "hipo_serve listening on 127.0.0.1:" << server.port() << " ("
+            << pool.num_workers() << " workers, cache " << cache_entries
+            << ", inflight " << max_inflight << ")" << std::endl;
+
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;  // no SA_RESTART: accept() must wake with EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  server.start();
+  while (!g_signalled.load(std::memory_order_acquire) &&
+         !service.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::cout << "hipo_serve draining..." << std::endl;
+  server.stop();
+
+  const serve::ServiceStats stats = service.stats();
+  std::cout << "hipo_serve served " << stats.requests << " requests ("
+            << stats.solves_cold << " cold, " << stats.solves_warm
+            << " warm, " << stats.deltas << " delta, " << stats.evals
+            << " eval; " << stats.rejected << " rejected, " << stats.errors
+            << " errors)" << std::endl;
+  if (metrics_path) {
+    const auto snapshot = obs::metrics_snapshot();
+    std::ostringstream os;
+    obs::write_metrics_json(snapshot, os);
+    write_file_or_throw(*metrics_path, os.str());
+  }
+  return 0;
+}
+
+/// Strip client-side keys, inline *_file payloads, and record expectations.
+struct ClientRequest {
+  std::string wire;
+  std::string save_placement;
+  bool expect_error = false;
+};
+
+ClientRequest prepare_request(const serve::Json& line) {
+  ClientRequest out;
+  serve::Json wire = serve::Json::object();
+  for (const auto& [key, value] : line.as_object()) {
+    if (key == "scenario_file") {
+      wire.set("scenario",
+               serve::Json::string(read_file_or_throw(value.as_string())));
+    } else if (key == "script_file") {
+      wire.set("script",
+               serve::Json::string(read_file_or_throw(value.as_string())));
+    } else if (key == "save_placement") {
+      out.save_placement = value.as_string();
+    } else if (key == "expect_error") {
+      out.expect_error = value.as_bool();
+    } else {
+      wire.set(key, value);
+    }
+  }
+  out.wire = wire.dump();
+  return out;
+}
+
+int run_client(Cli& cli) {
+  const int port = cli.get_or("connect", 0);
+  const auto script_path = cli.get("script");
+  const bool strict = cli.has("strict");
+  cli.finish();
+  HIPO_REQUIRE(port > 0 && port <= 65535,
+               "--connect expects the daemon's port");
+  HIPO_REQUIRE(script_path.has_value(),
+               "client mode needs --script FILE (JSONL requests)");
+
+  std::istringstream lines(read_file_or_throw(*script_path));
+  serve::Client client(static_cast<std::uint16_t>(port));
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool all_as_expected = true;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ClientRequest req;
+    try {
+      req = prepare_request(serve::parse_json(line));
+    } catch (const ConfigError& e) {
+      throw ConfigError(*script_path + " line " + std::to_string(line_no) +
+                        ": " + e.what());
+    }
+    const std::string response_text = client.call(req.wire);
+    std::cout << response_text << "\n";
+
+    const serve::Json response = serve::parse_json(response_text);
+    const serve::Json* ok = response.find("ok");
+    const bool succeeded = ok != nullptr && ok->is_bool() && ok->as_bool();
+    if (succeeded == req.expect_error) all_as_expected = false;
+    if (!req.save_placement.empty()) {
+      const serve::Json* text = response.find("placement_text");
+      if (text == nullptr) {
+        throw ConfigError("line " + std::to_string(line_no) +
+                          ": response has no placement_text to save");
+      }
+      write_file_or_throw(req.save_placement, text->as_string());
+    }
+  }
+  if (strict && !all_as_expected) {
+    std::cerr << "hipo_serve client: some responses did not match their "
+                 "expectations"
+              << std::endl;
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Cli cli(argc, argv);
+    if (cli.get("connect").has_value()) return run_client(cli);
+    return run_daemon(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "hipo_serve: " << e.what() << std::endl;
+    return 1;
+  }
+}

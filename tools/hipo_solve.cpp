@@ -197,6 +197,38 @@ void observe_placement(const model::Scenario& scenario,
   }
 }
 
+/// Reject flag combinations where one flag would be silently ignored: a
+/// sweep script that passes `--gain-quantize --gain-engine legacy` is
+/// measuring something other than what it says, and `--deltas-verify`
+/// without `--deltas` verifies nothing.
+void check_flag_interactions(Cli& cli) {
+  const std::string algorithm = cli.get_or("algorithm", std::string("hipo"));
+  if (cli.has("deltas-verify")) {
+    HIPO_REQUIRE(cli.get("deltas").has_value(),
+                 "--deltas-verify requires --deltas FILE (there are no "
+                 "deltas to verify)");
+  }
+  if (cli.has("gain-quantize")) {
+    HIPO_REQUIRE(
+        cli.get_or("gain-engine", std::string("flat")) == "flat",
+        "--gain-quantize is a flat-engine shortlist; it has no effect with "
+        "--gain-engine legacy");
+    const std::string greedy = cli.get_or("greedy", std::string("lazy"));
+    HIPO_REQUIRE(greedy == "global" || greedy == "per-type",
+                 "--gain-quantize only affects the dense argmax of "
+                 "--greedy global|per-type; --greedy lazy ignores it");
+  }
+  if (algorithm != "hipo") {
+    for (const char* flag :
+         {"gain-engine", "greedy", "gain-quantize", "local-search"}) {
+      HIPO_REQUIRE(!cli.has(flag),
+                   std::string("--") + flag +
+                       " only applies to --algorithm hipo (the baselines "
+                       "would silently ignore it)");
+    }
+  }
+}
+
 void write_file_or_throw(const std::string& path, const std::string& what,
                          const std::function<void(std::ostream&)>& emit) {
   std::ofstream os(path);
@@ -230,6 +262,7 @@ int main(int argc, char** argv) {
     if (trace_path) obs::set_trace_enabled(true);
     if (metrics_path || report) obs::set_metrics_enabled(true);
 
+    check_flag_interactions(cli);
     auto scenario = load_scenario(cli);
     model::Placement placement;
     if (const auto deltas = cli.get("deltas")) {

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end hipo_serve smoke: start the daemon on an ephemeral loopback
+# port, replay a scripted request mix (cold solve, cached re-solve, delta,
+# eval, malformed requests), and require every served placement to be
+# byte-identical to hipo_solve on the same scenario.
+#
+# Usage: serve_smoke.sh <hipo_serve> <hipo_solve> <data_dir> <work_dir>
+set -euo pipefail
+
+SERVE=$1
+SOLVE=$2
+DATA=$3
+WORK=$4
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+"$SERVE" --port-file port.txt --threads 2 --cache-entries 4 \
+         --max-inflight 2 --metrics-json serve_metrics.json \
+         > daemon.log 2>&1 &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 150); do
+  [ -s port.txt ] && break
+  sleep 0.1
+done
+if [ ! -s port.txt ]; then
+  echo "FAIL: daemon never wrote its port file" >&2
+  cat daemon.log >&2
+  exit 1
+fi
+PORT=$(cat port.txt)
+
+# CLI references the served placements must match byte-for-byte.
+"$SOLVE" --scenario "$DATA/courtyard.hipo" --out ref_cold.hipo > /dev/null
+"$SOLVE" --scenario "$DATA/courtyard.hipo" \
+         --deltas "$DATA/courtyard_deltas.jsonl" \
+         --out ref_delta.hipo > /dev/null
+
+# Round 1: cold miss, warm hit, a malformed type, a malformed delta script,
+# and a stats probe.
+cat > replay1.jsonl <<EOF
+{"id":"cold","type":"solve","scenario_file":"$DATA/courtyard.hipo","save_placement":"served_cold.hipo"}
+{"id":"warm","type":"solve","scenario_file":"$DATA/courtyard.hipo","save_placement":"served_warm.hipo"}
+{"id":"badtype","type":"frobnicate","expect_error":true}
+{"id":"badscript","type":"delta","key":"0000000000000000","script":"{\"op\":\"warp_device\"}","expect_error":true}
+{"id":"stats","type":"stats"}
+EOF
+"$SERVE" --connect "$PORT" --script replay1.jsonl --strict > replay1.out
+
+cmp ref_cold.hipo served_cold.hipo
+cmp ref_cold.hipo served_warm.hipo
+grep -q '"cache":"miss"' replay1.out
+grep -q '"cache":"hit"' replay1.out
+
+KEY=$(grep -o '"key":"[0-9a-f]\{16\}"' replay1.out | head -1 | cut -d'"' -f4)
+if [ -z "$KEY" ]; then
+  echo "FAIL: no cache key in solve responses" >&2
+  cat replay1.out >&2
+  exit 1
+fi
+
+# Round 2: the delta script against the cached entry (the entry re-keys, so
+# the old key must then miss), and a clean shutdown.
+cat > replay2.jsonl <<EOF
+{"id":"delta","type":"delta","key":"$KEY","script_file":"$DATA/courtyard_deltas.jsonl","save_placement":"served_delta.hipo"}
+{"id":"stalekey","type":"eval","key":"$KEY","placement":[],"expect_error":true}
+{"id":"shutdown","type":"shutdown"}
+EOF
+"$SERVE" --connect "$PORT" --script replay2.jsonl --strict > replay2.out
+
+cmp ref_delta.hipo served_delta.hipo
+grep -q '"error":"unknown_key"' replay2.out
+
+# The shutdown request must drain the daemon to a zero exit.
+for _ in $(seq 1 150); do
+  kill -0 "$DAEMON" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$DAEMON" 2>/dev/null; then
+  echo "FAIL: daemon still running after shutdown request" >&2
+  exit 1
+fi
+rc=0
+wait "$DAEMON" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: daemon exited with status $rc" >&2
+  cat daemon.log >&2
+  exit 1
+fi
+
+[ -s serve_metrics.json ]
+grep -q 'serve\.requests' serve_metrics.json
+
+echo "serve smoke PASS (port $PORT, key $KEY)"
