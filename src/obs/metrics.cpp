@@ -332,6 +332,37 @@ void reset_metrics() { Registry::instance().reset(); }
 
 MetricsSnapshot metrics_snapshot() { return Registry::instance().snapshot(); }
 
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> counts, double q) {
+  HIPO_ASSERT_MSG(counts.size() == bounds.size() + 1,
+                  "obs: histogram_quantile needs bounds.size()+1 counts");
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; ceil so q=0.5 over 10 samples
+  // lands on the 5th, matching the "at least q of the mass at or below"
+  // reading Prometheus uses.
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) return bounds.back();  // overflow: clamp
+    const double hi = bounds[i];
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double frac =
+        counts[i] == 0
+            ? 1.0
+            : (target - static_cast<double>(before)) /
+                  static_cast<double>(counts[i]);
+    return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+  }
+  return bounds.back();
+}
+
 std::string metrics_json(const MetricsSnapshot& snapshot) {
   std::string out = "{\"counters\":{";
   bool first = true;

@@ -178,6 +178,14 @@ struct MetricsSnapshot {
 
 MetricsSnapshot metrics_snapshot();
 
+/// Estimated q-quantile (q in [0,1]) of a histogram given its upper-
+/// inclusive bucket bounds and per-bucket counts (`counts` has one extra
+/// overflow bucket, bounds.size() + 1 entries total). Prometheus-style:
+/// linear interpolation inside the target bucket, with the overflow bucket
+/// clamped to the last finite bound. Returns 0 when the histogram is empty.
+double histogram_quantile(std::span<const double> bounds,
+                          std::span<const std::uint64_t> counts, double q);
+
 /// The snapshot as a JSON object:
 /// {"counters":{...},"gauges":{...},"accums":{...},"histograms":{...}}.
 /// Embeddable in larger documents (bench JSON); `write_metrics_json` in

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "src/obs/build_info.hpp"
+#include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/phase.hpp"
 #include "src/obs/report.hpp"

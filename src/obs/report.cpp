@@ -119,6 +119,11 @@ void print_report(const MetricsSnapshot& snapshot, std::ostream& os) {
     if (h.count > 0) {
       os << ", mean "
          << format_double(h.sum / static_cast<double>(h.count), 4);
+      // Derived tail summary (bucket-interpolated, so an estimate — the
+      // bounds are log-spaced, see histogram_quantile).
+      os << ", p50 " << format_double(histogram_quantile(h.bounds, h.counts, 0.50), 4)
+         << ", p90 " << format_double(histogram_quantile(h.bounds, h.counts, 0.90), 4)
+         << ", p99 " << format_double(histogram_quantile(h.bounds, h.counts, 0.99), 4);
     }
     os << "\n  ";
     for (std::size_t i = 0; i < h.counts.size(); ++i) {
@@ -137,6 +142,63 @@ void print_report(const MetricsSnapshot& snapshot, std::ostream& os) {
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os) {
   os << "{\"schema\":\"hipo-metrics-v1\",\"build\":" << build_info_json()
      << ",\"metrics\":" << metrics_json(snapshot) << "}\n";
+}
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and anything
+/// else exotic become '_'; the "hipo_" prefix namespaces the exposition.
+std::string prom_name(const std::string& name) {
+  std::string out = "hipo_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus floats: plain decimal or scientific both parse; reuse the
+/// canonical JSON double (non-finite never reaches here — gauges are set
+/// from finite computation outputs).
+std::string prom_double(double v) { return json_double(v); }
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string n = prom_name(c.name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string n = prom_name(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + prom_double(g.value) + "\n";
+  }
+  for (const auto& a : snapshot.accums) {
+    // An accum is a summary with no quantiles: _sum + _count.
+    const std::string n = prom_name(a.name);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "_sum " + prom_double(a.sum) + "\n";
+    out += n + "_count " + std::to_string(a.count) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string n = prom_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? prom_double(h.bounds[i]) : "+Inf";
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += n + "_sum " + prom_double(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
 }
 
 }  // namespace hipo::obs

@@ -18,4 +18,11 @@ void print_report(const MetricsSnapshot& snapshot, std::ostream& os);
 /// {"schema":"hipo-metrics-v1","build":{...},"metrics":{...}}.
 void write_metrics_json(const MetricsSnapshot& snapshot, std::ostream& os);
 
+/// The snapshot in Prometheus text exposition format (version 0.0.4):
+/// counters as `hipo_<name>_total`, gauges as `hipo_<name>`, accums as
+/// `_sum`/`_count` pairs, histograms as cumulative `_bucket{le=...}` series
+/// plus `_sum`/`_count`. Metric names are sanitized (non-alphanumerics to
+/// '_'); served by the daemon's `metrics` wire request.
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
 }  // namespace hipo::obs

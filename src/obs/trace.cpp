@@ -18,7 +18,10 @@ struct TraceEvent {
   std::string detail;
   std::int64_t start_ns;
   std::int64_t dur_ns;
+  std::uint64_t track;  // 0 = thread lane; else per-request track lane
 };
+
+thread_local std::uint64_t t_current_track = 0;
 
 /// One per thread that ever emitted an event. Owned by TraceState for the
 /// process lifetime (a pool worker's events must survive the worker).
@@ -74,8 +77,13 @@ void trace_emit(const char* name, std::string&& detail, std::int64_t start_ns,
   TraceBuffer& buf = buffer();
   std::lock_guard lock(buf.mutex);
   buf.events.push_back(
-      {name, std::move(detail), start_ns, end_ns - start_ns});
+      {name, std::move(detail), start_ns, end_ns - start_ns,
+       t_current_track});
 }
+
+std::uint64_t current_track() { return t_current_track; }
+
+void set_current_track(std::uint64_t track) { t_current_track = track; }
 
 }  // namespace detail
 
@@ -110,9 +118,26 @@ void write_trace_json(std::ostream& os) {
          << "\",\"cat\":\"hipo\",\"ph\":\"X\",\"ts\":"
          << json_double(static_cast<double>(e.start_ns) * 1e-3)
          << ",\"dur\":" << json_double(static_cast<double>(e.dur_ns) * 1e-3)
-         << ",\"pid\":1,\"tid\":" << buf->tid;
-      if (!e.detail.empty()) {
-        os << ",\"args\":{\"detail\":\"" << json_escape(e.detail) << "\"}";
+         << ",\"pid\":1,\"tid\":";
+      // Correlated spans render on a per-request lane (100000 + track, far
+      // above any real thread id); uncorrelated spans keep the thread lane.
+      if (e.track != 0) {
+        os << (100000 + e.track);
+      } else {
+        os << buf->tid;
+      }
+      if (!e.detail.empty() || e.track != 0) {
+        os << ",\"args\":{";
+        bool first_arg = true;
+        if (!e.detail.empty()) {
+          os << "\"detail\":\"" << json_escape(e.detail) << '"';
+          first_arg = false;
+        }
+        if (e.track != 0) {
+          if (!first_arg) os << ',';
+          os << "\"request_id\":\"r" << e.track << '"';
+        }
+        os << '}';
       }
       os << '}';
     }

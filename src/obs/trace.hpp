@@ -25,6 +25,11 @@ std::int64_t trace_now_ns();
 void trace_emit(const char* name, std::string&& detail, std::int64_t start_ns,
                 std::int64_t end_ns);
 
+/// The calling thread's current correlation track (0 = none): spans emitted
+/// while a track is set land on a per-track lane instead of the thread lane.
+std::uint64_t current_track();
+void set_current_track(std::uint64_t track);
+
 }  // namespace detail
 
 inline bool trace_enabled() {
@@ -89,6 +94,33 @@ class Span {
   const char* name_ = nullptr;
   std::string detail_;
   std::int64_t start_ns_ = 0;
+};
+
+/// RAII correlation scope: while alive, spans on this thread are grouped
+/// under track `id` in the trace output (tid = 100000 + id, one lane per
+/// request) instead of the thread's own lane. Used by serve::Service to
+/// group all solver phases of one request under its request id; nests by
+/// saving and restoring the previous track. Thread-affine — the track does
+/// not follow work handed to other pool workers (their chunk spans stay on
+/// thread lanes).
+class TraceTrack {
+ public:
+  explicit TraceTrack(std::uint64_t id) {
+    if (trace_enabled()) {
+      previous_ = detail::current_track();
+      active_ = true;
+      detail::set_current_track(id);
+    }
+  }
+  TraceTrack(const TraceTrack&) = delete;
+  TraceTrack& operator=(const TraceTrack&) = delete;
+  ~TraceTrack() {
+    if (active_) detail::set_current_track(previous_);
+  }
+
+ private:
+  std::uint64_t previous_ = 0;
+  bool active_ = false;
 };
 
 }  // namespace hipo::obs

@@ -6,6 +6,7 @@
 
 #include "src/model/io.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
 #include "src/obs/stopwatch.hpp"
 #include "src/obs/trace.hpp"
 #include "src/opt/greedy.hpp"
@@ -181,6 +182,10 @@ class Service::AdmissionSlot {
 Service::Service(ServiceOptions options)
     : options_(options), cache_(options.cache_entries) {
   HIPO_REQUIRE(options_.pool != nullptr, "serve: Service requires a pool");
+  if (options_.flight_entries > 0) {
+    flight_ = std::make_unique<obs::log::FlightRecorder>(
+        options_.flight_entries);
+  }
 }
 
 std::string Service::handle(std::string_view request_text) {
@@ -188,15 +193,18 @@ std::string Service::handle(std::string_view request_text) {
   auto& counters = serve_counters();
   requests_.fetch_add(1, std::memory_order_relaxed);
   counters.requests.add();
+  const std::uint64_t rid =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
 
   Json request;
   Json response;
+  RequestInfo info;
   try {
     request = parse_json(request_text);
     if (!request.is_object()) {
       throw ConfigError("request must be a JSON object");
     }
-    response = dispatch(request);
+    response = dispatch(request, rid, info);
   } catch (const ConfigError& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     counters.errors.add();
@@ -207,19 +215,78 @@ std::string Service::handle(std::string_view request_text) {
     response = error_response("internal", e.what());
   }
   echo_id(request, response);
-  counters.request_seconds.observe(watch.seconds());
-  return response.dump();
+  response.set("request_id", Json::string("r" + std::to_string(rid)));
+  const double seconds = watch.seconds();
+  counters.request_seconds.observe(seconds);
+  std::string out = response.dump();
+
+  // One canonical record per request, built from the response envelope
+  // itself — after `out` is finalized, so observability can never change
+  // the served bytes. The same line feeds the flight recorder (in-memory)
+  // and the logger (non-blocking ring); neither does I/O here.
+  if (options_.logger != nullptr || flight_ != nullptr) {
+    bool ok = false;
+    if (const Json* f = response.find("ok")) {
+      ok = f->is_bool() && f->as_bool();
+    }
+    std::string error_class;
+    if (const Json* f = response.find("error")) {
+      if (f->is_string()) error_class = f->as_string();
+    }
+    obs::log::Level level = obs::log::Level::kInfo;
+    if (!ok) {
+      level = error_class == "overloaded" ? obs::log::Level::kWarn
+                                          : obs::log::Level::kError;
+    }
+    obs::log::Record rec;
+    rec.str("event", "request")
+        .str("request_id", "r" + std::to_string(rid))
+        .str("type", info.type)
+        .str("admission", info.admission)
+        .boolean("ok", ok)
+        .num("seconds", seconds)
+        .u64("bytes_in", request_text.size())
+        .u64("bytes_out", out.size());
+    if (!error_class.empty()) rec.str("error", error_class);
+    if (const Json* f = response.find("key")) {
+      if (f->is_string()) rec.str("key", f->as_string());
+    }
+    // "cache" is "hit"/"miss" on solve responses but a whole stats object
+    // on stats responses — only the string form belongs in the record.
+    if (const Json* f = response.find("cache")) {
+      if (f->is_string()) rec.str("cache", f->as_string());
+    }
+    rec.stamp(level);
+    std::string line = rec.dump();
+    if (flight_ != nullptr) {
+      flight_->record(options_.logger != nullptr ? line : std::move(line));
+    }
+    if (options_.logger != nullptr) {
+      options_.logger->write_line(level, std::move(line));
+    }
+  }
+  return out;
 }
 
-Json Service::dispatch(const Json& request) {
+Json Service::dispatch(const Json& request, std::uint64_t rid,
+                       RequestInfo& info) {
   const Json* type_field = request.find("type");
   if (type_field == nullptr) throw ConfigError("request is missing \"type\"");
   const std::string& type = type_field->as_string();
+  info.type = type;
+  // Correlate this thread's spans (serve.request and anything the control
+  // handlers emit) with the request id; the compute lambda re-establishes
+  // the track on its pool worker below.
+  obs::TraceTrack track(rid);
   obs::Span span("serve.request", type);
 
   // Control requests bypass admission: they must work under full load.
-  if (type == "stats") return do_stats();
-  if (type == "shutdown") {
+  if (type == "stats" || type == "shutdown" || type == "metrics" ||
+      type == "flight") {
+    info.admission = "bypass";
+    if (type == "stats") return do_stats();
+    if (type == "metrics") return do_metrics();
+    if (type == "flight") return do_flight();
     shutdown_.store(true, std::memory_order_release);
     Json resp = Json::object();
     resp.set("ok", Json::boolean(true));
@@ -227,11 +294,13 @@ Json Service::dispatch(const Json& request) {
     return resp;
   }
   if (type != "solve" && type != "eval" && type != "delta") {
+    info.type = "invalid";
     throw ConfigError("unknown request type \"" + type + "\"");
   }
 
   AdmissionSlot slot(inflight_, options_.max_inflight);
   if (!slot.admitted()) {
+    info.admission = "rejected";
     rejected_.fetch_add(1, std::memory_order_relaxed);
     serve_counters().rejected.add();
     return error_response(
@@ -239,11 +308,15 @@ Json Service::dispatch(const Json& request) {
                           std::to_string(options_.max_inflight) +
                           " in-flight compute requests reached; retry later");
   }
+  info.admission = "admitted";
 
   // Batch the compute onto the shared deterministic pool. The caller
   // (a connection thread) blocks on the future; pool workers execute, and
   // nested parallel_for calls inside the pipeline help-drain safely.
-  auto fut = options_.pool->submit([this, type, &request]() -> Json {
+  auto fut = options_.pool->submit([this, type, rid, &request]() -> Json {
+    // The worker thread is a different thread — re-establish the request's
+    // correlation track so solver phase spans land on its trace lane.
+    obs::TraceTrack worker_track(rid);
     if (type == "solve") return do_solve(request);
     if (type == "eval") return do_eval(request);
     return do_delta(request);
@@ -510,7 +583,89 @@ Json Service::do_stats() const {
            Json::number(static_cast<double>(options_.max_inflight)));
   resp.set("pool_workers", Json::number(static_cast<double>(
                                options_.pool->num_workers())));
+  Json latency = Json::object();
+  latency.set("p50", Json::number(s.request_p50));
+  latency.set("p90", Json::number(s.request_p90));
+  latency.set("p99", Json::number(s.request_p99));
+  resp.set("request_seconds", std::move(latency));
+  if (options_.logger != nullptr) {
+    const obs::log::LoggerStats ls = options_.logger->stats();
+    Json log = Json::object();
+    log.set("accepted", Json::number(static_cast<double>(ls.accepted)));
+    log.set("written", Json::number(static_cast<double>(ls.written)));
+    log.set("dropped_ring",
+            Json::number(static_cast<double>(ls.dropped_ring)));
+    log.set("dropped_rate",
+            Json::number(static_cast<double>(ls.dropped_rate)));
+    log.set("dropped_level",
+            Json::number(static_cast<double>(ls.dropped_level)));
+    resp.set("log", std::move(log));
+  }
+  if (flight_ != nullptr) {
+    Json flight = Json::object();
+    flight.set("capacity",
+               Json::number(static_cast<double>(flight_->capacity())));
+    flight.set("recorded",
+               Json::number(static_cast<double>(flight_->recorded())));
+    resp.set("flight", std::move(flight));
+  }
   return resp;
+}
+
+Json Service::do_metrics() const {
+  // Snapshot once; the JSON and Prometheus forms describe the same instant,
+  // so a scraper never sees a counter move between the two.
+  const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+  Json resp = Json::object();
+  resp.set("ok", Json::boolean(true));
+  resp.set("type", Json::string("metrics"));
+  resp.set("metrics_enabled", Json::boolean(obs::metrics_enabled()));
+  // metrics_json emits the canonical wire dialect, so re-parsing it to
+  // embed as a structured object is lossless.
+  resp.set("metrics", parse_json(obs::metrics_json(snap)));
+  resp.set("prometheus", Json::string(obs::prometheus_text(snap)));
+  for (const auto& h : snap.histograms) {
+    if (h.name != "serve.request_seconds") continue;
+    Json latency = Json::object();
+    latency.set("p50",
+                Json::number(obs::histogram_quantile(h.bounds, h.counts,
+                                                     0.50)));
+    latency.set("p90",
+                Json::number(obs::histogram_quantile(h.bounds, h.counts,
+                                                     0.90)));
+    latency.set("p99",
+                Json::number(obs::histogram_quantile(h.bounds, h.counts,
+                                                     0.99)));
+    resp.set("request_seconds", std::move(latency));
+  }
+  return resp;
+}
+
+Json Service::do_flight() const {
+  Json resp = Json::object();
+  resp.set("ok", Json::boolean(true));
+  resp.set("type", Json::string("flight"));
+  Json records = Json::array();
+  if (flight_ != nullptr) {
+    // Record lines are canonical JSON by construction (Record::dump), so
+    // they re-parse under the strict wire parser.
+    for (const std::string& line : flight_->dump()) {
+      records.push(parse_json(line));
+    }
+  }
+  resp.set("records", std::move(records));
+  resp.set("capacity",
+           Json::number(static_cast<double>(
+               flight_ != nullptr ? flight_->capacity() : 0)));
+  resp.set("recorded",
+           Json::number(static_cast<double>(
+               flight_ != nullptr ? flight_->recorded() : 0)));
+  return resp;
+}
+
+std::vector<std::string> Service::flight_records() const {
+  if (flight_ == nullptr) return {};
+  return flight_->dump();
 }
 
 ServiceStats Service::stats() const {
@@ -523,6 +678,11 @@ ServiceStats Service::stats() const {
   s.evals = evals_.load(std::memory_order_relaxed);
   s.deltas = deltas_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
+  const auto& h = serve_counters().request_seconds;
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  s.request_p50 = obs::histogram_quantile(h.bounds(), counts, 0.50);
+  s.request_p90 = obs::histogram_quantile(h.bounds(), counts, 0.90);
+  s.request_p99 = obs::histogram_quantile(h.bounds(), counts, 0.99);
   return s;
 }
 

@@ -1,0 +1,297 @@
+// hipo::obs::log — structured JSONL logging, the non-blocking drain ring,
+// rate limiting, the flight recorder, and the histogram quantile helper the
+// serve latency summaries are built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/serve/wire.hpp"
+#include "src/util/error.hpp"
+
+namespace hipo::obs::log {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+TEST(LogLevel, NamesRoundTrip) {
+  for (const Level level : {Level::kDebug, Level::kInfo, Level::kWarn,
+                            Level::kError}) {
+    EXPECT_EQ(parse_level(level_name(level)), level);
+  }
+  EXPECT_THROW(parse_level("verbose"), ConfigError);
+  EXPECT_THROW(parse_level(""), ConfigError);
+}
+
+TEST(LogRecord, CanonicalDumpSortsKeysAndTypesValues) {
+  Record rec;
+  rec.u64("zulu", 7)
+      .str("alpha", "a \"quoted\" value\n")
+      .boolean("mike", false)
+      .num("november", 0.5);
+  EXPECT_EQ(rec.dump(),
+            "{\"alpha\":\"a \\\"quoted\\\" value\\n\",\"mike\":false,"
+            "\"november\":0.5,\"zulu\":7}");
+}
+
+TEST(LogRecord, LastWriteWinsAndRawEmbedsVerbatim) {
+  Record rec;
+  rec.str("k", "first").str("k", "second");
+  rec.raw("arr", "[1,2,3]");
+  EXPECT_EQ(rec.dump(), "{\"arr\":[1,2,3],\"k\":\"second\"}");
+}
+
+TEST(LogRecord, RoundTripsThroughStrictWireParser) {
+  Record rec;
+  rec.str("event", "request")
+      .str("request_id", "r17")
+      .boolean("ok", true)
+      .num("seconds", 0.001525)
+      .u64("bytes_in", 123)
+      .str("message", "tabs\tand\x01control bytes");
+  rec.stamp(Level::kWarn);
+  const std::string line = rec.dump();
+  // The strict serve parser rejects duplicate keys, non-finite numbers and
+  // malformed escapes — a record line must survive it unchanged.
+  const serve::Json parsed = serve::parse_json(line);
+  ASSERT_TRUE(parsed.is_object());
+  EXPECT_EQ(parsed.find("level")->as_string(), "warn");
+  EXPECT_EQ(parsed.find("request_id")->as_string(), "r17");
+  EXPECT_TRUE(parsed.find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(parsed.find("seconds")->as_number(), 0.001525);
+  EXPECT_GT(parsed.find("ts")->as_number(), 0.0);
+  // Canonical: dumping the parsed object reproduces the exact bytes.
+  EXPECT_EQ(parsed.dump(), line);
+}
+
+TEST(LogRecord, NonFiniteNumbersBecomeNull) {
+  Record rec;
+  rec.num("bad", std::numeric_limits<double>::infinity());
+  const std::string line = rec.dump();
+  EXPECT_EQ(line, "{\"bad\":null}");
+  EXPECT_NO_THROW(serve::parse_json(line));
+}
+
+TEST(Logger, WritesRecordsAsJsonlInOrder) {
+  std::ostringstream sink;
+  {
+    Logger logger(sink);
+    for (int i = 0; i < 100; ++i) {
+      Record rec;
+      rec.u64("i", static_cast<std::uint64_t>(i));
+      EXPECT_TRUE(logger.write(Level::kInfo, std::move(rec)));
+    }
+    logger.flush();
+    const LoggerStats stats = logger.stats();
+    EXPECT_EQ(stats.accepted, 100u);
+    EXPECT_EQ(stats.written, 100u);
+    EXPECT_EQ(stats.dropped_ring, 0u);
+  }
+  const auto lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const serve::Json parsed = serve::parse_json(lines[i]);
+    EXPECT_EQ(parsed.find("i")->as_number(), static_cast<double>(i));
+    EXPECT_EQ(parsed.find("level")->as_string(), "info");
+  }
+}
+
+TEST(Logger, MinLevelFiltersAndCounts) {
+  std::ostringstream sink;
+  Logger logger(sink, {.min_level = Level::kWarn});
+  EXPECT_FALSE(logger.enabled(Level::kDebug));
+  EXPECT_FALSE(logger.enabled(Level::kInfo));
+  EXPECT_TRUE(logger.enabled(Level::kWarn));
+  EXPECT_FALSE(logger.write(Level::kInfo, Record{}));
+  EXPECT_TRUE(logger.write(Level::kError, Record{}));
+  logger.flush();
+  const LoggerStats stats = logger.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.dropped_level, 1u);
+}
+
+TEST(Logger, RingOverflowDropsWithoutBlocking) {
+  std::ostringstream sink;
+  // Freeze the drain from the start so the ring genuinely fills;
+  // production never pauses.
+  Logger logger(sink, {.ring_capacity = 8, .start_paused = true});
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    Record rec;
+    rec.u64("i", static_cast<std::uint64_t>(i));
+    if (logger.write(Level::kInfo, std::move(rec))) ++accepted;
+  }
+  const LoggerStats stats = logger.stats();
+  EXPECT_EQ(accepted, 8u);  // ring capacity, not 100 — and no blocking
+  EXPECT_EQ(stats.accepted, 8u);
+  EXPECT_EQ(stats.dropped_ring, 92u);
+  logger.set_drain_paused_for_test(false);
+  logger.flush();
+  EXPECT_EQ(lines_of(sink.str()).size(), 8u);
+}
+
+TEST(Logger, RateLimitDropsBeyondBudget) {
+  std::ostringstream sink;
+  Logger logger(sink, {.rate_limit_per_sec = 3});
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (logger.write(Level::kInfo, Record{})) ++accepted;
+  }
+  logger.flush();
+  const LoggerStats stats = logger.stats();
+  // The loop takes far under a second, but tolerate one window rollover.
+  EXPECT_LE(accepted, 6u);
+  EXPECT_GE(stats.dropped_rate, 4u);
+  EXPECT_EQ(stats.accepted + stats.dropped_rate, 10u);
+}
+
+TEST(Logger, ConcurrentWritersLoseNothingWhenRingIsLargeEnough) {
+  std::ostringstream sink;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  {
+    Logger logger(sink, {.ring_capacity = 4096});
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&logger, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          Record rec;
+          rec.u64("t", static_cast<std::uint64_t>(t))
+              .u64("i", static_cast<std::uint64_t>(i));
+          logger.write(Level::kInfo, std::move(rec));
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    logger.flush();
+    const LoggerStats stats = logger.stats();
+    EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kThreads) *
+                                  kPerThread);
+    EXPECT_EQ(stats.written, stats.accepted);
+    EXPECT_EQ(stats.dropped_ring, 0u);
+  }
+  // Every line is intact JSON (no interleaving) and per-thread order holds.
+  const auto lines = lines_of(sink.str());
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  std::vector<int> next(kThreads, 0);
+  for (const std::string& line : lines) {
+    const serve::Json parsed = serve::parse_json(line);
+    const int t = static_cast<int>(parsed.find("t")->as_number());
+    const int i = static_cast<int>(parsed.find("i")->as_number());
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(i, next[t]);
+    next[t] = i + 1;
+  }
+}
+
+TEST(Logger, DestructorDrainsEverythingAccepted) {
+  std::ostringstream sink;
+  {
+    Logger logger(sink, {.ring_capacity = 1024});
+    for (int i = 0; i < 200; ++i) {
+      logger.write(Level::kInfo, Record{});
+    }
+    // No flush: the destructor must still deliver all 200.
+  }
+  EXPECT_EQ(lines_of(sink.str()).size(), 200u);
+}
+
+TEST(Logger, FileSinkRejectsUnopenablePath) {
+  EXPECT_THROW(Logger("/nonexistent-dir/log.jsonl"), ConfigError);
+}
+
+TEST(FlightRecorder, KeepsLastNOldestFirst) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record("line" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  const std::vector<std::string> dump = rec.dump();
+  ASSERT_EQ(dump.size(), 4u);
+  EXPECT_EQ(dump[0], "line6");
+  EXPECT_EQ(dump[3], "line9");
+}
+
+TEST(FlightRecorder, PartialFillDumpsOnlyRecorded) {
+  FlightRecorder rec(8);
+  rec.record("a");
+  rec.record("b");
+  const std::vector<std::string> dump = rec.dump();
+  ASSERT_EQ(dump.size(), 2u);
+  EXPECT_EQ(dump[0], "a");
+  EXPECT_EQ(dump[1], "b");
+}
+
+TEST(FlightRecorder, ZeroCapacityCountsButRetainsNothing) {
+  FlightRecorder rec(0);
+  rec.record("x");
+  EXPECT_EQ(rec.recorded(), 1u);
+  EXPECT_TRUE(rec.dump().empty());
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndReadersStayConsistent) {
+  FlightRecorder rec(64);
+  std::atomic<bool> stop{false};
+  std::thread reader([&rec, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<std::string> dump = rec.dump();
+      EXPECT_LE(dump.size(), 64u);
+      for (const std::string& line : dump) {
+        EXPECT_FALSE(line.empty());
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < 2000; ++i) {
+        rec.record("t" + std::to_string(t) + "i" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(rec.recorded(), 8000u);
+  EXPECT_EQ(rec.dump().size(), 64u);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  const double bounds[] = {1.0, 2.0, 4.0};
+  // 10 samples <=1, 10 in (1,2], 0 in (2,4], 0 overflow.
+  const std::uint64_t counts[] = {10, 10, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.75), 1.5);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 1.0), 2.0);
+}
+
+TEST(HistogramQuantile, EmptyAndOverflowEdges) {
+  const double bounds[] = {1.0, 2.0};
+  const std::uint64_t empty[] = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, empty, 0.5), 0.0);
+  // All mass in overflow clamps to the last finite bound.
+  const std::uint64_t overflow[] = {0, 0, 5};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, overflow, 0.5), 2.0);
+  // Out-of-range q is clamped.
+  const std::uint64_t some[] = {4, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, some, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, some, 2.0), 1.0);
+}
+
+}  // namespace
+}  // namespace hipo::obs::log

@@ -12,6 +12,9 @@
 
 #include "src/core/solver.hpp"
 #include "src/model/io.hpp"
+#include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/opt/delta.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/serve/cache.hpp"
@@ -428,6 +431,208 @@ TEST(ServiceConcurrency, ParallelMixedRequestsStayDeterministic) {
   const serve::ServiceStats s = service.stats();
   EXPECT_EQ(s.solves_cold + s.solves_warm,
             static_cast<std::uint64_t>(kThreads * 3));
+}
+
+// --- observability --------------------------------------------------------
+
+TEST_F(ServiceTest, EveryResponseCarriesAMonotonicRequestId) {
+  EXPECT_EQ(call_ok("{\"type\":\"stats\"}").find("request_id")->as_string(),
+            "r1");
+  EXPECT_EQ(call_ok("{\"type\":\"stats\"}").find("request_id")->as_string(),
+            "r2");
+  // Errors are numbered too — the id is the envelope, not a success field.
+  const serve::Json bad = call("not json at all");
+  EXPECT_EQ(bad.find("request_id")->as_string(), "r3");
+  EXPECT_EQ(bad.find("error")->as_string(), "bad_request");
+}
+
+TEST(ServiceObservability, FullObservabilityDoesNotChangeServedBytes) {
+  // The acceptance contract: logging + flight recorder + metrics + tracing
+  // all on, response bytes identical to a bare service (same request ids,
+  // same placement bytes).
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  obs::reset_trace();
+  parallel::ThreadPool pool(2);
+
+  serve::ServiceOptions plain_opts;
+  plain_opts.cache_entries = 4;
+  plain_opts.max_inflight = 4;
+  plain_opts.pool = &pool;
+  serve::Service plain(plain_opts);
+
+  std::ostringstream sink;
+  obs::log::Logger logger(sink,
+                          {.min_level = obs::log::Level::kDebug});
+  serve::ServiceOptions obs_opts = plain_opts;
+  obs_opts.logger = &logger;
+  obs_opts.flight_entries = 16;
+  serve::Service observed(obs_opts);
+
+  serve::Json solve = serve::Json::object();
+  solve.set("type", serve::Json::string("solve"));
+  solve.set("scenario",
+            serve::Json::string(scenario_text(test::simple_scenario())));
+  const std::string request = solve.dump();
+
+  // Cold, then warm, then an error — byte-identical at every step.
+  EXPECT_EQ(plain.handle(request), observed.handle(request));
+  EXPECT_EQ(plain.handle(request), observed.handle(request));
+  EXPECT_EQ(plain.handle("{\"type\":\"frobnicate\"}"),
+            observed.handle("{\"type\":\"frobnicate\"}"));
+
+  logger.flush();
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+
+  // The observed service wrote one record per request, matching the
+  // responses: r1 cold miss, r2 warm hit, r3 error.
+  std::vector<std::string> lines;
+  {
+    std::istringstream is(sink.str());
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  const serve::Json rec1 = serve::parse_json(lines[0]);
+  EXPECT_EQ(rec1.find("request_id")->as_string(), "r1");
+  EXPECT_EQ(rec1.find("type")->as_string(), "solve");
+  EXPECT_EQ(rec1.find("cache")->as_string(), "miss");
+  EXPECT_EQ(rec1.find("admission")->as_string(), "admitted");
+  EXPECT_TRUE(rec1.find("ok")->as_bool());
+  EXPECT_GT(rec1.find("seconds")->as_number(), 0.0);
+  EXPECT_GT(rec1.find("bytes_in")->as_number(), 0.0);
+  EXPECT_GT(rec1.find("bytes_out")->as_number(), 0.0);
+  EXPECT_EQ(rec1.find("key")->as_string(),
+            serve::scenario_key(test::simple_scenario()));
+  const serve::Json rec2 = serve::parse_json(lines[1]);
+  EXPECT_EQ(rec2.find("cache")->as_string(), "hit");
+  const serve::Json rec3 = serve::parse_json(lines[2]);
+  EXPECT_EQ(rec3.find("request_id")->as_string(), "r3");
+  EXPECT_EQ(rec3.find("level")->as_string(), "error");
+  EXPECT_EQ(rec3.find("error")->as_string(), "bad_request");
+  EXPECT_FALSE(rec3.find("ok")->as_bool());
+
+  // Trace correlation: the solver phases of request r1 were emitted on its
+  // per-request track (tid = 100000 + 1).
+  std::ostringstream trace;
+  obs::write_trace_json(trace);
+  EXPECT_NE(trace.str().find("\"tid\":100001"), std::string::npos);
+  EXPECT_NE(trace.str().find("\"request_id\":\"r1\""), std::string::npos);
+  obs::reset_trace();
+
+  // The flight recorder retained the same three records.
+  const std::vector<std::string> flight = observed.flight_records();
+  ASSERT_EQ(flight.size(), 3u);
+  EXPECT_EQ(flight[0], lines[0]);
+  EXPECT_EQ(flight[2], lines[2]);
+}
+
+TEST(ServiceObservability, MetricsScrapeUnderLoadIsConsistent) {
+  obs::set_metrics_enabled(true);
+  obs::reset_metrics();
+  parallel::ThreadPool pool(4);
+  serve::ServiceOptions opts;
+  opts.cache_entries = 4;
+  opts.max_inflight = 8;
+  opts.pool = &pool;
+  serve::Service service(opts);
+
+  serve::Json solve = serve::Json::object();
+  solve.set("type", serve::Json::string("solve"));
+  solve.set("scenario",
+            serve::Json::string(scenario_text(test::simple_scenario())));
+  const std::string request = solve.dump();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> scrape_failures{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const serve::Json resp =
+          serve::parse_json(service.handle("{\"type\":\"metrics\"}"));
+      if (resp.find("ok") == nullptr || !resp.find("ok")->as_bool()) {
+        scrape_failures.fetch_add(1);
+        continue;
+      }
+      const serve::Json* counters =
+          resp.find("metrics")->find("counters");
+      const serve::Json* hists =
+          resp.find("metrics")->find("histograms");
+      const serve::Json* requests = counters->find("serve.requests");
+      const serve::Json* h = hists->find("serve.request_seconds");
+      if (requests == nullptr || h == nullptr) continue;
+      // Snapshot invariant: requests are counted on entry, latencies
+      // observed on exit — a consistent snapshot can never show more
+      // completed latencies than started requests.
+      if (h->find("count")->as_number() > requests->as_number()) {
+        scrape_failures.fetch_add(1);
+      }
+      const std::string prom = resp.find("prometheus")->as_string();
+      if (prom.find("hipo_serve_requests_total") == std::string::npos) {
+        scrape_failures.fetch_add(1);
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int r = 0; r < 3; ++r) {
+        const serve::Json resp = serve::parse_json(service.handle(request));
+        EXPECT_TRUE(resp.find("ok")->as_bool());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_EQ(scrape_failures.load(), 0);
+
+  // Derived percentiles are live and ordered.
+  const serve::ServiceStats s = service.stats();
+  EXPECT_GT(s.request_p50, 0.0);
+  EXPECT_LE(s.request_p50, s.request_p90);
+  EXPECT_LE(s.request_p90, s.request_p99);
+  const serve::Json stats =
+      serve::parse_json(service.handle("{\"type\":\"stats\"}"));
+  EXPECT_GT(stats.find("request_seconds")->find("p99")->as_number(), 0.0);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(ServiceObservability, FlightRecorderCapturesErrorsForPostMortem) {
+  parallel::ThreadPool pool(2);
+  serve::ServiceOptions opts;
+  opts.cache_entries = 2;
+  opts.max_inflight = 2;
+  opts.pool = &pool;
+  opts.flight_entries = 8;
+  serve::Service service(opts);
+
+  // r1 fails, r2 succeeds; the flight request then explains both.
+  serve::parse_json(service.handle("{\"type\":\"frobnicate\"}"));
+  serve::parse_json(service.handle("{\"type\":\"stats\"}"));
+  const serve::Json flight =
+      serve::parse_json(service.handle("{\"type\":\"flight\"}"));
+  ASSERT_TRUE(flight.find("ok")->as_bool());
+  EXPECT_EQ(flight.find("capacity")->as_number(), 8.0);
+  EXPECT_EQ(flight.find("recorded")->as_number(), 2.0);
+  const auto& records = flight.find("records")->as_array();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].find("request_id")->as_string(), "r1");
+  EXPECT_EQ(records[0].find("level")->as_string(), "error");
+  EXPECT_EQ(records[0].find("error")->as_string(), "bad_request");
+  EXPECT_EQ(records[1].find("request_id")->as_string(), "r2");
+  EXPECT_EQ(records[1].find("type")->as_string(), "stats");
+
+  // A service without a recorder still answers (empty).
+  serve::ServiceOptions bare = opts;
+  bare.flight_entries = 0;
+  serve::Service no_flight(bare);
+  const serve::Json empty =
+      serve::parse_json(no_flight.handle("{\"type\":\"flight\"}"));
+  EXPECT_TRUE(empty.find("ok")->as_bool());
+  EXPECT_EQ(empty.find("records")->as_array().size(), 0u);
+  EXPECT_EQ(empty.find("capacity")->as_number(), 0.0);
 }
 
 // --- socket server --------------------------------------------------------

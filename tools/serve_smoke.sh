@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
 # End-to-end hipo_serve smoke: start the daemon on an ephemeral loopback
-# port, replay a scripted request mix (cold solve, cached re-solve, delta,
-# eval, malformed requests), and require every served placement to be
-# byte-identical to hipo_solve on the same scenario.
+# port with full observability enabled (structured log, flight recorder,
+# metrics), replay a scripted request mix (cold solve, cached re-solve,
+# delta, eval, malformed requests, metrics + flight scrapes), and require
+# every served placement to be byte-identical to hipo_solve on the same
+# scenario — the "observability never changes served bytes" contract.
+#
+# Also exercises: the --watch ticker against the live daemon, the SIGUSR1
+# flight-recorder dump, and (via python3) the JSONL log schema plus the
+# request_id handshake: every replayed response must have a log record
+# whose request_id, ok, and error agree with the response envelope.
 #
 # Usage: serve_smoke.sh <hipo_serve> <hipo_solve> <data_dir> <work_dir>
 set -euo pipefail
 
-SERVE=$1
-SOLVE=$2
-DATA=$3
+# Absolutize before the cd below so callers may pass repo-relative paths.
+SERVE=$(readlink -f "$1")
+SOLVE=$(readlink -f "$2")
+DATA=$(readlink -f "$3")
 WORK=$4
 
 rm -rf "$WORK"
@@ -18,6 +26,7 @@ cd "$WORK"
 
 "$SERVE" --port-file port.txt --threads 2 --cache-entries 4 \
          --max-inflight 2 --metrics-json serve_metrics.json \
+         --log serve_log.jsonl --log-level debug --flight-recorder 64 \
          > daemon.log 2>&1 &
 DAEMON=$!
 trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
@@ -40,13 +49,15 @@ PORT=$(cat port.txt)
          --out ref_delta.hipo > /dev/null
 
 # Round 1: cold miss, warm hit, a malformed type, a malformed delta script,
-# and a stats probe.
+# a stats probe, a metrics scrape, and a flight-recorder dump.
 cat > replay1.jsonl <<EOF
 {"id":"cold","type":"solve","scenario_file":"$DATA/courtyard.hipo","save_placement":"served_cold.hipo"}
 {"id":"warm","type":"solve","scenario_file":"$DATA/courtyard.hipo","save_placement":"served_warm.hipo"}
 {"id":"badtype","type":"frobnicate","expect_error":true}
 {"id":"badscript","type":"delta","key":"0000000000000000","script":"{\"op\":\"warp_device\"}","expect_error":true}
 {"id":"stats","type":"stats"}
+{"id":"metrics","type":"metrics"}
+{"id":"flight","type":"flight"}
 EOF
 "$SERVE" --connect "$PORT" --script replay1.jsonl --strict > replay1.out
 
@@ -54,6 +65,9 @@ cmp ref_cold.hipo served_cold.hipo
 cmp ref_cold.hipo served_warm.hipo
 grep -q '"cache":"miss"' replay1.out
 grep -q '"cache":"hit"' replay1.out
+grep -q '"prometheus"' replay1.out
+grep -q 'hipo_serve_requests_total' replay1.out
+grep -q '"request_id"' replay1.out
 
 KEY=$(grep -o '"key":"[0-9a-f]\{16\}"' replay1.out | head -1 | cut -d'"' -f4)
 if [ -z "$KEY" ]; then
@@ -61,6 +75,21 @@ if [ -z "$KEY" ]; then
   cat replay1.out >&2
   exit 1
 fi
+
+# The live ticker must answer from the serving daemon without disturbing it.
+"$SERVE" --connect "$PORT" --watch 0.2 --watch-count 2 > watch.out
+[ "$(grep -c '^qps ' watch.out)" -eq 2 ]
+grep -q 'hit_rate' watch.out
+grep -q 'p99' watch.out
+
+# SIGUSR1 dumps the flight recorder to the daemon's stderr.
+kill -USR1 "$DAEMON"
+for _ in $(seq 1 50); do
+  grep -q 'flight recorder' daemon.log && break
+  sleep 0.1
+done
+grep -q 'flight recorder' daemon.log
+grep -q '"request_id":"r1"' daemon.log
 
 # Round 2: the delta script against the cached entry (the entry re-keys, so
 # the old key must then miss), and a clean shutdown.
@@ -93,5 +122,53 @@ fi
 
 [ -s serve_metrics.json ]
 grep -q 'serve\.requests' serve_metrics.json
+
+# Daemon lifecycle went through the structured log (stdout and file).
+grep -q '"event":"listening"' daemon.log
+grep -q '"event":"draining"' daemon.log
+grep -q '"event":"summary"' daemon.log
+
+# Validate the JSONL log schema and the request_id handshake.
+python3 - serve_log.jsonl replay1.out replay2.out <<'PYEOF'
+import json, sys
+
+log_path, *replays = sys.argv[1:]
+records, events = {}, set()
+with open(log_path) as f:
+    for line in f:
+        rec = json.loads(line)
+        for key in ("ts", "level", "event"):
+            assert key in rec, f"log record missing {key}: {rec}"
+        assert rec["level"] in ("debug", "info", "warn", "error"), rec
+        if rec["event"] == "request":
+            for key in ("request_id", "type", "admission", "ok", "seconds",
+                        "bytes_in", "bytes_out"):
+                assert key in rec, f"request record missing {key}: {rec}"
+            assert rec["request_id"] not in records, rec["request_id"]
+            records[rec["request_id"]] = rec
+        else:
+            events.add(rec["event"])
+assert {"listening", "draining", "summary"} <= events, events
+
+checked = 0
+for path in replays:
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            resp = json.loads(line)
+            rid = resp["request_id"]
+            assert rid in records, f"response {rid} has no log record"
+            rec = records[rid]
+            assert rec["ok"] == resp["ok"], rid
+            if not resp["ok"]:
+                assert rec["error"] == resp.get("error"), rid
+                assert rec["level"] in ("warn", "error"), rid
+            checked += 1
+assert checked >= 10, f"only {checked} responses cross-checked"
+print(f"log schema OK: {len(records)} request records, "
+      f"{checked} responses cross-checked")
+PYEOF
 
 echo "serve smoke PASS (port $PORT, key $KEY)"
