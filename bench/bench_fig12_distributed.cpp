@@ -8,10 +8,23 @@
 // resulting makespan normalized by the non-distributed time at 1× devices,
 // exactly the normalization of Fig. 12. An ablation column compares LPT
 // with naive round-robin assignment.
+//
+// The `meas-2p`/`meas-4p` columns are not simulated: they run the sharded
+// extraction for real through hipo::shard's forked worker processes (2 and
+// 4 of them) and report measured wall-clock of the extraction phase, same
+// normalization. On a single-core host they hover near the non-distributed
+// line — the JSON records `cores` so readers can tell which regime the
+// numbers came from. `--json[=PATH]` writes BENCH_fig12.json with build
+// provenance and peak RSS.
 #include "bench/harness.hpp"
 
+#include <fstream>
+#include <thread>
+
 #include "src/model/scenario_gen.hpp"
+#include "src/obs/obs.hpp"
 #include "src/pdcs/extract.hpp"
+#include "src/shard/runner.hpp"
 #include "src/util/stats.hpp"
 
 using namespace hipo;
@@ -21,22 +34,42 @@ int main(int argc, char** argv) {
   const int reps = std::max(1, bench::resolve_reps(cli) / 2);
   const bool csv = cli.has("csv");
   const int max_mult = cli.get_or("max-mult", 8);
+  const bool json = cli.has("json");
+  // Cli encodes a bare `--json` as the value "1": fall back to the default
+  // artifact name in that case (`--json[=PATH]`).
+  std::string json_path = json ? cli.get_or("json", std::string("1"))
+                               : std::string();
+  if (json_path == "1") json_path = "BENCH_fig12.json";
   cli.finish();
 
   const std::vector<std::size_t> machine_counts{5, 10, 15, 20, 25};
+  const std::vector<std::size_t> process_counts{2, 4};
   std::vector<std::string> header{"devices(x)", "non-dist"};
   for (std::size_t m : machine_counts)
     header.push_back("dist-" + std::to_string(m));
   header.push_back("dist-10(RR)");
+  for (std::size_t p : process_counts)
+    header.push_back("meas-" + std::to_string(p) + "p");
   Table table(std::move(header));
 
   double normalizer = 0.0;
   std::vector<std::vector<double>> reductions(machine_counts.size());
+  struct Row {
+    int mult = 0;
+    std::size_t devices = 0;
+    double non_dist = 0.0;
+    std::vector<double> dist;
+    double rr10 = 0.0;
+    std::vector<double> measured;
+  };
+  std::vector<Row> rows;
 
   for (int mult = 1; mult <= max_mult; ++mult) {
     RunningStats non_dist;
     std::vector<RunningStats> dist(machine_counts.size());
     RunningStats rr10;
+    std::vector<RunningStats> measured(process_counts.size());
+    std::size_t devices = 0;
     for (int rep = 0; rep < reps; ++rep) {
       model::GenOptions opt;
       opt.device_multiplier = mult;
@@ -44,6 +77,7 @@ int main(int argc, char** argv) {
                            static_cast<std::uint64_t>(mult),
                            static_cast<std::uint64_t>(rep)));
       const auto scenario = model::make_paper_scenario(opt, rng);
+      devices = scenario.num_devices();
       const auto extraction = pdcs::extract_all(scenario);
       double total = 0.0;
       for (double t : extraction.task_seconds) total += t;
@@ -54,15 +88,38 @@ int main(int argc, char** argv) {
       }
       rr10.add(pdcs::simulated_distributed_seconds(extraction.task_seconds,
                                                    10, /*use_lpt=*/false));
+      // Measured multi-process shard runs: one shard per worker process,
+      // wall-clock of the extraction phase (fork + extract + stream + merge).
+      for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
+        shard::RunnerOptions ropt;
+        ropt.shards = process_counts[pi];
+        ropt.processes = process_counts[pi];
+        obs::Stopwatch watch;
+        const auto merged = shard::extract_sharded(scenario, ropt);
+        measured[pi].add(watch.seconds());
+        HIPO_REQUIRE(merged.candidates.size() == extraction.candidates.size(),
+                     "sharded pool size diverged in fig12 measured run");
+      }
     }
     if (mult == 1) normalizer = non_dist.mean();
+    Row row;
+    row.mult = mult;
+    row.devices = devices;
     table.row().add(std::to_string(mult));
     table.add(non_dist.mean() / normalizer, 3);
+    row.non_dist = non_dist.mean() / normalizer;
     for (std::size_t mi = 0; mi < machine_counts.size(); ++mi) {
       table.add(dist[mi].mean() / normalizer, 3);
+      row.dist.push_back(dist[mi].mean() / normalizer);
       reductions[mi].push_back(1.0 - dist[mi].mean() / non_dist.mean());
     }
     table.add(rr10.mean() / normalizer, 3);
+    row.rr10 = rr10.mean() / normalizer;
+    for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
+      table.add(measured[pi].mean() / normalizer, 3);
+      row.measured.push_back(measured[pi].mean() / normalizer);
+    }
+    rows.push_back(std::move(row));
   }
 
   std::cout << "Fig. 12 — normalized time of the parallel-processing part "
@@ -75,7 +132,46 @@ int main(int argc, char** argv) {
               << "%\n";
   }
   std::cout << "(paper: 80.10% / 88.79% / 91.05% / 92.32% / 92.39% for "
-               "5/10/15/20/25 machines)\n";
+               "5/10/15/20/25 machines; meas-2p/meas-4p are real forked "
+               "shard-runner wall-clocks on this host's "
+            << std::thread::hardware_concurrency() << " core(s))\n";
   if (csv) table.write_csv_file("fig12.csv");
+
+  if (json) {
+    std::ofstream os(json_path);
+    if (!os.good()) {
+      std::cerr << "cannot open output file " << json_path << "\n";
+      return 1;
+    }
+    os << "{\n  \"bench\": \"fig12_distributed\",\n  \"build\": "
+       << obs::build_info_json()
+       << ",\n  \"cores\": " << std::thread::hardware_concurrency()
+       << ",\n  \"reps\": " << reps << ",\n  \"machine_counts\": [";
+    for (std::size_t mi = 0; mi < machine_counts.size(); ++mi) {
+      os << (mi ? ", " : "") << machine_counts[mi];
+    }
+    os << "],\n  \"process_counts\": [";
+    for (std::size_t pi = 0; pi < process_counts.size(); ++pi) {
+      os << (pi ? ", " : "") << process_counts[pi];
+    }
+    os << "],\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      os << "    {\"mult\": " << r.mult << ", \"devices\": " << r.devices
+         << ", \"non_dist\": " << obs::json_double(r.non_dist)
+         << ", \"dist_lpt\": [";
+      for (std::size_t mi = 0; mi < r.dist.size(); ++mi) {
+        os << (mi ? ", " : "") << obs::json_double(r.dist[mi]);
+      }
+      os << "], \"dist_rr10\": " << obs::json_double(r.rr10)
+         << ", \"measured_procs\": [";
+      for (std::size_t pi = 0; pi < r.measured.size(); ++pi) {
+        os << (pi ? ", " : "") << obs::json_double(r.measured[pi]);
+      }
+      os << "]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"peak_rss_bytes\": " << obs::peak_rss_bytes() << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return 0;
 }

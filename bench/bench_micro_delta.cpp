@@ -25,6 +25,7 @@
 #include "src/geometry/polygon.hpp"
 #include "src/model/scenario.hpp"
 #include "src/obs/build_info.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 #include "src/opt/coverage_matrix.hpp"
 #include "src/opt/delta.hpp"
@@ -273,7 +274,8 @@ int main(int argc, char** argv) {
          << ", \"speedup\": " << r.speedup() << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"peak_rss_bytes\": " << obs::peak_rss_bytes()
+       << "\n}\n";
   std::cout << "JSON written to " << out_path << "\n";
   return 0;
 }

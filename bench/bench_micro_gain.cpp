@@ -20,6 +20,7 @@
 
 #include "src/model/scenario.hpp"
 #include "src/obs/build_info.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 #include "src/opt/greedy.hpp"
 #include "src/opt/simd/gain_kernels.hpp"
@@ -397,7 +398,8 @@ int main(int argc, char** argv) {
   }
   // Hard-coded true is honest: every timed variant above HIPO_REQUIREs
   // identical picks and bit-identical utilities before this line runs.
-  json << "  ],\n  \"utilities_identical\": true\n}\n";
+  json << "  ],\n  \"utilities_identical\": true,\n  \"peak_rss_bytes\": "
+       << obs::peak_rss_bytes() << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

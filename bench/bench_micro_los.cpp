@@ -17,6 +17,7 @@
 #include "src/util/rng.hpp"
 #include "src/util/table.hpp"
 #include "src/obs/build_info.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 
 using namespace hipo;
@@ -284,7 +285,8 @@ int main(int argc, char** argv) {
        << ", \"accelerated_s\": " << e2e.accel_s
        << ", \"brute_s\": " << e2e.brute_s
        << ", \"speedup\": " << e2e.speedup()
-       << ", \"utilities_identical\": true}\n}\n";
+       << ", \"utilities_identical\": true},\n  \"peak_rss_bytes\": "
+       << obs::peak_rss_bytes() << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;
 }

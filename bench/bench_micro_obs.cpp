@@ -24,6 +24,7 @@
 #include "src/obs/build_info.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 #include "src/obs/trace.hpp"
 #include "src/opt/greedy.hpp"
@@ -223,7 +224,8 @@ int run_overhead(const std::string& out_path, int mult, int reps) {
          << ", \"overhead_pct\": " << pct(c) << "}"
          << (c + 1 < kNumConfigs ? "," : "") << "\n";
   }
-  json << "  ],\n  \"utilities_identical\": true,\n  \"metrics\": "
+  json << "  ],\n  \"utilities_identical\": true,\n  \"peak_rss_bytes\": "
+       << obs::peak_rss_bytes() << ",\n  \"metrics\": "
        << obs::metrics_json(snapshot) << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;

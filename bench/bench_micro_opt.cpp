@@ -30,6 +30,7 @@
 #include "src/util/rng.hpp"
 #include "src/obs/build_info.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 
 namespace {
@@ -290,7 +291,8 @@ int run_parallel_speedup(const std::string& out_path, int device_multiplier,
          << ", \"simulated_speedup\": " << points[i].simulated_speedup << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"utilities_identical\": true,\n  \"metrics\": "
+  json << "  ],\n  \"utilities_identical\": true,\n  \"peak_rss_bytes\": "
+       << obs::peak_rss_bytes() << ",\n  \"metrics\": "
        << obs::metrics_json(obs::metrics_snapshot()) << "\n}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;

@@ -25,6 +25,7 @@
 #include "src/model/io.hpp"
 #include "src/model/scenario.hpp"
 #include "src/obs/build_info.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/pdcs/extract.hpp"
@@ -373,7 +374,8 @@ int main(int argc, char** argv) {
          << ", \"overload_rejected\": " << r.overload_rejected << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"peak_rss_bytes\": " << obs::peak_rss_bytes()
+       << "\n}\n";
   std::cout << "JSON written to " << out_path << "\n";
   return 0;
 }

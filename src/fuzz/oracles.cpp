@@ -19,6 +19,8 @@
 #include "src/parallel/thread_pool.hpp"
 #include "src/pdcs/extract.hpp"
 #include "src/pdcs/point_case.hpp"
+#include "src/shard/plan.hpp"
+#include "src/shard/runner.hpp"
 #include "src/util/error.hpp"
 #include "src/util/rng.hpp"
 
@@ -842,7 +844,7 @@ std::optional<Violation> check_delta(const Scenario& scenario,
 }
 
 std::span<const NamedOracle> all_oracles() {
-  static constexpr std::array<NamedOracle, 7> kOracles{{
+  static constexpr std::array<NamedOracle, 8> kOracles{{
       {"line_of_sight", &check_line_of_sight},
       {"coverage", &check_coverage},
       {"piecewise", &check_piecewise},
@@ -850,8 +852,113 @@ std::span<const NamedOracle> all_oracles() {
       {"determinism", &check_determinism},
       {"simd", &check_simd_identity},
       {"delta", &check_delta},
+      {"shard", &check_shard},
   }};
   return kOracles;
+}
+
+std::optional<Violation> check_shard(const Scenario& scenario,
+                                     std::uint64_t seed) {
+  if (!extraction_tractable(scenario)) return std::nullopt;
+  Rng rng(seed_combine(seed, 0x5A4D));
+
+  const auto identical = [&](const pdcs::ExtractionResult& ref,
+                             const pdcs::ExtractionResult& got,
+                             std::size_t shards,
+                             std::size_t devices) -> std::optional<Violation> {
+    const std::string ctx = " (shards=" + std::to_string(shards) +
+                            ", devices=" + std::to_string(devices) + ")";
+    if (ref.raw_candidates != got.raw_candidates) {
+      return fail("shard", "merged raw row count differs" + ctx + ": " +
+                               std::to_string(got.raw_candidates) + " vs " +
+                               std::to_string(ref.raw_candidates));
+    }
+    if (ref.per_type_counts != got.per_type_counts ||
+        ref.candidates.size() != got.candidates.size()) {
+      return fail("shard", "merged pool shape differs" + ctx);
+    }
+    for (std::size_t i = 0; i < ref.candidates.size(); ++i) {
+      const auto& a = ref.candidates[i];
+      const auto& b = got.candidates[i];
+      if (a.strategy.type != b.strategy.type ||
+          utility_bits(a.strategy.pos.x) != utility_bits(b.strategy.pos.x) ||
+          utility_bits(a.strategy.pos.y) != utility_bits(b.strategy.pos.y) ||
+          utility_bits(a.strategy.orientation) !=
+              utility_bits(b.strategy.orientation)) {
+        return fail("shard", "candidate " + std::to_string(i) +
+                                 " strategy not bit-identical" + ctx + ": " +
+                                 fmt(b.strategy.pos) + " vs " +
+                                 fmt(a.strategy.pos));
+      }
+      if (a.covered != b.covered) {
+        return fail("shard", "candidate " + std::to_string(i) +
+                                 " covered set differs" + ctx);
+      }
+      for (std::size_t j = 0; j < a.powers.size(); ++j) {
+        if (utility_bits(a.powers[j]) != utility_bits(b.powers[j])) {
+          return fail("shard", "candidate " + std::to_string(i) + " power " +
+                                   std::to_string(j) + " differs" + ctx +
+                                   ": " + fmt(b.powers[j]) + " vs " +
+                                   fmt(a.powers[j]));
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4},
+                                   std::size_t{7}}) {
+    // Plan first so we know where the cell borders land, then pin extra
+    // devices exactly on a border and exactly 2·d_max from one — the
+    // neighbor-radius edge cases the halo argument must survive.
+    const shard::ShardPlan probe(scenario, {.shards = shards});
+    model::Scenario::Config cfg = scenario.to_config();
+    const geom::BBox region = scenario.region();
+    const double range2 = 2.0 * scenario.max_charge_range();
+    std::vector<geom::Vec2> pins;
+    if (probe.grid_x() >= 2) {
+      const double bx =
+          region.lo.x + (region.hi.x - region.lo.x) /
+                            static_cast<double>(probe.grid_x());
+      const double y =
+          rng.uniform(region.lo.y, region.hi.y);
+      pins.push_back({bx, y});
+      pins.push_back({bx - range2, rng.uniform(region.lo.y, region.hi.y)});
+    }
+    if (probe.grid_y() >= 2) {
+      const double by =
+          region.lo.y + (region.hi.y - region.lo.y) /
+                            static_cast<double>(probe.grid_y());
+      pins.push_back({rng.uniform(region.lo.x, region.hi.x), by});
+      pins.push_back({rng.uniform(region.lo.x, region.hi.x), by + range2});
+    }
+    for (const auto p : pins) {
+      if (!region.contains(p)) continue;
+      bool inside = false;
+      for (const auto& h : cfg.obstacles) {
+        if (h.contains(p)) inside = true;
+      }
+      if (inside) continue;
+      model::Device dev;
+      dev.pos = p;
+      dev.orientation = rng.angle();
+      dev.type = rng.below(cfg.device_types.size());
+      dev.p_th = cfg.devices.empty()
+                     ? 0.05
+                     : cfg.devices[rng.below(cfg.devices.size())].p_th;
+      cfg.devices.push_back(dev);
+    }
+    const Scenario pinned(std::move(cfg));
+
+    const auto reference = pdcs::extract_all(pinned);
+    shard::RunnerOptions opt;
+    opt.shards = shards;
+    const auto merged = shard::extract_sharded(pinned, opt);
+    if (auto v = identical(reference, merged, shards, pinned.num_devices())) {
+      return v;
+    }
+  }
+  return std::nullopt;
 }
 
 std::optional<Violation> run_oracle(const NamedOracle& oracle,

@@ -33,7 +33,7 @@ struct NamedOracle {
   Oracle fn;
 };
 
-/// The seven oracles, in fixed execution order.
+/// The eight oracles, in fixed execution order.
 std::span<const NamedOracle> all_oracles();
 
 /// (1) SegmentIndex line-of-sight / containment vs. the brute-force
@@ -81,6 +81,15 @@ std::optional<Violation> check_simd_identity(const model::Scenario& scenario,
 /// — patched coverage matrix, selection, placement, and both utilities.
 /// Skips (returns nullopt) when extraction is intractable.
 std::optional<Violation> check_delta(const model::Scenario& scenario,
+                                     std::uint64_t seed);
+
+/// (8) Sharded extraction: for shard counts {2, 4, 7}, the merged
+/// multi-shard candidate pool must be bit-identical to single-process
+/// extract_all — on a scenario augmented with devices pinned exactly on a
+/// shard border and exactly 2·d_max away from one (the neighbor-radius
+/// boundary cases of the halo argument). In-process runner only, so the
+/// oracle is sanitizer-friendly. Skips when extraction is intractable.
+std::optional<Violation> check_shard(const model::Scenario& scenario,
                                      std::uint64_t seed);
 
 /// Run one oracle, converting any exception that escapes the pipeline (an

@@ -89,9 +89,23 @@ Scenario::Config paper_tables(const GenOptions& opt) {
                         2 * opt.charger_multiplier,
                         3 * opt.charger_multiplier};
 
+  HIPO_REQUIRE(opt.region_scale >= 1, "region_scale >= 1");
+  const double scale = static_cast<double>(opt.region_scale);
   cfg.region.lo = {0.0, 0.0};
-  cfg.region.hi = {40.0, 40.0};
-  cfg.obstacles = simulation_obstacles(opt.num_obstacles);
+  cfg.region.hi = {40.0 * scale, 40.0 * scale};
+  // Tile the base obstacle set once per 40 m × 40 m patch: constant obstacle
+  // density regardless of region size.
+  for (int gy = 0; gy < opt.region_scale; ++gy) {
+    for (int gx = 0; gx < opt.region_scale; ++gx) {
+      const Vec2 shift{40.0 * gx, 40.0 * gy};
+      for (const auto& base : simulation_obstacles(opt.num_obstacles)) {
+        std::vector<Vec2> verts(base.vertices().begin(),
+                                base.vertices().end());
+        for (auto& v : verts) v = v + shift;
+        cfg.obstacles.push_back(Polygon(std::move(verts)));
+      }
+    }
+  }
   cfg.eps1 = eps1_from_eps(opt.eps);
   return cfg;
 }

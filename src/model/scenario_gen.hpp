@@ -42,6 +42,13 @@ struct GenOptions {
   int uniform_device_base = 2;
   /// Number of obstacles (paper default: 2; 0 gives obstacle-free areas).
   int num_obstacles = 2;
+  /// Region edge multiplier: the area becomes (40·s) m × (40·s) m and the
+  /// obstacle set is tiled once per 40 m × 40 m patch, so obstacle density
+  /// stays constant as the area grows. With device_multiplier scaled by s²
+  /// the device density stays constant too — the scaling-tier setup
+  /// (bench_scaling, 100k+ devices) where per-device neighborhoods, and
+  /// hence per-task extraction cost, are size-independent.
+  int region_scale = 1;
 };
 
 /// Charger/device/pair tables per Tables 2–4 with the given scale knobs.

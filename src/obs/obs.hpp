@@ -6,9 +6,11 @@
 #pragma once
 
 #include "src/obs/build_info.hpp"
+#include "src/obs/json.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/phase.hpp"
 #include "src/obs/report.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 #include "src/obs/trace.hpp"

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/rss.hpp"
 #include "src/obs/stopwatch.hpp"
 #include "src/obs/trace.hpp"
 
@@ -22,6 +23,10 @@ class ScopedPhase {
   ~ScopedPhase() {
     if (metrics_enabled()) {
       accum(std::string("phase.") + name_ + ".seconds").add(watch_.seconds());
+      // Phase boundaries are the memory high-water marks of the pipeline
+      // (extraction arenas peak at the end of `extract`, selection at the
+      // end of `greedy`); one getrusage per phase is noise.
+      sample_peak_rss();
     }
   }
 

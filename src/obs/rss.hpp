@@ -1,0 +1,29 @@
+// Process-memory probes: peak and current resident set size.
+//
+// The shard pipeline sells a bounded-peak-memory contract
+// (`--mem-ceiling-mb`); these probes are how that contract is audited — the
+// peak gauge is sampled at every phase boundary (obs::ScopedPhase), printed
+// by `hipo_solve --report`, and stamped into every bench JSON next to the
+// build provenance. Reads go through getrusage/procfs only, so sampling can
+// never perturb solver output (same write-only discipline as the metrics
+// registry).
+#pragma once
+
+#include <cstdint>
+
+namespace hipo::obs {
+
+/// Peak resident set size of the calling process in bytes
+/// (getrusage ru_maxrss). 0 when the platform does not report it.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (/proc/self/statm on Linux).
+/// 0 when unavailable — callers treat it as "no reading", not "no memory".
+std::uint64_t current_rss_bytes();
+
+/// Record the peak into the `process.peak_rss_bytes` gauge. No-op when
+/// metrics are disabled; called at every ScopedPhase boundary so the gauge
+/// tracks the high-water mark as the pipeline advances.
+void sample_peak_rss();
+
+}  // namespace hipo::obs

@@ -38,31 +38,47 @@ ExtractionResult extract_all(const model::Scenario& scenario,
       for (std::size_t i = 0; i < n; ++i) run_task(i);
     }
   }
+  if (obs::metrics_enabled()) [[unlikely]] {
+    obs::counter("extract.tasks").bump(n);
+  }
 
   // Merge in device order (deterministic), then filter per charger type.
-  // Each type's dominance filter is independent, so the filters run as
-  // parallel tasks; concatenating in type order keeps the output identical
-  // to the sequential pass.
-  obs::Span filter_span("extract.filter");
+  std::size_t raw = 0;
   std::vector<std::vector<Candidate>> by_type(scenario.num_charger_types());
   for (std::size_t i = 0; i < n; ++i) {
-    result.raw_candidates += per_task[i].size();
+    raw += per_task[i].size();
     for (auto& c : per_task[i]) {
       by_type[c.strategy.type].push_back(std::move(c));
     }
   }
+  ExtractionResult filtered =
+      finalize_by_type(std::move(by_type), raw, n, opt, pool);
+  filtered.task_seconds = std::move(result.task_seconds);
+  return filtered;
+}
+
+ExtractionResult finalize_by_type(std::vector<std::vector<Candidate>> by_type,
+                                  std::size_t raw_candidates,
+                                  std::size_t num_devices,
+                                  const ExtractOptions& opt,
+                                  parallel::ThreadPool* pool) {
+  // Each type's dominance filter is independent, so the filters run as
+  // parallel tasks; concatenating in type order keeps the output identical
+  // to the sequential pass.
+  obs::Span filter_span("extract.filter");
+  ExtractionResult result;
+  result.raw_candidates = raw_candidates;
   parallel::chunked_for(pool, by_type.size(), [&](std::size_t q) {
     if (opt.global_filter) {
-      by_type[q] = filter_dominated(std::move(by_type[q]), n);
+      by_type[q] = filter_dominated(std::move(by_type[q]), num_devices);
     }
   });
-  result.per_type_counts.assign(scenario.num_charger_types(), 0);
+  result.per_type_counts.assign(by_type.size(), 0);
   for (std::size_t q = 0; q < by_type.size(); ++q) {
     result.per_type_counts[q] = by_type[q].size();
     for (auto& c : by_type[q]) result.candidates.push_back(std::move(c));
   }
   if (obs::metrics_enabled()) [[unlikely]] {
-    obs::counter("extract.tasks").bump(n);
     obs::counter("extract.candidates_raw").bump(result.raw_candidates);
     obs::counter("extract.candidates_kept").bump(result.candidates.size());
   }

@@ -32,6 +32,20 @@ ExtractionResult extract_all(const model::Scenario& scenario,
                              const ExtractOptions& opt = {},
                              parallel::ThreadPool* pool = nullptr);
 
+/// The deterministic tail of extract_all, split out so the sharded path
+/// (hipo::shard) runs the *same* global filter + concatenation code on its
+/// merged per-type streams: `by_type[q]` must hold type-q candidates in
+/// task-ascending order (ties: within-task output order) — exactly what
+/// extract_all's device-order merge produces — and `raw_candidates` the
+/// total row count before this global filter. Consumes `by_type`. When
+/// `opt.global_filter` is false the streams are concatenated unfiltered,
+/// matching extract_all's behavior.
+ExtractionResult finalize_by_type(std::vector<std::vector<Candidate>> by_type,
+                                  std::size_t raw_candidates,
+                                  std::size_t num_devices,
+                                  const ExtractOptions& opt,
+                                  parallel::ThreadPool* pool = nullptr);
+
 /// Simulated Algorithm 5 timing: assign measured per-task durations to
 /// `machines` virtual machines with LPT (or round-robin) and report the
 /// makespan — the quantity Fig. 12 normalizes. `machines` >= number of

@@ -19,62 +19,6 @@ namespace {
   throw ConfigError(std::string(what) + ": " + std::strerror(errno));
 }
 
-/// Read exactly `n` bytes; false on clean EOF at a frame boundary, throws on
-/// a mid-frame EOF or socket error.
-bool read_exact(int fd, void* buf, std::size_t n, bool at_boundary) {
-  auto* p = static_cast<unsigned char*>(buf);
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, p + got, n - got);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r == 0) {
-      if (got == 0 && at_boundary) return false;
-      throw ConfigError("connection closed mid-frame");
-    }
-    if (errno == EINTR) continue;
-    throw_errno("read");
-  }
-  return true;
-}
-
-void write_all(int fd, const void* buf, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(buf);
-  std::size_t put = 0;
-  while (put < n) {
-    const ssize_t w = ::write(fd, p + put, n - put);
-    if (w > 0) {
-      put += static_cast<std::size_t>(w);
-      continue;
-    }
-    if (w < 0 && errno == EINTR) continue;
-    throw_errno("write");
-  }
-}
-
-void write_frame(int fd, std::string_view payload) {
-  unsigned char header[kFrameHeaderBytes];
-  encode_frame_header(payload.size(), header);
-  write_all(fd, header, sizeof(header));
-  write_all(fd, payload.data(), payload.size());
-}
-
-/// Read one frame into `out`; false on clean EOF before a header.
-bool read_frame(int fd, std::size_t max_bytes, std::string& out) {
-  unsigned char header[kFrameHeaderBytes];
-  if (!read_exact(fd, header, sizeof(header), /*at_boundary=*/true)) {
-    return false;
-  }
-  const std::size_t payload = decode_frame_header(header, max_bytes);
-  out.resize(payload);
-  if (payload > 0) {
-    read_exact(fd, out.data(), payload, /*at_boundary=*/false);
-  }
-  return true;
-}
-
 void close_quiet(int fd) {
   if (fd >= 0) ::close(fd);
 }
@@ -148,7 +92,7 @@ void Server::run() {
     if (connections_.size() >= options_.max_connections) {
       obs::counter("serve.rejected").add();
       try {
-        write_frame(fd, "{\"ok\":false,\"error\":\"overloaded\",\"message\":"
+        write_frame_fd(fd, "{\"ok\":false,\"error\":\"overloaded\",\"message\":"
                         "\"connection limit reached; retry later\"}");
       } catch (const ConfigError&) {
         // Peer vanished; nothing to tell it.
@@ -198,9 +142,9 @@ void Server::stop() {
 void Server::serve_connection(Connection& conn) {
   std::string request;
   try {
-    while (read_frame(conn.fd, options_.max_frame_bytes, request)) {
+    while (read_frame_fd(conn.fd, options_.max_frame_bytes, request)) {
       const std::string response = service_.handle(request);
-      write_frame(conn.fd, response);
+      write_frame_fd(conn.fd, response);
       if (service_.shutdown_requested()) {
         // This connection delivered (or raced with) the shutdown request;
         // stop reading and let the acceptor drain.
@@ -217,7 +161,7 @@ void Server::serve_connection(Connection& conn) {
       err.set("ok", Json::boolean(false));
       err.set("error", Json::string("bad_frame"));
       err.set("message", Json::string(e.what()));
-      write_frame(conn.fd, err.dump());
+      write_frame_fd(conn.fd, err.dump());
     } catch (const ConfigError&) {
     }
   }
@@ -271,9 +215,9 @@ Client::Client(std::uint16_t port, std::size_t max_frame_bytes)
 Client::~Client() { close_quiet(fd_); }
 
 std::string Client::call(std::string_view request_json) {
-  write_frame(fd_, request_json);
+  write_frame_fd(fd_, request_json);
   std::string response;
-  if (!read_frame(fd_, max_frame_bytes_, response)) {
+  if (!read_frame_fd(fd_, max_frame_bytes_, response)) {
     throw ConfigError("server closed the connection before responding");
   }
   return response;

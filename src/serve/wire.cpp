@@ -1,7 +1,11 @@
 #include "src/serve/wire.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "src/obs/json.hpp"
@@ -344,6 +348,66 @@ std::size_t decode_frame_header(const unsigned char in[4],
                    " bytes exceeds the " + std::to_string(max_bytes) +
                    "-byte limit");
   return n;
+}
+
+namespace {
+
+/// Read exactly `n` bytes; false on clean EOF at a frame boundary, throws
+/// on a mid-frame EOF or read error.
+bool read_exact_fd(int fd, void* buf, std::size_t n, bool at_boundary) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0 && at_boundary) return false;
+      throw ConfigError("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    throw ConfigError(std::string("read: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame_fd(int fd, std::string_view payload) {
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(payload.size(), header);
+  // Header and payload in two writes: pipes and loopback sockets coalesce,
+  // and a single-copy staging buffer would double the payload's footprint.
+  const auto write_all = [fd](const void* buf, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(buf);
+    std::size_t put = 0;
+    while (put < n) {
+      const ssize_t w = ::write(fd, p + put, n - put);
+      if (w > 0) {
+        put += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      throw ConfigError(std::string("write: ") + std::strerror(errno));
+    }
+  };
+  write_all(header, sizeof(header));
+  write_all(payload.data(), payload.size());
+}
+
+bool read_frame_fd(int fd, std::size_t max_bytes, std::string& out) {
+  unsigned char header[kFrameHeaderBytes];
+  if (!read_exact_fd(fd, header, sizeof(header), /*at_boundary=*/true)) {
+    return false;
+  }
+  const std::size_t payload = decode_frame_header(header, max_bytes);
+  out.resize(payload);
+  if (payload > 0) {
+    read_exact_fd(fd, out.data(), payload, /*at_boundary=*/false);
+  }
+  return true;
 }
 
 }  // namespace hipo::serve

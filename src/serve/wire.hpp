@@ -97,4 +97,15 @@ void encode_frame_header(std::size_t payload_bytes, unsigned char out[4]);
 std::size_t decode_frame_header(const unsigned char in[4],
                                 std::size_t max_bytes);
 
+/// Write one length-prefixed frame to a file descriptor. Works on any
+/// byte-stream fd — the daemon's sockets and the shard runner's worker
+/// pipes share this one implementation. Retries EINTR; ConfigError on
+/// write failure.
+void write_frame_fd(int fd, std::string_view payload);
+
+/// Read one frame from a file descriptor into `out`; false on clean EOF at
+/// a frame boundary (before any header byte), ConfigError on mid-frame EOF,
+/// an over-`max_bytes` header, or a read error.
+bool read_frame_fd(int fd, std::size_t max_bytes, std::string& out);
+
 }  // namespace hipo::serve

@@ -1,0 +1,86 @@
+// Per-shard PDCS extraction: halo sub-scenario construction plus the
+// streaming, tiled candidate generator with bounded peak memory.
+//
+// Bit-identity contract. For every owned task, running extract_device_task
+// against the halo sub-scenario produces byte-identical candidates (after
+// the local→global index remap) to running it against the full scenario:
+//
+//   * the device remap is monotone (visible ids kept ascending), so
+//     GridIndex::query_radius — exact and sorted — returns the same device
+//     sets in relabeled form, and `j > i` pair ownership is preserved;
+//   * every obstacle query is exactly post-filtered (bbox gate in
+//     polygons_in_box, exact predicates in segment_blocked/point_in_any),
+//     so dropping obstacles outside the halo cannot change any result;
+//   * per-task dominance filtering depends only on covered-set contents and
+//     relative order, both invariant under the monotone remap.
+//
+// Tiling. Owned tasks run in tiles; after each tile the per-task rows are
+// spilled into the CandidatePool arena and the transient vectors freed. The
+// accounting footprint (arena bytes + tile transient bytes) is checked
+// against the memory ceiling after every tile: over the ceiling, the tile
+// size halves (down to 1) before the next tile — backoff instead of OOM.
+// Tile size never affects the output, only the transient peak.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/model/scenario.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/pdcs/candidate_gen.hpp"
+#include "src/shard/plan.hpp"
+#include "src/shard/pool.hpp"
+
+namespace hipo::shard {
+
+struct TileOptions {
+  /// Initial tasks per tile.
+  std::size_t tile_tasks = 64;
+  /// Accounting-byte ceiling (arena + tile transients); 0 disables the
+  /// check. Byte-granular so tests can exercise backoff precisely; the
+  /// hipo_shard tool maps --mem-ceiling-mb onto it. The arena itself must
+  /// fit: ConfigError when it alone exceeds the ceiling (no tile size can
+  /// shrink retained rows).
+  std::size_t mem_ceiling_bytes = 0;
+  /// Entry capacity per arena segment (CandidatePool's reservation grain) —
+  /// part of the accounting, so it is exposed alongside the ceiling.
+  std::size_t segment_entries = std::size_t{1} << 19;
+};
+
+/// The halo-restricted scenario one shard extracts against.
+struct SubScenario {
+  model::Scenario scenario;
+  /// Local → global device index map (== the manifest's `visible`).
+  std::vector<std::size_t> device_map;
+  /// Local indices of the owned tasks, ascending.
+  std::vector<std::size_t> owned_local;
+};
+
+SubScenario build_sub_scenario(const model::Scenario& full,
+                               const ShardManifest& manifest);
+
+struct ShardStats {
+  std::size_t tasks = 0;
+  std::size_t rows = 0;
+  std::size_t tile_backoffs = 0;
+  std::size_t final_tile_tasks = 0;
+  /// Peak accounting bytes (arena + tile transients) observed at tile
+  /// boundaries.
+  std::size_t peak_bytes = 0;
+  /// Wall-clock seconds of this shard's extraction.
+  double seconds = 0.0;
+  /// Per-owned-task seconds, parallel to the manifest's `owned`.
+  std::vector<double> task_seconds;
+};
+
+/// Extract every owned task of `plan.shard(shard_id)` into `out` (rows
+/// carry global device ids; append order is ascending task order). `pool`
+/// parallelizes the tasks *within* each tile; outputs are buffered and
+/// spilled in task order, so the result is identical for any worker count.
+ShardStats extract_shard(const model::Scenario& full, const ShardPlan& plan,
+                         std::size_t shard_id,
+                         const pdcs::ExtractOptions& opt,
+                         const TileOptions& tile, CandidatePool& out,
+                         parallel::ThreadPool* pool = nullptr);
+
+}  // namespace hipo::shard

@@ -1,0 +1,85 @@
+#include "src/shard/pool.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "src/util/error.hpp"
+
+namespace hipo::shard {
+
+CandidatePool::CandidatePool(std::size_t segment_entries)
+    : segment_entries_(segment_entries) {
+  HIPO_REQUIRE(segment_entries >= 1,
+               "candidate pool segments need a positive entry capacity");
+}
+
+std::size_t CandidatePool::segment_bytes(const Segment& seg) {
+  return seg.devices.capacity() * sizeof(std::uint32_t) +
+         seg.powers.capacity() * sizeof(double) +
+         seg.rows.capacity() * sizeof(RowMeta);
+}
+
+CandidatePool::Segment& CandidatePool::segment_for(std::size_t entries) {
+  if (!segments_.empty()) {
+    Segment& last = segments_.back();
+    if (last.devices.size() + entries <= last.devices.capacity()) {
+      return last;
+    }
+    bytes_ -= segment_bytes(last);
+    last.rows.shrink_to_fit();  // segment is sealed; drop growth slack
+    bytes_ += segment_bytes(last);
+  }
+  Segment& seg = segments_.emplace_back();
+  const std::size_t cap = std::max(entries, segment_entries_);
+  seg.devices.reserve(cap);
+  seg.powers.reserve(cap);
+  // Rows per segment is data-dependent; reserve for the typical small-row
+  // case and let the vector grow for sparse ones (re-accounted on seal).
+  seg.rows.reserve(std::max<std::size_t>(cap / 8, 16));
+  bytes_ += segment_bytes(seg);
+  return seg;
+}
+
+void CandidatePool::append(std::uint32_t task, const pdcs::Candidate& c) {
+  HIPO_ASSERT(c.covered.size() == c.powers.size());
+  Segment& seg = segment_for(c.covered.size());
+  const std::size_t rows_bytes_before =
+      seg.rows.capacity() * sizeof(RowMeta);
+  for (std::size_t k = 0; k < c.covered.size(); ++k) {
+    HIPO_ASSERT(c.covered[k] <=
+                std::numeric_limits<std::uint32_t>::max());
+    seg.devices.push_back(static_cast<std::uint32_t>(c.covered[k]));
+    seg.powers.push_back(c.powers[k]);
+  }
+  RowMeta row;
+  row.strategy = c.strategy;
+  row.task = task;
+  row.count = static_cast<std::uint32_t>(c.covered.size());
+  seg.rows.push_back(row);
+  bytes_ += seg.rows.capacity() * sizeof(RowMeta) - rows_bytes_before;
+  ++num_rows_;
+  num_entries_ += c.covered.size();
+}
+
+pdcs::Candidate CandidatePool::materialize(const RowRef& row) {
+  pdcs::Candidate c;
+  c.strategy = *row.strategy;
+  c.covered.assign(row.covered.begin(), row.covered.end());
+  c.powers.assign(row.powers.begin(), row.powers.end());
+  return c;
+}
+
+void CandidatePool::splice(CandidatePool&& other) {
+  for (Segment& seg : other.segments_) {
+    segments_.push_back(std::move(seg));
+  }
+  num_rows_ += other.num_rows_;
+  num_entries_ += other.num_entries_;
+  bytes_ += other.bytes_;
+  other.segments_.clear();
+  other.num_rows_ = 0;
+  other.num_entries_ = 0;
+  other.bytes_ = 0;
+}
+
+}  // namespace hipo::shard

@@ -1,0 +1,101 @@
+// Bump-allocated candidate arena for streaming extraction.
+//
+// Tiled shard extraction produces per-task Candidate vectors a tile at a
+// time; retaining them as-is costs two heap blocks per row (covered +
+// powers) plus allocator slop. CandidatePool spills rows into fixed-size
+// arena segments — the same u32-device/double-power parallel-array layout
+// CoverageMatrix packs its CSR arenas with — so a shard's working set is a
+// handful of large blocks whose byte count is exact, which is what the
+// --mem-ceiling-mb accounting (extract.hpp) meters against.
+//
+// Rows never split across segments; a row larger than the segment capacity
+// gets a dedicated segment. Row order is append order — the tiled driver
+// appends tasks in ascending owned order, so iterating a pool yields rows
+// grouped by task, tasks ascending, exactly the order the merge needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/model/types.hpp"
+#include "src/pdcs/candidate.hpp"
+
+namespace hipo::shard {
+
+class CandidatePool {
+ public:
+  /// One arena-resident row: the source task's global device id, the
+  /// strategy, and the covered/powers parallel arrays (global device ids,
+  /// ascending).
+  struct RowRef {
+    std::uint32_t task = 0;
+    const model::Strategy* strategy = nullptr;
+    std::span<const std::uint32_t> covered;
+    std::span<const double> powers;
+  };
+
+  /// `segment_entries` is the (device, power) entry capacity reserved per
+  /// segment; ~512k entries ≈ 6 MiB per segment.
+  explicit CandidatePool(std::size_t segment_entries = std::size_t{1} << 19);
+
+  /// Append one candidate produced by task `task` (a global device id).
+  /// `c.covered` must already hold global device ids.
+  void append(std::uint32_t task, const pdcs::Candidate& c);
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_entries() const { return num_entries_; }
+  /// Reserved arena bytes across all segments — the accounting figure the
+  /// memory ceiling meters (capacity-based, so it is deterministic and an
+  /// upper bound on the segments' true heap usage).
+  std::size_t bytes() const { return bytes_; }
+
+  /// Visit rows in append order.
+  template <typename Fn>
+  void for_each_row(Fn&& fn) const {
+    for (const Segment& seg : segments_) {
+      std::size_t offset = 0;
+      for (const RowMeta& row : seg.rows) {
+        RowRef ref;
+        ref.task = row.task;
+        ref.strategy = &row.strategy;
+        ref.covered = {seg.devices.data() + offset, row.count};
+        ref.powers = {seg.powers.data() + offset, row.count};
+        fn(ref);
+        offset += row.count;
+      }
+    }
+  }
+
+  /// Copy one row back out as a heap Candidate (covered ids widen to
+  /// size_t). The merge materializes per-type survivor inputs this way.
+  static pdcs::Candidate materialize(const RowRef& row);
+
+  /// Move-append another pool's segments after this pool's rows. The other
+  /// pool is left empty.
+  void splice(CandidatePool&& other);
+
+ private:
+  struct RowMeta {
+    model::Strategy strategy;
+    std::uint32_t task = 0;
+    std::uint32_t count = 0;
+  };
+  struct Segment {
+    std::vector<std::uint32_t> devices;
+    std::vector<double> powers;
+    std::vector<RowMeta> rows;
+  };
+
+  Segment& segment_for(std::size_t entries);
+  static std::size_t segment_bytes(const Segment& seg);
+
+  std::size_t segment_entries_;
+  std::vector<Segment> segments_;
+  std::size_t num_rows_ = 0;
+  std::size_t num_entries_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace hipo::shard

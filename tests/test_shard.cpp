@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/opt/coverage_matrix.hpp"
+#include "src/opt/greedy.hpp"
+#include "src/pdcs/extract.hpp"
+#include "src/shard/extract.hpp"
+#include "src/shard/plan.hpp"
+#include "src/shard/pool.hpp"
+#include "src/shard/runner.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace hipo::shard {
+namespace {
+
+/// A [0,100]² scenario whose halo (4·d_max + ε = 20.001) is well below the
+/// region size, so multi-shard plans genuinely subset devices and
+/// obstacles. Devices are rejection-sampled deterministically; extras are
+/// pinned to shard borders and to exactly 2·d_max from a border.
+model::Scenario spread_scenario(std::uint64_t seed, std::size_t devices,
+                                bool straddling_obstacle,
+                                bool border_devices) {
+  model::Scenario::Config cfg = test::simple_config();  // d ∈ [1,5]
+  cfg.region.lo = {0.0, 0.0};
+  cfg.region.hi = {100.0, 100.0};
+  cfg.charger_counts = {3};
+  if (straddling_obstacle) {
+    // Crosses the x=50 border of a 2×2 plan and spans ≥3 cells of a 1×7
+    // strip plan (borders at k·100/7), while staying clear of the border
+    // device pins around (50, 50).
+    cfg.obstacles.push_back(geom::make_rect({40.0, 60.0}, {72.0, 66.0}));
+    cfg.obstacles.push_back(
+        geom::Polygon({{12.0, 70.0}, {20.0, 72.0}, {15.0, 78.0}}));
+  }
+  Rng rng(seed);
+  for (std::size_t i = 0; i < devices; ++i) {
+    model::Device dev;
+    dev.orientation = rng.uniform(0.0, 6.28);
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      dev.pos = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+      bool inside = false;
+      for (const auto& h : cfg.obstacles) {
+        if (h.contains(dev.pos)) inside = true;
+      }
+      if (!inside) break;
+    }
+    cfg.devices.push_back(dev);
+  }
+  if (border_devices) {
+    // Exactly on the 2×2 borders (x=50 / y=50), on the region corner of the
+    // interior cross, and exactly 2·d_max = 10 m from a border — the
+    // neighbor-radius boundary cases the halo argument must survive.
+    cfg.devices.push_back(test::device_at(50.0, 10.0));
+    cfg.devices.push_back(test::device_at(50.0, 50.0));
+    cfg.devices.push_back(test::device_at(10.0, 50.0));
+    cfg.devices.push_back(test::device_at(40.0, 25.0));
+    cfg.devices.push_back(test::device_at(60.0, 75.0));
+    cfg.devices.push_back(test::device_at(50.0, 49.9999));
+  }
+  return model::Scenario(std::move(cfg));
+}
+
+void expect_identical(const pdcs::ExtractionResult& want,
+                      const pdcs::ExtractionResult& got) {
+  EXPECT_EQ(want.raw_candidates, got.raw_candidates);
+  EXPECT_EQ(want.per_type_counts, got.per_type_counts);
+  ASSERT_EQ(want.candidates.size(), got.candidates.size());
+  for (std::size_t i = 0; i < want.candidates.size(); ++i) {
+    const auto& a = want.candidates[i];
+    const auto& b = got.candidates[i];
+    ASSERT_EQ(a.strategy.type, b.strategy.type) << "candidate " << i;
+    ASSERT_EQ(a.strategy.pos.x, b.strategy.pos.x) << "candidate " << i;
+    ASSERT_EQ(a.strategy.pos.y, b.strategy.pos.y) << "candidate " << i;
+    ASSERT_EQ(a.strategy.orientation, b.strategy.orientation)
+        << "candidate " << i;
+    ASSERT_EQ(a.covered, b.covered) << "candidate " << i;
+    ASSERT_EQ(a.powers, b.powers) << "candidate " << i;
+  }
+}
+
+pdcs::ExtractionResult sharded(const model::Scenario& s, std::size_t shards,
+                               std::size_t processes = 0,
+                               parallel::ThreadPool* pool = nullptr,
+                               RunnerStats* stats = nullptr) {
+  RunnerOptions opt;
+  opt.shards = shards;
+  opt.processes = processes;
+  opt.pool = pool;
+  return extract_sharded(s, opt, stats);
+}
+
+TEST(ShardPlan, OwnershipPartitionsDevices) {
+  const auto s = spread_scenario(31, 40, true, true);
+  const ShardPlan plan(s, {.shards = 4});
+  EXPECT_EQ(plan.num_shards(), 4u);
+  EXPECT_EQ(plan.grid_x() * plan.grid_y(), 4u);
+  std::vector<std::size_t> owners(s.num_devices(), 0);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < plan.num_shards(); ++k) {
+    const auto& m = plan.shard(k);
+    EXPECT_EQ(m.shard_id, k);
+    total += m.owned.size();
+    EXPECT_TRUE(std::is_sorted(m.owned.begin(), m.owned.end()));
+    EXPECT_TRUE(std::is_sorted(m.visible.begin(), m.visible.end()));
+    // owned ⊆ visible.
+    EXPECT_TRUE(std::includes(m.visible.begin(), m.visible.end(),
+                              m.owned.begin(), m.owned.end()));
+    for (std::size_t j : m.owned) {
+      EXPECT_EQ(plan.owner_of(s.device(j).pos), k);
+      ++owners[j];
+    }
+  }
+  EXPECT_EQ(total, s.num_devices());
+  for (std::size_t c : owners) EXPECT_EQ(c, 1u);  // exactly one owner each
+}
+
+TEST(ShardPlan, BorderDeviceGoesToHigherCell) {
+  const auto s = spread_scenario(32, 4, false, false);
+  const ShardPlan plan(s, {.shards = 4});  // 2×2, borders at 50
+  // Floor semantics: exactly on an interior border → higher-index cell.
+  EXPECT_EQ(plan.owner_of({50.0, 10.0}), 1u);
+  EXPECT_EQ(plan.owner_of({10.0, 50.0}), 2u);
+  EXPECT_EQ(plan.owner_of({50.0, 50.0}), 3u);
+  // Region high edge folds into the last cell.
+  EXPECT_EQ(plan.owner_of({100.0, 100.0}), 3u);
+}
+
+TEST(ShardPlan, SingleShardIsDegenerate) {
+  const auto s = spread_scenario(33, 25, true, false);
+  const ShardPlan plan(s, {.shards = 1});
+  EXPECT_EQ(plan.num_shards(), 1u);
+  const auto& m = plan.shard(0);
+  EXPECT_EQ(m.owned.size(), s.num_devices());
+  EXPECT_EQ(m.visible.size(), s.num_devices());
+  EXPECT_EQ(m.obstacles.size(), s.num_obstacles());
+}
+
+TEST(ShardPlan, HaloSubsetsDevicesAndObstacles) {
+  const auto s = spread_scenario(34, 60, true, false);
+  const ShardPlan plan(s, {.shards = 4});
+  EXPECT_DOUBLE_EQ(plan.halo_radius(), 4.0 * s.max_charge_range() + 1e-3);
+  // With a 20 m halo on 50 m cells of a 100 m region, at least one shard
+  // must see strictly fewer devices than the whole scenario — otherwise the
+  // test exercises nothing.
+  bool any_proper_subset = false;
+  for (std::size_t k = 0; k < plan.num_shards(); ++k) {
+    if (plan.shard(k).visible.size() < s.num_devices()) {
+      any_proper_subset = true;
+    }
+  }
+  EXPECT_TRUE(any_proper_subset);
+}
+
+TEST(ShardExtract, SingleShardMatchesExtractAll) {
+  const auto s = spread_scenario(35, 30, true, false);
+  const auto want = pdcs::extract_all(s);
+  const auto got = sharded(s, 1);
+  expect_identical(want, got);
+  EXPECT_EQ(want.task_seconds.size(), got.task_seconds.size());
+}
+
+TEST(ShardExtract, ManyShardCountsMatchExtractAll) {
+  const auto s = spread_scenario(36, 40, true, true);
+  const auto want = pdcs::extract_all(s);
+  for (std::size_t shards : {2u, 4u, 7u}) {
+    SCOPED_TRACE(shards);
+    expect_identical(want, sharded(s, shards));
+  }
+}
+
+TEST(ShardExtract, EmptyShardsAreHarmless) {
+  // All devices clustered in one corner: most of a 2×2 plan owns nothing.
+  model::Scenario::Config cfg = test::simple_config();
+  cfg.region.hi = {100.0, 100.0};
+  cfg.devices = {test::device_at(5, 5), test::device_at(8, 6),
+                 test::device_at(6, 9), test::device_at(11, 8)};
+  const model::Scenario s(std::move(cfg));
+  const ShardPlan plan(s, {.shards = 4});
+  std::size_t empty = 0;
+  for (std::size_t k = 0; k < plan.num_shards(); ++k) {
+    if (plan.shard(k).owned.empty()) ++empty;
+  }
+  EXPECT_GE(empty, 2u);
+  expect_identical(pdcs::extract_all(s), sharded(s, 4));
+}
+
+TEST(ShardExtract, ObstacleStraddlingThreeShards) {
+  // A 1×7 strip plan over the straddling rect: the rect spans cells around
+  // x ∈ [44, 57] of cell width 100/7 ≈ 14.3 — at least three shards.
+  const auto s = spread_scenario(37, 30, true, false);
+  const ShardPlan plan(s, {.shards = 7});
+  std::size_t sees_first_obstacle = 0;
+  for (std::size_t k = 0; k < plan.num_shards(); ++k) {
+    const auto& obs = plan.shard(k).obstacles;
+    if (std::find(obs.begin(), obs.end(), 0u) != obs.end()) {
+      ++sees_first_obstacle;
+    }
+  }
+  EXPECT_GE(sees_first_obstacle, 3u);
+  expect_identical(pdcs::extract_all(s), sharded(s, 7));
+}
+
+TEST(ShardExtract, ThreadPoolDoesNotChangeResult) {
+  const auto s = spread_scenario(38, 36, true, true);
+  const auto want = pdcs::extract_all(s);
+  parallel::ThreadPool pool(4);
+  for (std::size_t shards : {1u, 4u}) {
+    SCOPED_TRACE(shards);
+    expect_identical(want, sharded(s, shards, 0, &pool));
+  }
+}
+
+TEST(ShardExtract, TileBackoffKeepsOutputIdentical) {
+  const auto s = spread_scenario(39, 30, true, false);
+  const ShardPlan plan(s, {.shards = 2});
+  pdcs::ExtractOptions ex;
+
+  // Unbounded reference run to learn this shard's arena + transient peak.
+  TileOptions unbounded;
+  unbounded.segment_entries = 512;
+  CandidatePool ref_pool(unbounded.segment_entries);
+  const ShardStats ref =
+      extract_shard(s, plan, 0, ex, unbounded, ref_pool, nullptr);
+  ASSERT_GT(ref.rows, 0u);
+  ASSERT_GT(ref.peak_bytes, ref_pool.bytes());
+
+  // Ceiling above the arena but below arena + full-tile transients: the
+  // driver must back off instead of failing, and the output must not move.
+  TileOptions tight = unbounded;
+  tight.mem_ceiling_bytes =
+      ref_pool.bytes() + (ref.peak_bytes - ref_pool.bytes()) / 4 + 1;
+  CandidatePool tight_pool(tight.segment_entries);
+  const ShardStats st =
+      extract_shard(s, plan, 0, ex, tight, tight_pool, nullptr);
+  EXPECT_GE(st.tile_backoffs, 1u);
+  EXPECT_LT(st.final_tile_tasks, TileOptions{}.tile_tasks);
+  EXPECT_EQ(st.rows, ref.rows);
+  EXPECT_EQ(tight_pool.bytes(), ref_pool.bytes());
+  std::vector<CandidatePool::RowRef> a, b;
+  ref_pool.for_each_row([&](const CandidatePool::RowRef& r) {
+    a.push_back(r);
+  });
+  tight_pool.for_each_row([&](const CandidatePool::RowRef& r) {
+    b.push_back(r);
+  });
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].task, b[i].task);
+    EXPECT_TRUE(std::equal(a[i].covered.begin(), a[i].covered.end(),
+                           b[i].covered.begin(), b[i].covered.end()));
+    EXPECT_TRUE(std::equal(a[i].powers.begin(), a[i].powers.end(),
+                           b[i].powers.begin(), b[i].powers.end()));
+  }
+}
+
+TEST(ShardExtract, ArenaOverCeilingThrows) {
+  const auto s = spread_scenario(40, 30, true, false);
+  const ShardPlan plan(s, {.shards = 1});
+  TileOptions tile;
+  tile.segment_entries = 512;
+  tile.mem_ceiling_bytes = 1024;  // below even one arena segment
+  CandidatePool pool(tile.segment_entries);
+  EXPECT_THROW(
+      extract_shard(s, plan, 0, pdcs::ExtractOptions{}, tile, pool, nullptr),
+      ConfigError);
+}
+
+TEST(ShardRunner, ForkedProcessesMatchInProcess) {
+  const auto s = spread_scenario(41, 32, true, true);
+  const auto want = pdcs::extract_all(s);
+  for (std::size_t procs : {1u, 2u, 4u}) {
+    SCOPED_TRACE(procs);
+    RunnerStats stats;
+    const auto got = sharded(s, 4, procs, nullptr, &stats);
+    expect_identical(want, got);
+    EXPECT_EQ(stats.shards, 4u);
+    EXPECT_EQ(stats.processes, procs);
+    EXPECT_EQ(stats.shard_seconds.size(), 4u);
+    EXPECT_EQ(stats.rows, want.raw_candidates);
+    // Worker-measured task seconds must cover every owned task.
+    for (double t : got.task_seconds) EXPECT_GE(t, 0.0);
+  }
+}
+
+TEST(ShardRunner, StatsAccounting) {
+  const auto s = spread_scenario(42, 24, true, false);
+  RunnerStats stats;
+  const auto got = sharded(s, 4, 0, nullptr, &stats);
+  EXPECT_EQ(stats.rows, got.raw_candidates);
+  EXPECT_GT(stats.pool_bytes, 0u);
+  EXPECT_GE(stats.peak_shard_bytes, 0u);
+  EXPECT_GE(stats.merge_seconds, 0.0);
+}
+
+TEST(ShardRunner, PlacementsBitIdenticalAcrossShardCounts) {
+  const auto s = spread_scenario(43, 30, true, true);
+  const auto base = pdcs::extract_all(s);
+  const auto base_sel = opt::select_strategies(s, base.candidates);
+  parallel::ThreadPool pool(4);
+  for (std::size_t shards : {1u, 2u, 4u, 7u}) {
+    for (parallel::ThreadPool* p : {static_cast<parallel::ThreadPool*>(nullptr),
+                                    &pool}) {
+      SCOPED_TRACE(shards);
+      const auto ext = sharded(s, shards, 0, p);
+      const auto sel = opt::select_strategies(s, ext.candidates,
+                                              opt::GreedyMode::kPerType,
+                                              opt::ObjectiveKind::kUtility, p);
+      ASSERT_EQ(base_sel.placement.size(), sel.placement.size());
+      for (std::size_t i = 0; i < sel.placement.size(); ++i) {
+        EXPECT_EQ(base_sel.placement[i].pos.x, sel.placement[i].pos.x);
+        EXPECT_EQ(base_sel.placement[i].pos.y, sel.placement[i].pos.y);
+        EXPECT_EQ(base_sel.placement[i].orientation,
+                  sel.placement[i].orientation);
+        EXPECT_EQ(base_sel.placement[i].type, sel.placement[i].type);
+      }
+      EXPECT_EQ(base_sel.approx_utility, sel.approx_utility);
+      EXPECT_EQ(base_sel.exact_utility, sel.exact_utility);
+    }
+  }
+}
+
+TEST(CoverageMatrixBuilder, MatchesSpanConstructor) {
+  const auto s = spread_scenario(44, 20, true, false);
+  const auto ext = pdcs::extract_all(s);
+  ASSERT_FALSE(ext.candidates.empty());
+  const opt::CoverageMatrix cold(
+      std::span<const pdcs::Candidate>(ext.candidates), s.num_devices());
+  opt::CoverageMatrixBuilder builder(s.num_devices());
+  std::vector<std::uint32_t> covered;
+  for (const auto& c : ext.candidates) {
+    covered.assign(c.covered.begin(), c.covered.end());
+    builder.add_row(c.strategy, covered, c.powers);
+  }
+  const opt::CoverageMatrix warm = std::move(builder).finish();
+  EXPECT_TRUE(cold.same_as(warm));
+}
+
+TEST(CoverageMatrixBuilder, WarmGreedyMatchesSpanGreedy) {
+  const auto s = spread_scenario(45, 24, true, false);
+  const auto ext = sharded(s, 4);
+  opt::CoverageMatrixBuilder builder(s.num_devices());
+  std::vector<std::uint32_t> covered;
+  for (const auto& c : ext.candidates) {
+    covered.assign(c.covered.begin(), c.covered.end());
+    builder.add_row(c.strategy, covered, c.powers);
+  }
+  const opt::CoverageMatrix warm = std::move(builder).finish();
+  const auto span_sel = opt::select_strategies(s, ext.candidates);
+  const auto warm_sel = opt::select_strategies(s, warm);
+  EXPECT_EQ(span_sel.selected, warm_sel.selected);
+  EXPECT_EQ(span_sel.approx_utility, warm_sel.approx_utility);
+  EXPECT_EQ(span_sel.exact_utility, warm_sel.exact_utility);
+}
+
+TEST(CandidatePool, SpliceAndAccounting) {
+  CandidatePool a(64), b(64);
+  pdcs::Candidate c;
+  c.strategy.type = 0;
+  c.covered = {1, 3, 7};
+  c.powers = {0.5, 0.25, 0.125};
+  a.append(3, c);
+  b.append(5, c);
+  b.append(6, c);
+  EXPECT_EQ(a.num_rows(), 1u);
+  EXPECT_GT(a.bytes(), 0u);
+  const std::size_t bytes_sum = a.bytes() + b.bytes();
+  a.splice(std::move(b));
+  EXPECT_EQ(a.num_rows(), 3u);
+  EXPECT_EQ(a.num_entries(), 9u);
+  EXPECT_EQ(a.bytes(), bytes_sum);
+  EXPECT_EQ(b.num_rows(), 0u);
+  std::vector<std::uint32_t> tasks;
+  a.for_each_row(
+      [&](const CandidatePool::RowRef& r) { tasks.push_back(r.task); });
+  EXPECT_EQ(tasks, (std::vector<std::uint32_t>{3, 5, 6}));
+}
+
+}  // namespace
+}  // namespace hipo::shard

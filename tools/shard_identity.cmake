@@ -1,0 +1,33 @@
+# Test driver: run hipo_shard with 1 shard and with 4 shards (2 worker
+# processes) on the same scenario and require byte-identical placement
+# files — the cross-invocation form of the merge bit-identity guarantee.
+foreach(var SHARD_TOOL SCENARIO WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${SHARD_TOOL} --scenario ${SCENARIO} --shards 1
+          --out ${WORK_DIR}/shard_identity_1.hipo
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "1-shard run failed (${rc1})")
+endif()
+
+execute_process(
+  COMMAND ${SHARD_TOOL} --scenario ${SCENARIO} --shards 4 --procs 2
+          --out ${WORK_DIR}/shard_identity_4.hipo
+  RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "4-shard run failed (${rc4})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/shard_identity_1.hipo ${WORK_DIR}/shard_identity_4.hipo
+  RESULT_VARIABLE cmp)
+if(NOT cmp EQUAL 0)
+  message(FATAL_ERROR "placements differ between 1-shard and 4-shard runs")
+endif()
+message(STATUS "1-shard and 4-shard placements byte-identical")
